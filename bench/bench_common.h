@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure regeneration binaries: trace
+ * durations (scaled down when SW_FAST=1 is set in the environment),
+ * simulation helpers, and row formatting.
+ */
+
+#ifndef SIDEWINDER_BENCH_COMMON_H
+#define SIDEWINDER_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "sim/simulator.h"
+#include "trace/types.h"
+
+namespace sidewinder::bench {
+
+/** True when the environment requests a quick, scaled-down run. */
+inline bool
+fastMode()
+{
+    const char *flag = std::getenv("SW_FAST");
+    return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+/** Scale a paper-scale duration down in fast mode. */
+inline double
+scaledSeconds(double paper_seconds)
+{
+    return fastMode() ? paper_seconds / 6.0 : paper_seconds;
+}
+
+/** Audio trace length: the paper's half-hour recordings. */
+inline double
+audioSeconds()
+{
+    return scaledSeconds(1800.0);
+}
+
+/** Robot run length (the paper's runs took ~1 hour; we use 600 s —
+ * power numbers are time-normalized so only event statistics shrink). */
+inline double
+robotSeconds()
+{
+    return scaledSeconds(600.0);
+}
+
+/** Human trace length per subject (paper: ~2 h each). */
+inline double
+humanSeconds()
+{
+    return scaledSeconds(2400.0);
+}
+
+/** Run one strategy over one trace. */
+inline sim::SimResult
+runStrategy(const trace::Trace &trace, const apps::Application &app,
+            sim::Strategy strategy, double sleep_interval = 10.0,
+            double predefined_threshold = 0.0)
+{
+    sim::SimConfig config;
+    config.strategy = strategy;
+    config.sleepIntervalSeconds = sleep_interval;
+    config.predefinedThreshold = predefined_threshold;
+    return sim::simulate(trace, app, config);
+}
+
+/** Mean of @p values; 0 for an empty vector. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Print a separator line sized for the standard row layout. */
+inline void
+rule(int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace sidewinder::bench
+
+#endif // SIDEWINDER_BENCH_COMMON_H

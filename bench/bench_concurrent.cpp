@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Concurrent multi-application study (Section 7 of the paper): what a
+ * phone pays when several continuous-sensing applications run at
+ * once, and how much the hub's pipeline merging helps.
+ *
+ * Compares, over the 50%-idle robot runs:
+ *  - the sum of three solo Sidewinder deployments (three phones);
+ *  - one phone running all three accelerometer apps concurrently,
+ *    with hub node sharing on and off.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "sim/concurrent.h"
+#include "trace/robot_gen.h"
+
+using namespace sidewinder;
+
+int
+main()
+{
+    const double seconds = bench::robotSeconds();
+    std::printf("Concurrent applications on one hub (group-2 robot "
+                "runs, %.0f s)%s\n",
+                seconds, bench::fastMode() ? " [SW_FAST]" : "");
+
+    // Group 2 = runs 9..14 of the corpus.
+    const auto corpus = trace::generateRobotCorpus(seconds, 20160402);
+    std::vector<const trace::Trace *> runs;
+    for (int run = 0; run < trace::robotGroupRunCount(2); ++run)
+        runs.push_back(&corpus[static_cast<std::size_t>(
+            trace::robotGroupRunCount(1) + run)]);
+
+    double solo_sum = 0.0;
+    double combined_shared = 0.0;
+    double combined_unshared = 0.0;
+    std::size_t nodes_shared = 0;
+    std::size_t nodes_unshared = 0;
+    double worst_recall = 1.0;
+
+    for (const trace::Trace *t : runs) {
+        sim::SimConfig solo_config;
+        solo_config.strategy = sim::Strategy::Sidewinder;
+        double solo = 0.0;
+        for (const auto &app : apps::accelerometerApps())
+            solo += sim::simulate(*t, *app, solo_config)
+                        .averagePowerMw;
+        solo_sum += solo;
+
+        sim::SimConfig shared_config;
+        shared_config.shareHubNodes = true;
+        const auto shared = sim::simulateConcurrent(
+            *t, apps::accelerometerApps(), shared_config);
+        combined_shared += shared.averagePowerMw;
+        nodes_shared = shared.hubNodeCount;
+        for (const auto &app : shared.apps)
+            worst_recall = std::min(worst_recall, app.recall);
+
+        sim::SimConfig unshared_config;
+        unshared_config.shareHubNodes = false;
+        const auto unshared = sim::simulateConcurrent(
+            *t, apps::accelerometerApps(), unshared_config);
+        combined_unshared += unshared.averagePowerMw;
+        nodes_unshared = unshared.hubNodeCount;
+    }
+
+    const double n = static_cast<double>(runs.size());
+    bench::rule();
+    std::printf("three solo deployments (sum):   %8.1f mW\n",
+                solo_sum / n);
+    std::printf("one phone, concurrent, shared:  %8.1f mW "
+                "(%zu hub nodes)\n",
+                combined_shared / n, nodes_shared);
+    std::printf("one phone, concurrent, unshared:%8.1f mW "
+                "(%zu hub nodes)\n",
+                combined_unshared / n, nodes_unshared);
+    std::printf("worst per-app recall, combined: %8.2f\n",
+                worst_recall);
+    bench::rule();
+    std::printf("(sharing keeps detections identical; it reduces hub "
+                "footprint/compute, which matters for MCU sizing, not "
+                "for the phone-side power)\n");
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Microbenchmarks of the platform algorithms and the hub interpreter
+ * (google-benchmark). These ground the MCU sizing discussion of
+ * Section 3.8: FFT-family kernels dominate, which is why the siren
+ * detector outgrows the MSP430.
+ */
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "dsp/features.h"
+#include "dsp/fft.h"
+#include "dsp/filters.h"
+#include "dsp/window.h"
+#include "hub/engine.h"
+#include "il/parser.h"
+
+using namespace sidewinder;
+
+namespace {
+
+std::vector<double>
+toneFrame(std::size_t n, double freq = 1000.0, double fs = 4000.0)
+{
+    std::vector<double> frame(n);
+    for (std::size_t i = 0; i < n; ++i)
+        frame[i] = std::sin(2.0 * std::numbers::pi * freq *
+                            static_cast<double>(i) / fs);
+    return frame;
+}
+
+void
+BM_FftReal(benchmark::State &state)
+{
+    const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsp::fftReal(frame));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftReal)->RangeMultiplier(4)->Range(64, 4096);
+
+void
+BM_FftBlockFilter(benchmark::State &state)
+{
+    const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    const dsp::FftBlockFilter filter(dsp::PassBand::HighPass, 750.0,
+                                     4000.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.apply(frame));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftBlockFilter)->RangeMultiplier(4)->Range(64, 4096);
+
+void
+BM_MovingAverage(benchmark::State &state)
+{
+    dsp::MovingAverage filter(
+        static_cast<std::size_t>(state.range(0)));
+    double x = 0.0;
+    for (auto _ : state) {
+        x += 0.1;
+        benchmark::DoNotOptimize(filter.push(std::sin(x)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MovingAverage)->Arg(5)->Arg(50);
+
+void
+BM_ZeroCrossingRate(benchmark::State &state)
+{
+    const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsp::zeroCrossingRate(frame));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZeroCrossingRate)->Arg(64)->Arg(2048);
+
+void
+BM_Variance(benchmark::State &state)
+{
+    const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dsp::variance(frame));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Variance)->Arg(64)->Arg(2048);
+
+/** Interpreter throughput on the Figure 2 significant-motion graph. */
+void
+BM_EngineSignificantMotion(benchmark::State &state)
+{
+    hub::Engine engine(
+        {{"ACC_X", 50.0}, {"ACC_Y", 50.0}, {"ACC_Z", 50.0}});
+    engine.addCondition(
+        1, il::parse("ACC_X -> movingAvg(id=1, params={10});\n"
+                     "ACC_Y -> movingAvg(id=2, params={10});\n"
+                     "ACC_Z -> movingAvg(id=3, params={10});\n"
+                     "1,2,3 -> vectorMagnitude(id=4);\n"
+                     "4 -> minThreshold(id=5, params={15});\n"
+                     "5 -> OUT;\n"));
+    double t = 0.0;
+    for (auto _ : state) {
+        engine.pushSamples({1.0, 1.0, 9.8}, t);
+        t += 0.02;
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineSignificantMotion);
+
+/** Interpreter throughput on the audio-rate siren graph. */
+void
+BM_EngineSirenPipeline(benchmark::State &state)
+{
+    hub::Engine engine({{"AUDIO", 4000.0}});
+    engine.addCondition(
+        1,
+        il::parse("AUDIO -> window(id=1, params={256,1});\n"
+                  "1 -> highPass(id=2, params={750});\n"
+                  "2 -> fft(id=3);\n"
+                  "3 -> spectrum(id=4);\n"
+                  "4 -> peakToMeanRatio(id=5);\n"
+                  "5 -> minThreshold(id=6, params={4});\n"
+                  "AUDIO -> window(id=7, params={256,1});\n"
+                  "7 -> highPass(id=8, params={750});\n"
+                  "8 -> fft(id=9);\n"
+                  "9 -> spectrum(id=10);\n"
+                  "10 -> dominantFreqHz(id=11);\n"
+                  "11 -> bandThreshold(id=12, params={850,1800});\n"
+                  "6,12 -> and(id=13);\n"
+                  "13 -> consecutive(id=14, params={11});\n"
+                  "14 -> OUT;\n"));
+    double t = 0.0;
+    double phase = 0.0;
+    for (auto _ : state) {
+        phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+        engine.pushSamples({0.3 * std::sin(phase)}, t);
+        t += 0.00025;
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineSirenPipeline);
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Regenerates **Figure 5** of the paper: power relative to Oracle for
+ * Always Awake, Duty Cycling (2/5/10/20/30 s), Batching (10 s),
+ * Predefined Activity and Sidewinder, for the three accelerometer
+ * applications across the three robot activity groups (90% / 50% /
+ * 10% idle), averaged over the runs of each group.
+ *
+ * Also prints the derived Section 5 statistics:
+ *  - §5.1 savings potential (Oracle vs Always Awake), paper:
+ *    17.7% - 94.9%;
+ *  - §5.2 Sidewinder's share of available savings, paper:
+ *    92.7% - 95.7%;
+ *  - §5.3 PA-vs-Sidewinder power ratio for rare events, paper: 4.7x
+ *    (headbutts) and 6.1x (transitions);
+ *  - §5.4 short-interval duty cycling vs Always Awake, paper: 339 mW
+ *    vs 323 mW, and DC/Ba consuming 2.4-7.5x Sidewinder.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "metrics/events.h"
+#include "sim/calibrate.h"
+#include "trace/robot_gen.h"
+
+using namespace sidewinder;
+
+namespace {
+
+struct ConfigSpec
+{
+    const char *label;
+    sim::Strategy strategy;
+    double sleep;
+};
+
+const ConfigSpec configs[] = {
+    {"AA", sim::Strategy::AlwaysAwake, 0.0},
+    {"DC-2", sim::Strategy::DutyCycling, 2.0},
+    {"DC-5", sim::Strategy::DutyCycling, 5.0},
+    {"DC-10", sim::Strategy::DutyCycling, 10.0},
+    {"DC-20", sim::Strategy::DutyCycling, 20.0},
+    {"DC-30", sim::Strategy::DutyCycling, 30.0},
+    {"Ba-10", sim::Strategy::Batching, 10.0},
+    {"PA", sim::Strategy::PredefinedActivity, 0.0},
+    {"Sw", sim::Strategy::Sidewinder, 0.0},
+};
+
+} // namespace
+
+int
+main()
+{
+    const double seconds = bench::robotSeconds();
+    std::printf("Figure 5: power relative to Oracle, robot corpus "
+                "(18 runs of %.0f s)%s\n",
+                seconds, bench::fastMode() ? " [SW_FAST]" : "");
+
+    const auto corpus = trace::generateRobotCorpus(seconds, 20160402);
+    const auto apps = apps::accelerometerApps();
+
+    // Traces per activity group, in corpus order (9 / 6 / 3).
+    std::map<int, std::vector<const trace::Trace *>> groups;
+    std::size_t index = 0;
+    for (int group = 1; group <= 3; ++group)
+        for (int run = 0; run < trace::robotGroupRunCount(group); ++run)
+            groups[group].push_back(&corpus[index++]);
+
+    double min_potential = 1.0, max_potential = 0.0;
+    double min_sw_share = 1.0, max_sw_share = 0.0;
+    std::map<std::string, double> pa_over_sw;
+    double worst_dc_over_sw = 0.0, best_dc_over_sw = 1e9;
+
+    for (const auto &app : apps) {
+        // Calibrate PA's motion threshold over the whole corpus
+        // (paper: over-fit in PA's favor, Section 5.3).
+        const auto calibration = sim::calibratePredefinedThreshold(
+            corpus, *app, {0.3, 0.5, 0.8, 1.2, 2.0});
+
+        std::printf("\n[%s]  PA threshold=%.2f%s\n",
+                    app->name().c_str(), calibration.threshold,
+                    calibration.achievedFullRecall
+                        ? ""
+                        : " (full recall unattainable)");
+        std::printf("%-8s", "group");
+        for (const auto &config : configs)
+            std::printf(" %7s", config.label);
+        std::printf(" %9s\n", "Oracle mW");
+
+        for (int group = 1; group <= 3; ++group) {
+            // Average each configuration over the group's runs.
+            std::vector<double> power(std::size(configs), 0.0);
+            double oracle_mw = 0.0;
+            for (const trace::Trace *t : groups[group]) {
+                oracle_mw += bench::runStrategy(
+                                 *t, *app, sim::Strategy::Oracle)
+                                 .averagePowerMw;
+                for (std::size_t c = 0; c < std::size(configs); ++c)
+                    power[c] += bench::runStrategy(
+                                    *t, *app, configs[c].strategy,
+                                    configs[c].sleep,
+                                    calibration.threshold)
+                                    .averagePowerMw;
+            }
+            const double runs =
+                static_cast<double>(groups[group].size());
+            oracle_mw /= runs;
+            for (auto &p : power)
+                p /= runs;
+
+            std::printf("g%d(%2.0f%%)", group,
+                        100.0 * trace::robotGroupIdleFraction(group));
+            for (std::size_t c = 0; c < std::size(configs); ++c)
+                std::printf(" %7.2f", power[c] / oracle_mw);
+            std::printf(" %9.1f\n", oracle_mw);
+
+            // Derived statistics.
+            const double aa = power[0];
+            const double sw = power[std::size(configs) - 1];
+            const double pa = power[std::size(configs) - 2];
+            const double potential = (aa - oracle_mw) / aa;
+            min_potential = std::min(min_potential, potential);
+            max_potential = std::max(max_potential, potential);
+            const double share =
+                metrics::savingsFraction(aa, sw, oracle_mw);
+            min_sw_share = std::min(min_sw_share, share);
+            max_sw_share = std::max(max_sw_share, share);
+            pa_over_sw[app->name()] =
+                std::max(pa_over_sw[app->name()], pa / sw);
+            for (std::size_t c = 1; c <= 6; ++c) { // DC-* and Ba-10
+                worst_dc_over_sw =
+                    std::max(worst_dc_over_sw, power[c] / sw);
+                best_dc_over_sw =
+                    std::min(best_dc_over_sw, power[c] / sw);
+            }
+        }
+    }
+
+    bench::rule();
+    std::printf("S5.1 savings potential (Oracle vs AA): %.1f%% - "
+                "%.1f%%   (paper: 17.7%% - 94.9%%)\n",
+                100.0 * min_potential, 100.0 * max_potential);
+    std::printf("S5.2 Sidewinder share of available savings: %.1f%% - "
+                "%.1f%%   (paper: 92.7%% - 95.7%%)\n",
+                100.0 * min_sw_share, 100.0 * max_sw_share);
+    std::printf("S5.3 PA/Sw power ratio: steps %.1fx, transitions "
+                "%.1fx, headbutts %.1fx   (paper: ~1x, 6.1x, 4.7x)\n",
+                pa_over_sw["steps"], pa_over_sw["transitions"],
+                pa_over_sw["headbutts"]);
+    std::printf("S5.4 DC/Ba over Sidewinder: %.1fx - %.1fx   (paper: "
+                "2.4x - 7.5x in most cases)\n",
+                best_dc_over_sw, worst_dc_over_sw);
+    return 0;
+}

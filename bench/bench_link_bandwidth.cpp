@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Link feasibility study (Section 3.4 of the paper): "The serial
+ * connection provides sufficient bandwidth to support low bit-rate
+ * sensors, such as the accelerometer, a microphone or GPS. However,
+ * extending the prototype to work with higher bit-rate sensors like
+ * the camera would require a higher bandwidth data bus, such as I2C."
+ *
+ * Prints, for each sensor class, the wire demand of continuous
+ * SensorBatch streaming and whether the prototype's UART (and two
+ * faster buses) can sustain it.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "transport/link.h"
+#include "transport/messages.h"
+
+using namespace sidewinder;
+
+int
+main()
+{
+    struct Sensor
+    {
+        const char *name;
+        double samplesPerSecond;
+    };
+    const Sensor sensors[] = {
+        {"GPS (10 Hz fixes)", 10.0},
+        {"accelerometer axis (50 Hz)", 50.0},
+        {"accelerometer 3-axis", 150.0},
+        {"microphone (4 kHz)", 4000.0},
+        {"microphone (16 kHz)", 16000.0},
+        {"camera 320x240 @ 15 fps", 320.0 * 240.0 * 15.0},
+        {"camera 640x480 @ 30 fps", 640.0 * 480.0 * 30.0},
+    };
+
+    struct Bus
+    {
+        const char *name;
+        double usableBitsPerSecond;
+    };
+    const Bus buses[] = {
+        // The prototype's UART at 115.2 kbaud, 8N1.
+        {"UART-115k", transport::UartLink(115200.0)
+                          .bandwidthBitsPerSecond()},
+        // I2C fast mode.
+        {"I2C-400k", 400000.0 * 0.8},
+        // SPI at 10 MHz.
+        {"SPI-10M", 10e6 * 0.95},
+    };
+
+    std::printf("Serial-link feasibility for continuous streaming "
+                "(Section 3.4)\n");
+    bench::rule(76);
+    std::printf("%-28s %12s |", "sensor", "wire kbit/s");
+    for (const auto &bus : buses)
+        std::printf(" %9s", bus.name);
+    std::printf("\n");
+    bench::rule(76);
+
+    for (const auto &sensor : sensors) {
+        const double kbps =
+            8.0 *
+            static_cast<double>(transport::sensorBatchWireBytes(
+                static_cast<std::size_t>(sensor.samplesPerSecond))) /
+            1000.0;
+        std::printf("%-28s %12.1f |", sensor.name, kbps);
+        for (const auto &bus : buses)
+            std::printf(" %9s",
+                        transport::canStreamContinuously(
+                            bus.usableBitsPerSecond,
+                            sensor.samplesPerSecond)
+                            ? "ok"
+                            : "no");
+        std::printf("\n");
+    }
+    bench::rule(76);
+    std::printf("(paper: UART suffices for accelerometer / microphone "
+                "/ GPS; the camera needs a faster bus)\n");
+    return 0;
+}

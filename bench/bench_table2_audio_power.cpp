@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates **Table 2** of the paper: average power consumption of
+ * the audio applications (sirens, music journal, phrase detection)
+ * under Oracle, Predefined Activity, and Sidewinder, averaged over
+ * the three half-hour environment traces.
+ *
+ * Also prints the Section 5.2 / 5.3 derived statistics for audio:
+ * Sidewinder's share of available savings (paper: 85-98%) and the
+ * PA-vs-Sidewinder ratios (paper: PA 18% cheaper for sirens, 45% /
+ * 60% more expensive for music / phrase).
+ *
+ * Paper values for reference:
+ *     Oracle      16.8 / 27.2 / 14.7 mW
+ *     Predefined  51.9 (all three)
+ *     Sidewinder  63.1* / 32.3 / 35.6 mW   (* includes the LM4F120)
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "metrics/events.h"
+#include "sim/calibrate.h"
+#include "trace/audio_gen.h"
+
+using namespace sidewinder;
+
+int
+main()
+{
+    const double seconds = bench::audioSeconds();
+    std::printf("Table 2: audio application power (mW), %d traces of "
+                "%.0f s each%s\n",
+                3, seconds, bench::fastMode() ? " [SW_FAST]" : "");
+
+    const auto traces = trace::generateAudioCorpus(seconds, 20160402);
+    const auto apps = apps::audioApps();
+
+    struct Row
+    {
+        std::string app;
+        double oracle = 0.0;
+        double predefined = 0.0;
+        double sidewinder = 0.0;
+        double paThreshold = 0.0;
+        double recall = 1.0;
+        std::string mcu;
+    };
+    std::vector<Row> rows;
+
+    for (const auto &app : apps) {
+        Row row;
+        row.app = app->name();
+
+        // Calibrate the Predefined Activity sound threshold per the
+        // paper's over-fitting-in-PA's-favor policy (Section 5.3).
+        const auto calibration = sim::calibratePredefinedThreshold(
+            traces, *app, {0.05, 0.07, 0.09, 0.12, 0.16, 0.22});
+        row.paThreshold = calibration.threshold;
+
+        std::vector<double> oracle_mw, pa_mw, sw_mw;
+        for (const auto &t : traces) {
+            oracle_mw.push_back(
+                bench::runStrategy(t, *app, sim::Strategy::Oracle)
+                    .averagePowerMw);
+            pa_mw.push_back(
+                bench::runStrategy(t, *app,
+                                   sim::Strategy::PredefinedActivity,
+                                   10.0, calibration.threshold)
+                    .averagePowerMw);
+            const auto sw =
+                bench::runStrategy(t, *app, sim::Strategy::Sidewinder);
+            sw_mw.push_back(sw.averagePowerMw);
+            row.recall = std::min(row.recall, sw.recall);
+            row.mcu = sw.mcuName;
+        }
+        row.oracle = bench::mean(oracle_mw);
+        row.predefined = bench::mean(pa_mw);
+        row.sidewinder = bench::mean(sw_mw);
+        rows.push_back(row);
+    }
+
+    bench::rule();
+    std::printf("%-22s %8s %8s %8s\n", "Wake-up Mechanism",
+                rows[0].app.c_str(), rows[1].app.c_str(),
+                rows[2].app.c_str());
+    bench::rule();
+    std::printf("%-22s %8.1f %8.1f %8.1f   (paper: 16.8/27.2/14.7)\n",
+                "Oracle", rows[0].oracle, rows[1].oracle,
+                rows[2].oracle);
+    std::printf("%-22s %8.1f %8.1f %8.1f   (paper: 51.9 all)\n",
+                "Predefined Activity", rows[0].predefined,
+                rows[1].predefined, rows[2].predefined);
+    std::printf("%-22s %8.1f %8.1f %8.1f   (paper: 63.1*/32.3/35.6)\n",
+                "Sidewinder", rows[0].sidewinder, rows[1].sidewinder,
+                rows[2].sidewinder);
+    bench::rule();
+
+    for (const auto &row : rows) {
+        std::printf("%-8s hub=%-8s Sw recall=%.2f  savings vs ideal="
+                    "%5.1f%%  PA/Sw power ratio=%.2f\n",
+                    row.app.c_str(), row.mcu.c_str(), row.recall,
+                    100.0 * metrics::savingsFraction(
+                                323.0, row.sidewinder, row.oracle),
+                    row.predefined / row.sidewinder);
+    }
+    std::printf("(paper: savings 85-98%%; PA 18%% cheaper for sirens, "
+                "45%%/60%% costlier for music/phrase)\n");
+    return 0;
+}

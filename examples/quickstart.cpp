@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Quickstart: the significant-motion wake-up condition of Figure 2 of
+ * the paper, end to end.
+ *
+ * A developer builds a ProcessingPipeline from platform algorithm
+ * stubs, pushes it through the SidewinderSensorManager, and receives a
+ * callback when the condition fires on the (simulated) low-power hub.
+ * The program prints the generated intermediate language — compare it
+ * with Figure 2c of the paper — and the wake-up events produced by a
+ * short burst of synthetic accelerometer data.
+ *
+ * Run:  ./quickstart
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/algorithm.h"
+#include "core/listener.h"
+#include "core/pipeline.h"
+#include "core/sensor_manager.h"
+#include "core/sensors.h"
+#include "hub/mcu.h"
+#include "hub/runtime.h"
+#include "transport/link.h"
+
+using namespace sidewinder;
+
+namespace {
+
+/** Application-side callback: print every wake-up. */
+class PrintingListener : public core::SensorEventListener
+{
+  public:
+    void
+    onSensorEvent(const core::SensorData &data) override
+    {
+        std::printf("  wake-up!  t=%.2fs  trigger=%.2f  "
+                    "(%zu raw samples attached)\n",
+                    data.timestamp, data.triggerValue,
+                    data.rawData.size());
+        ++count;
+    }
+
+    int count = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    // --- The developer's code (Figure 2a) ---------------------------
+    core::ProcessingPipeline significant_motion;
+    std::vector<core::ProcessingBranch> branches;
+    branches.emplace_back(core::channel::accelerometerX);
+    branches.emplace_back(core::channel::accelerometerY);
+    branches.emplace_back(core::channel::accelerometerZ);
+    branches[0].add(core::MovingAverage(10));
+    branches[1].add(core::MovingAverage(10));
+    branches[2].add(core::MovingAverage(10));
+    significant_motion.add(branches);
+    significant_motion.add(core::VectorMagnitude());
+    significant_motion.add(core::MinThreshold(15));
+
+    // --- Platform plumbing: phone <-UART-> hub ----------------------
+    transport::LinkPair link(115200.0);
+    hub::HubRuntime hub_runtime(link, core::accelerometerChannels(),
+                                hub::msp430());
+    core::SidewinderSensorManager manager(
+        link, core::accelerometerChannels());
+
+    PrintingListener listener;
+    const int id = manager.push(significant_motion, &listener, 0.0);
+
+    std::printf("pushed wake-up condition %d; intermediate code:\n%s\n",
+                id, manager.ilTextOf(id).c_str());
+
+    hub_runtime.pollLink(0.1); // hub installs the condition
+    manager.poll(0.2);         // manager sees the ack
+    std::printf("condition state: %s on %s hub\n\n",
+                manager.state(id) == core::ConditionState::Active
+                    ? "active"
+                    : "not active",
+                hub_runtime.mcu().name.c_str());
+
+    // --- Feed sensor data: 2 s of rest, then a vigorous shake -------
+    std::printf("feeding 2 s of rest, then a shake:\n");
+    double t = 0.2;
+    for (int i = 0; i < 100; ++i, t += 0.02)
+        hub_runtime.pushSamples({0.0, 0.0, 9.81}, t);
+    for (int i = 0; i < 50; ++i, t += 0.02) {
+        const double shake =
+            25.0 * std::sin(2.0 * std::numbers::pi * 3.0 * t);
+        hub_runtime.pushSamples({shake, shake, 9.81 + shake}, t);
+    }
+    manager.poll(t + 1.0);
+
+    std::printf("\n%d wake-up(s) delivered while resting+shaking; "
+                "the main CPU slept through the rest.\n",
+                listener.count);
+    return listener.count > 0 ? 0 : 1;
+}

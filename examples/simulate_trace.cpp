@@ -1,0 +1,122 @@
+/**
+ * @file
+ * swsim-style command-line simulator: replay a saved sidewinder-trace
+ * CSV (see generate_traces) through any application under any sensing
+ * strategy and print the power/recall/latency summary — scripted
+ * experiments without recompilation.
+ *
+ * Run:  ./simulate_trace <trace.csv> <app> <strategy> [sleep=10]
+ *
+ *   app:      steps | transitions | headbutts | siren | music |
+ *             phrase | gesture | floors
+ *   strategy: aa | dc | ba | pa | sw | sw-fpga | oracle
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.h"
+#include "sim/power_model.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+#include "trace/csv.h"
+
+using namespace sidewinder;
+
+namespace {
+
+std::unique_ptr<apps::Application>
+appByName(const std::string &name)
+{
+    if (name == "steps")
+        return apps::makeStepsApp();
+    if (name == "transitions")
+        return apps::makeTransitionsApp();
+    if (name == "headbutts")
+        return apps::makeHeadbuttsApp();
+    if (name == "siren")
+        return apps::makeSirenApp();
+    if (name == "music")
+        return apps::makeMusicJournalApp();
+    if (name == "phrase")
+        return apps::makePhraseApp();
+    if (name == "gesture")
+        return apps::makeGestureApp();
+    if (name == "floors")
+        return apps::makeFloorsApp();
+    throw ConfigError("unknown application '" + name + "'");
+}
+
+sim::SimConfig
+configByName(const std::string &name, double sleep)
+{
+    sim::SimConfig config;
+    config.sleepIntervalSeconds = sleep;
+    if (name == "aa")
+        config.strategy = sim::Strategy::AlwaysAwake;
+    else if (name == "dc")
+        config.strategy = sim::Strategy::DutyCycling;
+    else if (name == "ba")
+        config.strategy = sim::Strategy::Batching;
+    else if (name == "pa")
+        config.strategy = sim::Strategy::PredefinedActivity;
+    else if (name == "sw")
+        config.strategy = sim::Strategy::Sidewinder;
+    else if (name == "sw-fpga") {
+        config.strategy = sim::Strategy::Sidewinder;
+        config.hubBackend = sim::HubBackend::Fpga;
+    } else if (name == "oracle")
+        config.strategy = sim::Strategy::Oracle;
+    else
+        throw ConfigError("unknown strategy '" + name + "'");
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 4) {
+        std::fprintf(
+            stderr,
+            "usage: %s <trace.csv> <app> <strategy> [sleep=10]\n",
+            argv[0]);
+        return 2;
+    }
+
+    try {
+        const trace::Trace trace = trace::loadCsvFile(argv[1]);
+        const auto app = appByName(argv[2]);
+        const double sleep = argc > 4 ? std::atof(argv[4]) : 10.0;
+        const auto config = configByName(argv[3], sleep);
+
+        const auto r = sim::simulate(trace, *app, config);
+
+        std::printf("trace      %s (%.0f s, %zu %s events)\n",
+                    trace.name.c_str(), trace.durationSeconds(),
+                    trace.eventsOfType(app->eventType()).size(),
+                    app->eventType().c_str());
+        std::printf("config     %s", r.configName.c_str());
+        if (!r.mcuName.empty())
+            std::printf("  hub=%s (%.1f mW)", r.mcuName.c_str(),
+                        r.hubMw);
+        std::printf("\n");
+        std::printf("power      %.1f mW  (battery: %.0f h)\n",
+                    r.averagePowerMw,
+                    sim::batteryLifeHours(r.averagePowerMw));
+        std::printf("awake      %.1f s of %.1f s, %zu wake-up(s)\n",
+                    r.timeline.awakeSeconds, r.timeline.totalSeconds,
+                    r.timeline.wakeUps);
+        std::printf("detection  recall %.2f, precision %.2f, "
+                    "latency %.2f s\n",
+                    r.recall, r.precision,
+                    r.meanDetectionLatencySeconds);
+        return 0;
+    } catch (const SidewinderError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

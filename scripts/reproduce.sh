@@ -1,0 +1,25 @@
+#!/bin/sh
+# Reproduce every result in EXPERIMENTS.md from scratch.
+#
+# Usage: scripts/reproduce.sh [fast]
+#   fast  — run the experiment binaries on ~6x shorter traces.
+set -e
+cd "$(dirname "$0")/.."
+
+[ "$1" = "fast" ] && export SW_FAST=1
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        if [ -f "$b" ] && [ -x "$b" ]; then
+            echo
+            echo "============================================================"
+            echo "== $(basename "$b")"
+            echo "============================================================"
+            "$b"
+        fi
+    done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Application interface: one continuous-sensing application in the
+ * two-stage structure the paper advocates (Section 2): a conservative,
+ * high-recall wake-up condition that runs on the hub, plus a
+ * full-precision classifier that runs on the main CPU after a wake-up
+ * to "eliminate any false positives" (Section 2.1.2).
+ */
+
+#ifndef SIDEWINDER_APPS_APP_H
+#define SIDEWINDER_APPS_APP_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "il/validate.h"
+#include "trace/types.h"
+
+namespace sidewinder::apps {
+
+/** One continuous-sensing application under evaluation. */
+class Application
+{
+  public:
+    virtual ~Application() = default;
+
+    /** Short identifier, e.g. "steps". */
+    virtual std::string name() const = 0;
+
+    /** Ground-truth event type this application detects. */
+    virtual std::string eventType() const = 0;
+
+    /** Sensor channels the application consumes. */
+    virtual std::vector<il::ChannelInfo> channels() const = 0;
+
+    /**
+     * The Sidewinder wake-up condition: conservative (high recall,
+     * moderate precision), built only from platform algorithms.
+     */
+    virtual core::ProcessingPipeline wakeCondition() const = 0;
+
+    /**
+     * The full-precision main-CPU classifier, run over the raw trace
+     * samples in [@p begin, @p end) while the device is awake.
+     *
+     * @return detection timestamps in seconds, ascending.
+     */
+    virtual std::vector<double>
+    classify(const trace::Trace &trace, std::size_t begin,
+             std::size_t end) const = 0;
+
+    /** Matching tolerance when scoring detections, seconds. */
+    virtual double matchTolerance() const { return 0.5; }
+
+    /**
+     * Raw history the application asks the hub to buffer and hand
+     * over on a wake-up, seconds (Section 3.8 of the paper: "an API
+     * would allow developers to specify what data their application
+     * should receive"). Must cover the classifier's warmup plus the
+     * part of the event that elapses before the condition fires.
+     */
+    virtual double recommendedLookbackSeconds() const { return 3.0; }
+
+    /**
+     * How long the device should stay awake after the last hub
+     * trigger, seconds. Must bridge the condition's re-assertion
+     * cadence for sustained events (consecutive count x window hop).
+     */
+    virtual double recommendedEventDwellSeconds() const { return 1.0; }
+
+    /**
+     * True when multiple detections inside one ground-truth event
+     * should be scored as a single detection (events with duration).
+     */
+    virtual bool coalesceDetections() const { return false; }
+};
+
+} // namespace sidewinder::apps
+
+#endif // SIDEWINDER_APPS_APP_H

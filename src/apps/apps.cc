@@ -1,0 +1,34 @@
+#include "apps/apps.h"
+
+namespace sidewinder::apps {
+
+std::vector<std::unique_ptr<Application>>
+accelerometerApps()
+{
+    std::vector<std::unique_ptr<Application>> apps;
+    apps.push_back(makeStepsApp());
+    apps.push_back(makeTransitionsApp());
+    apps.push_back(makeHeadbuttsApp());
+    return apps;
+}
+
+std::vector<std::unique_ptr<Application>>
+audioApps()
+{
+    std::vector<std::unique_ptr<Application>> apps;
+    apps.push_back(makeSirenApp());
+    apps.push_back(makeMusicJournalApp());
+    apps.push_back(makePhraseApp());
+    return apps;
+}
+
+std::vector<std::unique_ptr<Application>>
+allApps()
+{
+    auto apps = accelerometerApps();
+    for (auto &app : audioApps())
+        apps.push_back(std::move(app));
+    return apps;
+}
+
+} // namespace sidewinder::apps

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Factories for the six applications of Section 3.7 of the paper.
+ */
+
+#ifndef SIDEWINDER_APPS_APPS_H
+#define SIDEWINDER_APPS_APPS_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace sidewinder::apps {
+
+/** Step counter (Section 3.7.1, after Libby's footstep detector). */
+std::unique_ptr<Application> makeStepsApp();
+
+/** Sit/stand posture-transition detector (Section 3.7.1). */
+std::unique_ptr<Application> makeTransitionsApp();
+
+/** Headbutt (sudden forward head movement) detector (Section 3.7.1). */
+std::unique_ptr<Application> makeHeadbuttsApp();
+
+/** Emergency-vehicle siren detector (Section 3.7.2). */
+std::unique_ptr<Application> makeSirenApp();
+
+/** Music journal (Section 3.7.2). */
+std::unique_ptr<Application> makeMusicJournalApp();
+
+/** Phrase detection (Section 3.7.2). */
+std::unique_ptr<Application> makePhraseApp();
+
+/**
+ * Double-shake gesture detector — extension application for the
+ * timeliness scenario of Section 5.4 (uWave-style gestures). Not part
+ * of the paper's six applications (not included in allApps());
+ * requires traces generated with a non-zero gestureFraction.
+ */
+std::unique_ptr<Application> makeGestureApp();
+
+/**
+ * Barometer floor-change detector — extension application showing the
+ * architecture on a third sensor domain. Not part of the paper's six
+ * applications; requires traces from trace::generateBaroTrace().
+ */
+std::unique_ptr<Application> makeFloorsApp();
+
+/** The three accelerometer applications. */
+std::vector<std::unique_ptr<Application>> accelerometerApps();
+
+/** The three audio applications. */
+std::vector<std::unique_ptr<Application>> audioApps();
+
+/** All six applications. */
+std::vector<std::unique_ptr<Application>> allApps();
+
+} // namespace sidewinder::apps
+
+#endif // SIDEWINDER_APPS_APPS_H

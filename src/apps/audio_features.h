@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Windowed audio feature extraction shared by the audio applications'
+ * main-CPU classifiers (Section 3.7.2 of the paper): amplitude
+ * variance, zero-crossing-rate variance across sub-windows, and
+ * dominant-frequency statistics.
+ */
+
+#ifndef SIDEWINDER_APPS_AUDIO_FEATURES_H
+#define SIDEWINDER_APPS_AUDIO_FEATURES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace sidewinder::apps {
+
+/** Features of one analysis window of audio. */
+struct AudioWindowFeatures
+{
+    /** Window midpoint, seconds from trace start. */
+    double time = 0.0;
+    /** Variance of the amplitude over the whole window. */
+    double amplitudeVariance = 0.0;
+    /** Variance of the ZCR across the window's sub-windows. */
+    double zcrVariance = 0.0;
+    /** Root mean square of the window. */
+    double rms = 0.0;
+    /** Frequency of the strongest non-DC spectral bin, Hz. */
+    double dominantFreqHz = 0.0;
+    /** Dominant-bin magnitude over mean bin magnitude. */
+    double peakToMeanRatio = 0.0;
+    /** Same, computed after a 750 Hz high-pass (siren front end). */
+    double highPassPeakToMeanRatio = 0.0;
+    /** Dominant frequency after the 750 Hz high-pass, Hz. */
+    double highPassDominantFreqHz = 0.0;
+};
+
+/** Parameters of the feature extraction. */
+struct AudioFeatureConfig
+{
+    /** Analysis window length in samples (power of two). */
+    std::size_t windowSize = 2048;
+    /** Advance between windows in samples. */
+    std::size_t hop = 1024;
+    /** Sub-window length for the ZCR-variance feature. */
+    std::size_t subWindowSize = 64;
+    /** High-pass cutoff used for the siren features, Hz. */
+    double highPassCutoffHz = 750.0;
+};
+
+/**
+ * Extract features for every analysis window fully contained in
+ * [@p begin, @p end) of the audio channel of @p trace.
+ */
+std::vector<AudioWindowFeatures>
+extractAudioFeatures(const trace::Trace &trace, std::size_t begin,
+                     std::size_t end,
+                     const AudioFeatureConfig &config = {});
+
+/**
+ * Group consecutive flagged windows into runs and return the midpoint
+ * time of each run at least @p min_duration long. Windows are
+ * consecutive when their times differ by at most @p max_gap seconds.
+ */
+std::vector<double>
+runsOfFlaggedWindows(const std::vector<AudioWindowFeatures> &features,
+                     const std::vector<bool> &flags, double min_duration,
+                     double max_gap);
+
+} // namespace sidewinder::apps
+
+#endif // SIDEWINDER_APPS_AUDIO_FEATURES_H

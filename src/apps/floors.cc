@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Floor-change detector — a barometer application demonstrating the
+ * architecture on a third sensor domain (the Nexus-class barometer
+ * from the paper's sensor inventory; the paper evaluates only
+ * accelerometer and microphone applications).
+ *
+ * Elevator rides and stair climbs change ambient pressure by
+ * ~0.4 hPa per floor over seconds; weather drift is orders of
+ * magnitude slower and door/HVAC blips are brief and small. The
+ * wake-up condition thresholds the pressure range of sliding 4 s
+ * windows; the main-CPU classifier requires a sustained slope
+ * accumulating at least ~0.75 of a floor.
+ */
+
+#include "apps/apps.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/algorithm.h"
+#include "core/sensors.h"
+#include "dsp/features.h"
+#include "trace/baro_gen.h"
+
+namespace sidewinder::apps {
+
+namespace {
+
+/** Hub window: 4 s sliding by 2 s at 20 Hz. */
+constexpr int wakeWindowSize = 80;
+constexpr int wakeWindowHop = 40;
+/** Pressure range that suggests vertical motion, hPa. */
+constexpr double wakeRangeThreshold = 0.14;
+constexpr int wakeConsecutiveWindows = 2;
+
+/** Classifier: 2 s window means advancing by 1 s (overlapping). */
+constexpr std::size_t slopeWindow = 40;
+constexpr std::size_t slopeHop = 20;
+constexpr double minSlope = 0.015;
+/** Total change that confirms a floor transition, hPa. */
+constexpr double minTotalChange = 0.25;
+
+class FloorsApp : public Application
+{
+  public:
+    std::string name() const override { return "floors"; }
+
+    std::string eventType() const override
+    {
+        return trace::event_type::floorChange;
+    }
+
+    std::vector<il::ChannelInfo> channels() const override
+    {
+        return core::barometerChannels();
+    }
+
+    core::ProcessingPipeline
+    wakeCondition() const override
+    {
+        using namespace core;
+        ProcessingPipeline pipeline;
+        ProcessingBranch branch(channel::barometer);
+        branch.add(Window(wakeWindowSize, false, wakeWindowHop))
+            .add(Range())
+            .add(MinThreshold(wakeRangeThreshold))
+            .add(Consecutive(wakeConsecutiveWindows));
+        pipeline.add(std::move(branch));
+        return pipeline;
+    }
+
+    std::vector<double>
+    classify(const trace::Trace &trace, std::size_t begin,
+             std::size_t end) const override
+    {
+        const auto &p =
+            trace.channels[trace.channelIndex("BARO")];
+        end = std::min(end, p.size());
+
+        // Means of overlapping 2 s windows, one per second.
+        std::vector<double> means;
+        std::vector<double> mean_times;
+        for (std::size_t s = begin; s + slopeWindow <= end;
+             s += slopeHop) {
+            const std::vector<double> frame(
+                p.begin() + static_cast<long>(s),
+                p.begin() + static_cast<long>(s + slopeWindow));
+            means.push_back(dsp::mean(frame));
+            mean_times.push_back(
+                trace.timeOf(s + slopeWindow / 2));
+        }
+
+        const double window_seconds =
+            static_cast<double>(slopeHop) / trace.sampleRateHz;
+
+        // Runs of sustained same-sign slope accumulating enough
+        // change.
+        std::vector<double> detections;
+        std::size_t run_start = 0;
+        double accumulated = 0.0;
+        int run_sign = 0;
+
+        auto close_run = [&](std::size_t i) {
+            if (run_sign != 0 &&
+                std::abs(accumulated) >= minTotalChange) {
+                detections.push_back(
+                    0.5 * (mean_times[run_start] +
+                           mean_times[i - 1]));
+            }
+            run_sign = 0;
+            accumulated = 0.0;
+        };
+
+        for (std::size_t i = 1; i < means.size(); ++i) {
+            const double slope =
+                (means[i] - means[i - 1]) / window_seconds;
+            const int sign = slope >= minSlope    ? 1
+                             : slope <= -minSlope ? -1
+                                                  : 0;
+            if (sign != 0 && sign == run_sign) {
+                accumulated += means[i] - means[i - 1];
+            } else if (sign != 0) {
+                close_run(i);
+                run_sign = sign;
+                run_start = i - 1;
+                accumulated = means[i] - means[i - 1];
+            } else {
+                close_run(i);
+            }
+        }
+        close_run(means.size());
+        return detections;
+    }
+
+    double matchTolerance() const override { return 6.0; }
+
+    bool coalesceDetections() const override { return true; }
+
+    /** Rides evolve over tens of seconds; buffer a deep history. */
+    double recommendedLookbackSeconds() const override { return 6.0; }
+
+    /**
+     * The condition re-asserts every 4 s (consecutive x window hop);
+     * the dwell must bridge that cadence or a ride fragments into
+     * awake islands that split the slope run.
+     */
+    double
+    recommendedEventDwellSeconds() const override
+    {
+        return 3.0;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeFloorsApp()
+{
+    return std::make_unique<FloorsApp>();
+}
+
+} // namespace sidewinder::apps

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Headbutt detector (Section 3.7.1 of the paper): "monitors the
+ * y-axis acceleration and searches for local minima between
+ * -3.75 m/s^2 and -6.75 m/s^2." Headbutts stand in for very
+ * infrequent human actions such as falling.
+ */
+
+#include "apps/apps.h"
+
+#include "core/algorithm.h"
+#include "core/sensors.h"
+#include "dsp/filters.h"
+#include "dsp/peaks.h"
+#include "trace/types.h"
+
+namespace sidewinder::apps {
+
+namespace {
+
+constexpr int smoothingWindow = 3;
+/** Acceptance band for the y-axis dip, m/s^2 (from the paper). */
+constexpr double bandLow = -6.75;
+constexpr double bandHigh = -3.75;
+/** Minimum samples between detections (0.2 s at 50 Hz). */
+constexpr int refractorySamples = 10;
+
+class HeadbuttsApp : public Application
+{
+  public:
+    std::string name() const override { return "headbutts"; }
+
+    std::string eventType() const override
+    {
+        return trace::event_type::headbutt;
+    }
+
+    std::vector<il::ChannelInfo> channels() const override
+    {
+        return core::accelerometerChannels();
+    }
+
+    core::ProcessingPipeline
+    wakeCondition() const override
+    {
+        using namespace core;
+        ProcessingPipeline pipeline;
+        ProcessingBranch branch(channel::accelerometerY);
+        branch.add(MovingAverage(smoothingWindow));
+        branch.add(LocalMinima(bandLow, bandHigh, refractorySamples));
+        pipeline.add(std::move(branch));
+        return pipeline;
+    }
+
+    std::vector<double>
+    classify(const trace::Trace &trace, std::size_t begin,
+             std::size_t end) const override
+    {
+        const auto &y =
+            trace.channels[trace.channelIndex("ACC_Y")];
+        end = std::min(end, y.size());
+
+        dsp::MovingAverage low_pass(smoothingWindow);
+        dsp::PeakDetector dips(dsp::PeakPolarity::Minima, bandLow,
+                               bandHigh, refractorySamples);
+
+        std::vector<double> detections;
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto smoothed = low_pass.push(y[i]);
+            if (!smoothed)
+                continue;
+            if (dips.push(*smoothed))
+                detections.push_back(trace.timeOf(i));
+        }
+        return detections;
+    }
+
+    double matchTolerance() const override { return 0.5; }
+
+    bool coalesceDetections() const override { return true; }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeHeadbuttsApp()
+{
+    return std::make_unique<HeadbuttsApp>();
+}
+
+} // namespace sidewinder::apps

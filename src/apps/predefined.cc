@@ -1,0 +1,42 @@
+#include "apps/predefined.h"
+
+#include "core/algorithm.h"
+#include "core/sensors.h"
+
+namespace sidewinder::apps {
+
+core::ProcessingPipeline
+significantMotionCondition(double threshold)
+{
+    using namespace core;
+
+    ProcessingPipeline pipeline;
+    for (const auto &channel : {channel::accelerometerX,
+                                channel::accelerometerY,
+                                channel::accelerometerZ}) {
+        ProcessingBranch branch(channel);
+        // One-second window, half overlap, per-axis jitter.
+        branch.add(Window(50, false, 25));
+        branch.add(StdDev());
+        pipeline.add(std::move(branch));
+    }
+    pipeline.add(VectorMagnitude());
+    pipeline.add(MinThreshold(threshold));
+    return pipeline;
+}
+
+core::ProcessingPipeline
+significantSoundCondition(double threshold)
+{
+    using namespace core;
+
+    ProcessingPipeline pipeline;
+    ProcessingBranch branch(channel::audio);
+    branch.add(Window(256));
+    branch.add(Rms());
+    pipeline.add(std::move(branch));
+    pipeline.add(MinThreshold(threshold));
+    return pipeline;
+}
+
+} // namespace sidewinder::apps

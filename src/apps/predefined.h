@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The two predefined activities the evaluation compares against
+ * (Section 4.2 of the paper): "significant acceleration" and "sound
+ * intensity" — the fixed, manufacturer-chosen wake-up conditions of
+ * the Predefined Activity configuration.
+ *
+ * They are expressed as Sidewinder pipelines here (the hub executes
+ * them the same way), but in the modeled product they would be burned
+ * into the hub firmware; only their thresholds are tunable, which is
+ * exactly the limitation the paper's comparison explores.
+ */
+
+#ifndef SIDEWINDER_APPS_PREDEFINED_H
+#define SIDEWINDER_APPS_PREDEFINED_H
+
+#include "core/pipeline.h"
+
+namespace sidewinder::apps {
+
+/** Default significant-motion threshold (axis jitter magnitude). */
+constexpr double defaultMotionThreshold = 0.5;
+
+/** Default significant-sound RMS threshold. */
+constexpr double defaultSoundThreshold = 0.09;
+
+/**
+ * Significant motion: per-axis standard deviation over a one-second
+ * window, combined across axes, thresholded. Fires on any sustained
+ * movement — walking, posture changes, headbutts, vehicle vibration.
+ *
+ * @param threshold Combined jitter magnitude (m/s^2) above which the
+ *     device wakes.
+ */
+core::ProcessingPipeline
+significantMotionCondition(double threshold = defaultMotionThreshold);
+
+/**
+ * Significant sound: RMS of 64 ms microphone windows, thresholded.
+ *
+ * @param threshold RMS amplitude above which the device wakes.
+ */
+core::ProcessingPipeline
+significantSoundCondition(double threshold = defaultSoundThreshold);
+
+} // namespace sidewinder::apps
+
+#endif // SIDEWINDER_APPS_PREDEFINED_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Step counter (Section 3.7.1 of the paper), based on Libby's
+ * footstep detection: low-pass filter the x-axis acceleration and
+ * count local maxima between 2.5 and 4.5 m/s^2.
+ *
+ * The wake-up condition uses a moving average as its low-pass stage so
+ * it fits the MSP430's real-time budget (the FFT-based filter is the
+ * one the paper found the MSP430 could not sustain); the main-CPU
+ * classifier re-runs the detection with a tighter band.
+ */
+
+#include "apps/apps.h"
+
+#include "core/algorithm.h"
+#include "core/sensors.h"
+#include "dsp/filters.h"
+#include "dsp/peaks.h"
+#include "trace/types.h"
+
+namespace sidewinder::apps {
+
+namespace {
+
+/** Smoothing window of the low-pass stage, samples. */
+constexpr int smoothingWindow = 5;
+/** Peak acceptance band, m/s^2 (from the paper). */
+constexpr double bandLow = 2.5;
+constexpr double bandHigh = 4.5;
+/** Minimum samples between counted steps (0.3 s at 50 Hz). */
+constexpr int refractorySamples = 15;
+
+class StepsApp : public Application
+{
+  public:
+    std::string name() const override { return "steps"; }
+
+    std::string eventType() const override
+    {
+        return trace::event_type::step;
+    }
+
+    std::vector<il::ChannelInfo> channels() const override
+    {
+        return core::accelerometerChannels();
+    }
+
+    core::ProcessingPipeline
+    wakeCondition() const override
+    {
+        using namespace core;
+        ProcessingPipeline pipeline;
+        ProcessingBranch branch(channel::accelerometerX);
+        branch.add(MovingAverage(smoothingWindow));
+        branch.add(
+            LocalMaxima(bandLow, bandHigh, refractorySamples));
+        pipeline.add(std::move(branch));
+        return pipeline;
+    }
+
+    std::vector<double>
+    classify(const trace::Trace &trace, std::size_t begin,
+             std::size_t end) const override
+    {
+        const auto &x =
+            trace.channels[trace.channelIndex("ACC_X")];
+        end = std::min(end, x.size());
+
+        dsp::MovingAverage low_pass(smoothingWindow);
+        dsp::PeakDetector peaks(dsp::PeakPolarity::Maxima, bandLow,
+                                bandHigh, refractorySamples);
+
+        std::vector<double> detections;
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto smoothed = low_pass.push(x[i]);
+            if (!smoothed)
+                continue;
+            if (peaks.push(*smoothed)) {
+                // The confirmed peak is the previous sample; the
+                // moving average lags by half its window.
+                const double lag =
+                    (1.0 + smoothingWindow / 2.0) / trace.sampleRateHz;
+                detections.push_back(trace.timeOf(i) - lag);
+            }
+        }
+        return detections;
+    }
+
+    double matchTolerance() const override { return 0.3; }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeStepsApp()
+{
+    return std::make_unique<StepsApp>();
+}
+
+} // namespace sidewinder::apps

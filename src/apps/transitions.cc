@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sit/stand posture-transition detector (Section 3.7.1 of the paper):
+ * the device is standing when z is in [9, 11] and y in [-1, 1], and
+ * sitting when z is in [7.5, 9.5] and y in [3.5, 5.5]; a transition is
+ * a change between the two postures.
+ *
+ * The wake-up condition exploits that during any transition the y-axis
+ * gravity component must sweep through the gap between the two
+ * postures' y bands: a band threshold on smoothed y fires exactly
+ * while that sweep is in progress and at no other time.
+ */
+
+#include "apps/apps.h"
+
+#include "core/algorithm.h"
+#include "core/sensors.h"
+#include "dsp/filters.h"
+#include "trace/types.h"
+
+namespace sidewinder::apps {
+
+namespace {
+
+/** Wake condition: smoothed y inside the inter-posture gap. */
+constexpr int wakeSmoothingWindow = 10;
+constexpr double wakeBandLow = 1.5;
+constexpr double wakeBandHigh = 3.2;
+
+/** Main classifier posture bands (from the paper). */
+constexpr double standZLow = 9.0, standZHigh = 11.0;
+constexpr double standYLow = -1.0, standYHigh = 1.0;
+constexpr double sitZLow = 7.5, sitZHigh = 9.5;
+constexpr double sitYLow = 3.5, sitYHigh = 5.5;
+
+/** Smoothing of the main classifier's orientation estimate. */
+constexpr int classifierSmoothingWindow = 25;
+
+enum class Posture { Unknown, Standing, Sitting };
+
+Posture
+postureOf(double y, double z)
+{
+    if (z >= standZLow && z <= standZHigh && y >= standYLow &&
+        y <= standYHigh)
+        return Posture::Standing;
+    if (z >= sitZLow && z <= sitZHigh && y >= sitYLow && y <= sitYHigh)
+        return Posture::Sitting;
+    return Posture::Unknown;
+}
+
+class TransitionsApp : public Application
+{
+  public:
+    std::string name() const override { return "transitions"; }
+
+    std::string eventType() const override
+    {
+        return trace::event_type::transition;
+    }
+
+    std::vector<il::ChannelInfo> channels() const override
+    {
+        return core::accelerometerChannels();
+    }
+
+    core::ProcessingPipeline
+    wakeCondition() const override
+    {
+        using namespace core;
+        ProcessingPipeline pipeline;
+        ProcessingBranch branch(channel::accelerometerY);
+        branch.add(MovingAverage(wakeSmoothingWindow));
+        branch.add(BandThreshold(wakeBandLow, wakeBandHigh));
+        pipeline.add(std::move(branch));
+        return pipeline;
+    }
+
+    std::vector<double>
+    classify(const trace::Trace &trace, std::size_t begin,
+             std::size_t end) const override
+    {
+        const auto &y =
+            trace.channels[trace.channelIndex("ACC_Y")];
+        const auto &z =
+            trace.channels[trace.channelIndex("ACC_Z")];
+        end = std::min(end, y.size());
+
+        dsp::MovingAverage smooth_y(classifierSmoothingWindow);
+        dsp::MovingAverage smooth_z(classifierSmoothingWindow);
+
+        std::vector<double> detections;
+        Posture last_known = Posture::Unknown;
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto sy = smooth_y.push(y[i]);
+            const auto sz = smooth_z.push(z[i]);
+            if (!sy || !sz)
+                continue;
+            const Posture posture = postureOf(*sy, *sz);
+            if (posture == Posture::Unknown)
+                continue;
+            if (last_known != Posture::Unknown &&
+                posture != last_known) {
+                detections.push_back(trace.timeOf(i));
+            }
+            last_known = posture;
+        }
+        return detections;
+    }
+
+    double matchTolerance() const override { return 2.0; }
+
+    bool coalesceDetections() const override { return true; }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeTransitionsApp()
+{
+    return std::make_unique<TransitionsApp>();
+}
+
+} // namespace sidewinder::apps

@@ -1,0 +1,127 @@
+#include "core/algorithm.h"
+
+namespace sidewinder::core {
+
+Algorithm
+MovingAverage(int window_size)
+{
+    return Algorithm("movingAvg",
+                     {static_cast<double>(window_size)});
+}
+
+Algorithm
+ExponentialMovingAverage(double alpha)
+{
+    return Algorithm("expMovingAvg", {alpha});
+}
+
+Algorithm
+Window(int size, bool hamming, int hop)
+{
+    std::vector<double> params = {static_cast<double>(size)};
+    if (hamming || hop > 0)
+        params.push_back(hamming ? 1.0 : 0.0);
+    if (hop > 0)
+        params.push_back(static_cast<double>(hop));
+    return Algorithm("window", std::move(params));
+}
+
+Algorithm Fft() { return Algorithm("fft"); }
+Algorithm Ifft() { return Algorithm("ifft"); }
+Algorithm Spectrum() { return Algorithm("spectrum"); }
+
+Algorithm
+LowPassFilter(double cutoff_hz)
+{
+    return Algorithm("lowPass", {cutoff_hz});
+}
+
+Algorithm
+HighPassFilter(double cutoff_hz)
+{
+    return Algorithm("highPass", {cutoff_hz});
+}
+
+Algorithm
+Goertzel(double target_hz)
+{
+    return Algorithm("goertzel", {target_hz});
+}
+
+Algorithm
+GoertzelRelative(double target_hz)
+{
+    return Algorithm("goertzelRel", {target_hz});
+}
+
+Algorithm VectorMagnitude() { return Algorithm("vectorMagnitude"); }
+Algorithm ZeroCrossingRate() { return Algorithm("zcr"); }
+Algorithm Mean() { return Algorithm("mean"); }
+Algorithm Variance() { return Algorithm("variance"); }
+Algorithm StdDev() { return Algorithm("stddev"); }
+Algorithm Min() { return Algorithm("min"); }
+Algorithm Max() { return Algorithm("max"); }
+Algorithm Rms() { return Algorithm("rms"); }
+Algorithm Range() { return Algorithm("range"); }
+Algorithm DominantFrequencyHz() { return Algorithm("dominantFreqHz"); }
+
+Algorithm
+DominantFrequencyMagnitude()
+{
+    return Algorithm("dominantFreqMag");
+}
+
+Algorithm PeakToMeanRatio() { return Algorithm("peakToMeanRatio"); }
+
+Algorithm
+MinThreshold(double limit)
+{
+    return Algorithm("minThreshold", {limit});
+}
+
+Algorithm
+MaxThreshold(double limit)
+{
+    return Algorithm("maxThreshold", {limit});
+}
+
+Algorithm
+BandThreshold(double low, double high)
+{
+    return Algorithm("bandThreshold", {low, high});
+}
+
+Algorithm
+OutsideBandThreshold(double low, double high)
+{
+    return Algorithm("outsideBandThreshold", {low, high});
+}
+
+Algorithm
+LocalMaxima(double low, double high, int refractory)
+{
+    std::vector<double> params = {low, high};
+    if (refractory > 0)
+        params.push_back(static_cast<double>(refractory));
+    return Algorithm("localMaxima", std::move(params));
+}
+
+Algorithm
+LocalMinima(double low, double high, int refractory)
+{
+    std::vector<double> params = {low, high};
+    if (refractory > 0)
+        params.push_back(static_cast<double>(refractory));
+    return Algorithm("localMinima", std::move(params));
+}
+
+Algorithm And() { return Algorithm("and"); }
+Algorithm Or() { return Algorithm("or"); }
+
+Algorithm
+Consecutive(int count)
+{
+    return Algorithm("consecutive", {static_cast<double>(count)});
+}
+
+} // namespace sidewinder::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Phone-side algorithm stubs.
+ *
+ * "At the API level, these algorithms are simply stubs that represent
+ * the algorithm implementations at the low-power processor level"
+ * (Section 3.2 of the paper). Each stub carries only the IL name and
+ * numeric parameters; the actual computation lives in the hub
+ * kernels.
+ *
+ * Named classes mirror the paper's Java API (Figure 2a): a developer
+ * writes `MovingAverage(10)`, `VectorMagnitude()`, `MinThreshold(15)`.
+ */
+
+#ifndef SIDEWINDER_CORE_ALGORITHM_H
+#define SIDEWINDER_CORE_ALGORITHM_H
+
+#include <string>
+#include <vector>
+
+namespace sidewinder::core {
+
+/** A parameterized reference to a platform algorithm. */
+class Algorithm
+{
+  public:
+    /** General form: any standardized algorithm by IL name. */
+    Algorithm(std::string name, std::vector<double> params = {})
+        : ilName(std::move(name)), ilParams(std::move(params))
+    {}
+
+    /** IL name of the referenced algorithm. */
+    const std::string &name() const { return ilName; }
+
+    /** Numeric parameters in IL order. */
+    const std::vector<double> &params() const { return ilParams; }
+
+    bool
+    operator==(const Algorithm &other) const
+    {
+        return ilName == other.ilName && ilParams == other.ilParams;
+    }
+
+  private:
+    std::string ilName;
+    std::vector<double> ilParams;
+};
+
+/** @{ Convenience stubs mirroring the paper's API names. */
+
+/** Simple moving average over @p window_size samples. */
+Algorithm MovingAverage(int window_size);
+
+/** Exponential moving average with smoothing factor @p alpha. */
+Algorithm ExponentialMovingAverage(double alpha);
+
+/**
+ * Partition a scalar stream into frames of @p size samples.
+ * @param hamming Apply a Hamming window to each frame.
+ * @param hop Advance between frames; 0 means no overlap.
+ */
+Algorithm Window(int size, bool hamming = false, int hop = 0);
+
+/** Fast Fourier Transform of a frame. */
+Algorithm Fft();
+
+/** Inverse FFT of a complex spectrum. */
+Algorithm Ifft();
+
+/** Magnitudes of the non-redundant half of an FFT spectrum. */
+Algorithm Spectrum();
+
+/** FFT-based low-pass filter with the given cutoff. */
+Algorithm LowPassFilter(double cutoff_hz);
+
+/** FFT-based high-pass filter with the given cutoff. */
+Algorithm HighPassFilter(double cutoff_hz);
+
+/** Goertzel magnitude of the @p target_hz component of a frame. */
+Algorithm Goertzel(double target_hz);
+
+/**
+ * Goertzel magnitude normalized by the frame's broadband energy
+ * (a pure tone at the target scores ~1, noise near 0).
+ */
+Algorithm GoertzelRelative(double target_hz);
+
+/** Euclidean magnitude across branches. */
+Algorithm VectorMagnitude();
+
+/** Zero-crossing rate of a frame. */
+Algorithm ZeroCrossingRate();
+
+/** @{ Frame statistics. */
+Algorithm Mean();
+Algorithm Variance();
+Algorithm StdDev();
+Algorithm Min();
+Algorithm Max();
+Algorithm Rms();
+Algorithm Range();
+/** @} */
+
+/** Frequency (Hz) of the dominant spectral bin. */
+Algorithm DominantFrequencyHz();
+
+/** Magnitude of the dominant spectral bin. */
+Algorithm DominantFrequencyMagnitude();
+
+/** Dominant-bin magnitude over mean bin magnitude (pitchedness). */
+Algorithm PeakToMeanRatio();
+
+/** Admit values >= @p limit. */
+Algorithm MinThreshold(double limit);
+
+/** Admit values <= @p limit. */
+Algorithm MaxThreshold(double limit);
+
+/** Admit values inside [@p low, @p high]. */
+Algorithm BandThreshold(double low, double high);
+
+/** Admit values outside [@p low, @p high]. */
+Algorithm OutsideBandThreshold(double low, double high);
+
+/** Local maxima within [@p low, @p high]. */
+Algorithm LocalMaxima(double low, double high, int refractory = 0);
+
+/** Local minima within [@p low, @p high]. */
+Algorithm LocalMinima(double low, double high, int refractory = 0);
+
+/** Fires when all input branches fired in the same wave. */
+Algorithm And();
+
+/** Fires when any input branch fired. */
+Algorithm Or();
+
+/** Fires after @p count consecutive upstream firings. */
+Algorithm Consecutive(int count);
+
+/** @} */
+
+} // namespace sidewinder::core
+
+#endif // SIDEWINDER_CORE_ALGORITHM_H

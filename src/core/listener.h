@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wake-up callback interface (the paper's SensorEventListener,
+ * Section 3.2): "a callback method that is registered with the sensor
+ * manager that will be called when the custom wake-up condition is
+ * satisfied."
+ */
+
+#ifndef SIDEWINDER_CORE_LISTENER_H
+#define SIDEWINDER_CORE_LISTENER_H
+
+#include <vector>
+
+namespace sidewinder::core {
+
+/** Payload delivered to the application on a wake-up. */
+struct SensorData
+{
+    /** Manager-assigned id of the condition that fired. */
+    int conditionId = 0;
+    /** Hub timestamp of the triggering value, seconds. */
+    double timestamp = 0.0;
+    /** Scalar value that reached OUT on the hub. */
+    double triggerValue = 0.0;
+    /**
+     * Recent raw samples of the condition's primary sensor channel,
+     * oldest first (Section 3.8 of the paper).
+     */
+    std::vector<double> rawData;
+};
+
+/** Application callback invoked when a wake-up condition fires. */
+class SensorEventListener
+{
+  public:
+    virtual ~SensorEventListener() = default;
+
+    /** Called once per wake-up event, in delivery order. */
+    virtual void onSensorEvent(const SensorData &data) = 0;
+};
+
+} // namespace sidewinder::core
+
+#endif // SIDEWINDER_CORE_LISTENER_H

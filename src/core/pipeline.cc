@@ -1,0 +1,64 @@
+#include "core/pipeline.h"
+
+#include "support/error.h"
+
+namespace sidewinder::core {
+
+il::Program
+ProcessingPipeline::compile() const
+{
+    if (inputBranches.empty())
+        throw ConfigError("pipeline has no branches");
+
+    il::Program program;
+    il::NodeId next_id = 1;
+
+    // Emit each branch's chain; remember the tail of each branch.
+    std::vector<il::SourceRef> tails;
+    for (const auto &branch : inputBranches) {
+        il::SourceRef current =
+            il::SourceRef::makeChannel(branch.channel());
+        for (const auto &algorithm : branch.algorithms()) {
+            il::Statement stmt;
+            stmt.inputs = {current};
+            stmt.algorithm = algorithm.name();
+            stmt.params = algorithm.params();
+            stmt.id = next_id++;
+            current = il::SourceRef::makeNode(stmt.id);
+            program.statements.push_back(std::move(stmt));
+        }
+        tails.push_back(current);
+    }
+
+    if (stages.empty() && tails.size() != 1)
+        throw ConfigError(
+            "pipeline with multiple branches needs an aggregation "
+            "stage; at the end of the pipeline there must be only one "
+            "branch remaining");
+
+    // Pipeline-level stages: the first aggregates all tails.
+    std::vector<il::SourceRef> current_inputs = tails;
+    for (const auto &algorithm : stages) {
+        il::Statement stmt;
+        stmt.inputs = current_inputs;
+        stmt.algorithm = algorithm.name();
+        stmt.params = algorithm.params();
+        stmt.id = next_id++;
+        current_inputs = {il::SourceRef::makeNode(stmt.id)};
+        program.statements.push_back(std::move(stmt));
+    }
+
+    if (current_inputs.size() != 1)
+        throw ConfigError("pipeline does not converge to one branch");
+    if (current_inputs[0].kind != il::SourceRef::Kind::Node)
+        throw ConfigError("pipeline must contain at least one "
+                          "algorithm before OUT");
+
+    il::Statement out;
+    out.inputs = current_inputs;
+    out.isOut = true;
+    program.statements.push_back(std::move(out));
+    return program;
+}
+
+} // namespace sidewinder::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ProcessingPipeline and ProcessingBranch: the developer's view of a
+ * wake-up condition (Section 3.2 and Figure 2a of the paper).
+ *
+ * A pipeline consists of one or more branches, each sourcing a sensor
+ * channel and applying a linear chain of algorithms, followed by
+ * pipeline-level stages. The first pipeline-level stage consumes the
+ * tails of all branches (aggregation); each further stage consumes the
+ * previous one; the last stage feeds OUT. "The order in which these
+ * algorithms and branches are added to the ProcessingPipeline specify
+ * how they are chained together."
+ */
+
+#ifndef SIDEWINDER_CORE_PIPELINE_H
+#define SIDEWINDER_CORE_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "il/ast.h"
+
+namespace sidewinder::core {
+
+/** A linear chain of algorithms fed by one sensor channel. */
+class ProcessingBranch
+{
+  public:
+    /** Create a branch sourcing the channel named @p channel. */
+    explicit ProcessingBranch(std::string channel)
+        : sourceChannel(std::move(channel))
+    {}
+
+    /** Append @p algorithm to the chain; returns *this for chaining. */
+    ProcessingBranch &
+    add(Algorithm algorithm)
+    {
+        chain.push_back(std::move(algorithm));
+        return *this;
+    }
+
+    /** Source channel name. */
+    const std::string &channel() const { return sourceChannel; }
+
+    /** Algorithm chain, in data-flow order. */
+    const std::vector<Algorithm> &algorithms() const { return chain; }
+
+  private:
+    std::string sourceChannel;
+    std::vector<Algorithm> chain;
+};
+
+/** A complete wake-up condition under construction. */
+class ProcessingPipeline
+{
+  public:
+    /** Add one branch; returns *this for chaining. */
+    ProcessingPipeline &
+    add(ProcessingBranch branch)
+    {
+        inputBranches.push_back(std::move(branch));
+        return *this;
+    }
+
+    /** Add several branches at once (Figure 2a style). */
+    ProcessingPipeline &
+    add(const std::vector<ProcessingBranch> &branches)
+    {
+        for (const auto &branch : branches)
+            inputBranches.push_back(branch);
+        return *this;
+    }
+
+    /**
+     * Append a pipeline-level stage. The first such stage aggregates
+     * all branch tails; later stages chain sequentially.
+     */
+    ProcessingPipeline &
+    add(Algorithm algorithm)
+    {
+        stages.push_back(std::move(algorithm));
+        return *this;
+    }
+
+    /** The input branches, in addition order. */
+    const std::vector<ProcessingBranch> &branches() const
+    {
+        return inputBranches;
+    }
+
+    /** The pipeline-level stages, in addition order. */
+    const std::vector<Algorithm> &pipelineStages() const
+    {
+        return stages;
+    }
+
+    /**
+     * Compile to the intermediate language (the sensor manager calls
+     * this on push; exposed for inspection and tests).
+     *
+     * Node ids are assigned sequentially in emission order, exactly as
+     * in Figure 2c of the paper.
+     *
+     * @throws ConfigError when the pipeline cannot converge to a
+     *     single output (e.g. multiple branches but no aggregation
+     *     stage).
+     */
+    il::Program compile() const;
+
+  private:
+    std::vector<ProcessingBranch> inputBranches;
+    std::vector<Algorithm> stages;
+};
+
+} // namespace sidewinder::core
+
+#endif // SIDEWINDER_CORE_PIPELINE_H

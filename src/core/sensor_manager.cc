@@ -1,0 +1,126 @@
+#include "core/sensor_manager.h"
+
+#include "il/optimize.h"
+#include "il/writer.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "transport/messages.h"
+
+namespace sidewinder::core {
+
+SidewinderSensorManager::SidewinderSensorManager(
+    transport::LinkPair &link, std::vector<il::ChannelInfo> channels)
+    : link(link), channels(std::move(channels))
+{
+}
+
+int
+SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
+                              SensorEventListener *listener, double now)
+{
+    if (listener == nullptr)
+        throw ConfigError("push requires a SensorEventListener");
+
+    // Validate the developer's pipeline as written, then ship the
+    // deduplicated form: branches sharing a prefix (common in
+    // multi-feature conditions) collapse to one chain on the wire.
+    const il::Program program = pipeline.compile();
+    il::validate(program, channels);
+    const il::Program optimized = il::optimize(program);
+
+    const int condition_id = nextConditionId++;
+    Entry entry;
+    entry.listener = listener;
+    entry.ilText = il::write(optimized);
+    entries[condition_id] = entry;
+
+    link.phoneToHub().sendFrame(
+        transport::encodeConfigPush({condition_id, entry.ilText}), now);
+    return condition_id;
+}
+
+void
+SidewinderSensorManager::remove(int condition_id, double now)
+{
+    auto it = entries.find(condition_id);
+    if (it == entries.end())
+        throw ConfigError("unknown condition id " +
+                          std::to_string(condition_id));
+    it->second.state = ConditionState::Removed;
+    link.phoneToHub().sendFrame(
+        transport::encodeConfigRemove({condition_id}), now);
+}
+
+void
+SidewinderSensorManager::poll(double now)
+{
+    decoder.feed(link.hubToPhone().receive(now));
+    while (auto frame = decoder.poll()) {
+        switch (frame->type) {
+          case transport::MessageType::ConfigAck: {
+            const auto message = transport::decodeConfigAck(*frame);
+            auto it = entries.find(message.conditionId);
+            if (it != entries.end() &&
+                it->second.state == ConditionState::Pending)
+                it->second.state = ConditionState::Active;
+            break;
+          }
+          case transport::MessageType::ConfigReject: {
+            const auto message = transport::decodeConfigReject(*frame);
+            auto it = entries.find(message.conditionId);
+            if (it != entries.end()) {
+                it->second.state = ConditionState::Rejected;
+                it->second.reason = message.reason;
+            }
+            break;
+          }
+          case transport::MessageType::WakeUp: {
+            const auto message = transport::decodeWakeUp(*frame);
+            auto it = entries.find(message.conditionId);
+            if (it == entries.end() ||
+                it->second.state == ConditionState::Removed)
+                break;
+            SensorData data;
+            data.conditionId = message.conditionId;
+            data.timestamp = message.timestamp;
+            data.triggerValue = message.triggerValue;
+            data.rawData = message.rawData;
+            it->second.listener->onSensorEvent(data);
+            break;
+          }
+          default:
+            warn("manager: ignoring unexpected frame type " +
+                 std::to_string(static_cast<int>(frame->type)));
+        }
+    }
+}
+
+const SidewinderSensorManager::Entry &
+SidewinderSensorManager::entryOf(int condition_id) const
+{
+    auto it = entries.find(condition_id);
+    if (it == entries.end())
+        throw ConfigError("unknown condition id " +
+                          std::to_string(condition_id));
+    return it->second;
+}
+
+ConditionState
+SidewinderSensorManager::state(int condition_id) const
+{
+    return entryOf(condition_id).state;
+}
+
+std::string
+SidewinderSensorManager::rejectionReason(int condition_id) const
+{
+    return entryOf(condition_id).reason;
+}
+
+std::string
+SidewinderSensorManager::ilTextOf(int condition_id) const
+{
+    return entryOf(condition_id).ilText;
+}
+
+} // namespace sidewinder::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The phone-side SidewinderSensorManager (Sections 2.1.3 and 3.1 of
+ * the paper): validates and compiles developer pipelines to the
+ * intermediate language, pushes them to the hub over the serial link,
+ * and dispatches wake-up callbacks back to the application.
+ */
+
+#ifndef SIDEWINDER_CORE_SENSOR_MANAGER_H
+#define SIDEWINDER_CORE_SENSOR_MANAGER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/listener.h"
+#include "core/pipeline.h"
+#include "il/validate.h"
+#include "transport/frame.h"
+#include "transport/link.h"
+
+namespace sidewinder::core {
+
+/** Lifecycle of one pushed wake-up condition. */
+enum class ConditionState {
+    /** Pushed; no ack from the hub yet. */
+    Pending,
+    /** Installed and running on the hub. */
+    Active,
+    /** Rejected by the hub (validation or capability failure). */
+    Rejected,
+    /** Removed at the application's request. */
+    Removed,
+};
+
+/** Phone-side manager for Sidewinder wake-up conditions. */
+class SidewinderSensorManager
+{
+  public:
+    /**
+     * @param link Full-duplex connection to the hub; the manager
+     *     writes the phone-to-hub direction and reads hub-to-phone.
+     * @param channels Channels the hub serves, used for local
+     *     validation before anything is transmitted.
+     */
+    SidewinderSensorManager(transport::LinkPair &link,
+                            std::vector<il::ChannelInfo> channels);
+
+    /**
+     * Compile, validate, and push @p pipeline; @p listener is invoked
+     * on every wake-up of this condition.
+     *
+     * Validation happens locally first so developer errors surface
+     * immediately as exceptions rather than as asynchronous hub
+     * rejections.
+     *
+     * @return the condition id assigned to this push.
+     * @throws ParseError / ConfigError on invalid pipelines.
+     */
+    int push(const ProcessingPipeline &pipeline,
+             SensorEventListener *listener, double now = 0.0);
+
+    /** Ask the hub to remove condition @p condition_id. */
+    void remove(int condition_id, double now = 0.0);
+
+    /**
+     * Process hub responses and wake-ups that arrived by @p now,
+     * dispatching listener callbacks.
+     */
+    void poll(double now);
+
+    /** Lifecycle state of @p condition_id. */
+    ConditionState state(int condition_id) const;
+
+    /** Rejection reason (empty unless state is Rejected). */
+    std::string rejectionReason(int condition_id) const;
+
+    /** IL text shipped for @p condition_id (for inspection). */
+    std::string ilTextOf(int condition_id) const;
+
+  private:
+    struct Entry
+    {
+        ConditionState state = ConditionState::Pending;
+        SensorEventListener *listener = nullptr;
+        std::string ilText;
+        std::string reason;
+    };
+
+    const Entry &entryOf(int condition_id) const;
+
+    transport::LinkPair &link;
+    std::vector<il::ChannelInfo> channels;
+    transport::FrameDecoder decoder;
+    std::map<int, Entry> entries;
+    int nextConditionId = 1;
+};
+
+} // namespace sidewinder::core
+
+#endif // SIDEWINDER_CORE_SENSOR_MANAGER_H

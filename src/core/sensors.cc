@@ -1,0 +1,38 @@
+#include "core/sensors.h"
+
+namespace sidewinder::core {
+
+std::vector<il::ChannelInfo>
+accelerometerChannels()
+{
+    return {
+        {channel::accelerometerX, accelerometerRateHz},
+        {channel::accelerometerY, accelerometerRateHz},
+        {channel::accelerometerZ, accelerometerRateHz},
+    };
+}
+
+std::vector<il::ChannelInfo>
+audioChannels()
+{
+    return {{channel::audio, audioRateHz}};
+}
+
+std::vector<il::ChannelInfo>
+barometerChannels()
+{
+    return {{channel::barometer, barometerRateHz}};
+}
+
+std::vector<il::ChannelInfo>
+allChannels()
+{
+    auto channels = accelerometerChannels();
+    for (auto &ch : audioChannels())
+        channels.push_back(ch);
+    for (auto &ch : barometerChannels())
+        channels.push_back(ch);
+    return channels;
+}
+
+} // namespace sidewinder::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sensor channel names and default channel configurations.
+ *
+ * The prototype focuses on the accelerometer and the microphone,
+ * "because in our experience they are the most commonly used"
+ * (Section 3.4 of the paper).
+ */
+
+#ifndef SIDEWINDER_CORE_SENSORS_H
+#define SIDEWINDER_CORE_SENSORS_H
+
+#include <string>
+#include <vector>
+
+#include "il/validate.h"
+
+namespace sidewinder::core {
+
+/** Channel name constants (mirroring SidewinderSensorManager.*). */
+namespace channel {
+inline const std::string accelerometerX = "ACC_X";
+inline const std::string accelerometerY = "ACC_Y";
+inline const std::string accelerometerZ = "ACC_Z";
+inline const std::string audio = "AUDIO";
+inline const std::string barometer = "BARO";
+} // namespace channel
+
+/** Default accelerometer sampling rate of the prototype, Hz. */
+constexpr double accelerometerRateHz = 50.0;
+
+/**
+ * Default microphone sampling rate of the prototype, Hz. Chosen to
+ * keep the siren detector's 1800 Hz upper band below Nyquist.
+ */
+constexpr double audioRateHz = 4000.0;
+
+/** Default barometer sampling rate, Hz. */
+constexpr double barometerRateHz = 20.0;
+
+/** The three accelerometer channels at the default rate. */
+std::vector<il::ChannelInfo> accelerometerChannels();
+
+/** The microphone channel at the default rate. */
+std::vector<il::ChannelInfo> audioChannels();
+
+/** The barometer channel at the default rate. */
+std::vector<il::ChannelInfo> barometerChannels();
+
+/** All channels the prototype hub serves. */
+std::vector<il::ChannelInfo> allChannels();
+
+} // namespace sidewinder::core
+
+#endif // SIDEWINDER_CORE_SENSORS_H

@@ -1,0 +1,119 @@
+#include "dsp/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+
+double
+vectorMagnitude(const std::vector<double> &components)
+{
+    double sum_sq = 0.0;
+    for (double c : components)
+        sum_sq += c * c;
+    return std::sqrt(sum_sq);
+}
+
+double
+zeroCrossingRate(const std::vector<double> &frame)
+{
+    if (frame.size() < 2)
+        return 0.0;
+    std::size_t crossings = 0;
+    for (std::size_t i = 1; i < frame.size(); ++i) {
+        const bool prev_neg = frame[i - 1] < 0.0;
+        const bool cur_neg = frame[i] < 0.0;
+        if (prev_neg != cur_neg)
+            ++crossings;
+    }
+    return static_cast<double>(crossings) /
+           static_cast<double>(frame.size() - 1);
+}
+
+double
+mean(const std::vector<double> &frame)
+{
+    if (frame.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : frame)
+        sum += x;
+    return sum / static_cast<double>(frame.size());
+}
+
+double
+variance(const std::vector<double> &frame)
+{
+    if (frame.size() < 2)
+        return 0.0;
+    const double m = mean(frame);
+    double sum_sq = 0.0;
+    for (double x : frame)
+        sum_sq += (x - m) * (x - m);
+    return sum_sq / static_cast<double>(frame.size());
+}
+
+double
+stddev(const std::vector<double> &frame)
+{
+    return std::sqrt(variance(frame));
+}
+
+double
+minimum(const std::vector<double> &frame)
+{
+    if (frame.empty())
+        throw ConfigError("minimum of empty frame");
+    return *std::min_element(frame.begin(), frame.end());
+}
+
+double
+maximum(const std::vector<double> &frame)
+{
+    if (frame.empty())
+        throw ConfigError("maximum of empty frame");
+    return *std::max_element(frame.begin(), frame.end());
+}
+
+double
+rootMeanSquare(const std::vector<double> &frame)
+{
+    if (frame.empty())
+        return 0.0;
+    double sum_sq = 0.0;
+    for (double x : frame)
+        sum_sq += x * x;
+    return std::sqrt(sum_sq / static_cast<double>(frame.size()));
+}
+
+double
+range(const std::vector<double> &frame)
+{
+    return maximum(frame) - minimum(frame);
+}
+
+DominantFrequency
+dominantFrequency(const std::vector<double> &magnitudes)
+{
+    if (magnitudes.size() < 2)
+        throw ConfigError("dominantFrequency needs at least two bins");
+
+    std::size_t best = 1;
+    double total = 0.0;
+    for (std::size_t i = 1; i < magnitudes.size(); ++i) {
+        total += magnitudes[i];
+        if (magnitudes[i] > magnitudes[best])
+            best = i;
+    }
+
+    DominantFrequency result;
+    result.bin = best;
+    result.magnitude = magnitudes[best];
+    result.meanMagnitude =
+        total / static_cast<double>(magnitudes.size() - 1);
+    return result;
+}
+
+} // namespace sidewinder::dsp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Feature-extraction algorithms from Section 3.6 of the paper:
+ * acceleration vector magnitude, zero-crossing rate, a set of
+ * statistical functions, and dominant-frequency magnitude.
+ */
+
+#ifndef SIDEWINDER_DSP_FEATURES_H
+#define SIDEWINDER_DSP_FEATURES_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sidewinder::dsp {
+
+/** Euclidean magnitude of a vector of per-axis components. */
+double vectorMagnitude(const std::vector<double> &components);
+
+/**
+ * Zero-crossing rate of @p frame: fraction of adjacent sample pairs
+ * whose signs differ, in [0, 1].
+ */
+double zeroCrossingRate(const std::vector<double> &frame);
+
+/** Arithmetic mean; zero for an empty frame. */
+double mean(const std::vector<double> &frame);
+
+/** Population variance; zero for frames shorter than two samples. */
+double variance(const std::vector<double> &frame);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &frame);
+
+/** Smallest element; throws ConfigError on an empty frame. */
+double minimum(const std::vector<double> &frame);
+
+/** Largest element; throws ConfigError on an empty frame. */
+double maximum(const std::vector<double> &frame);
+
+/** Root mean square of the frame; zero for an empty frame. */
+double rootMeanSquare(const std::vector<double> &frame);
+
+/** max - min; throws ConfigError on an empty frame. */
+double range(const std::vector<double> &frame);
+
+/** Result of a dominant-frequency analysis of a magnitude spectrum. */
+struct DominantFrequency
+{
+    /** Index of the strongest non-DC bin. */
+    std::size_t bin;
+    /** Magnitude of that bin. */
+    double magnitude;
+    /** Mean magnitude across all non-DC bins. */
+    double meanMagnitude;
+
+    /**
+     * Peak-to-mean ratio: how much the dominant bin stands out. Pitched
+     * sounds (sirens) have a high ratio; broadband noise a low one.
+     * Returns 0 when the mean magnitude is 0.
+     */
+    double
+    peakToMeanRatio() const
+    {
+        return meanMagnitude > 0.0 ? magnitude / meanMagnitude : 0.0;
+    }
+};
+
+/**
+ * Locate the dominant (strongest non-DC) frequency bin in a magnitude
+ * spectrum as produced by magnitudeSpectrum().
+ *
+ * @param magnitudes Bin magnitudes, bin 0 = DC.
+ * @throws ConfigError if fewer than two bins are supplied.
+ */
+DominantFrequency dominantFrequency(const std::vector<double> &magnitudes);
+
+} // namespace sidewinder::dsp
+
+#endif // SIDEWINDER_DSP_FEATURES_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Radix-2 Fast Fourier Transform and inverse.
+ *
+ * These are the "Transform" algorithms of Section 3.6 of the paper. The
+ * implementation is an iterative in-place Cooley-Tukey FFT, which is
+ * what a Cortex-M4-class microcontroller (the TI LM4F120 of the
+ * prototype) would realistically run.
+ */
+
+#ifndef SIDEWINDER_DSP_FFT_H
+#define SIDEWINDER_DSP_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sidewinder::dsp {
+
+/** Complex sample type used by the transforms. */
+using Complex = std::complex<double>;
+
+/** True iff @p n is a positive power of two. */
+bool isPowerOfTwo(std::size_t n);
+
+/**
+ * In-place forward FFT.
+ *
+ * @param data Complex samples; size must be a power of two.
+ */
+void fft(std::vector<Complex> &data);
+
+/**
+ * In-place inverse FFT, including the 1/N normalization so that
+ * ifft(fft(x)) == x.
+ *
+ * @param data Complex spectrum; size must be a power of two.
+ */
+void ifft(std::vector<Complex> &data);
+
+/** Forward FFT of a real signal (zero imaginary parts). */
+std::vector<Complex> fftReal(const std::vector<double> &samples);
+
+/** Real part of the inverse FFT of @p spectrum. */
+std::vector<double> ifftToReal(std::vector<Complex> spectrum);
+
+/**
+ * Magnitudes of the non-redundant half of the spectrum of a real
+ * signal: bins 0 .. N/2 inclusive.
+ */
+std::vector<double> magnitudeSpectrum(const std::vector<double> &samples);
+
+/**
+ * Frequency in Hz corresponding to @p bin of an @p fft_size transform
+ * at @p sample_rate_hz.
+ */
+double binFrequencyHz(std::size_t bin, std::size_t fft_size,
+                      double sample_rate_hz);
+
+} // namespace sidewinder::dsp
+
+#endif // SIDEWINDER_DSP_FFT_H

@@ -1,0 +1,101 @@
+#include "dsp/filters.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+
+MovingAverage::MovingAverage(std::size_t window_size)
+    : history(window_size == 0 ? 1 : window_size), runningSum(0.0)
+{
+    if (window_size == 0)
+        throw ConfigError("moving average window must be positive");
+}
+
+std::optional<double>
+MovingAverage::push(double sample)
+{
+    if (history.full())
+        runningSum -= history.front();
+    history.push(sample);
+    runningSum += sample;
+
+    if (!history.full())
+        return std::nullopt;
+    return runningSum / static_cast<double>(history.capacity());
+}
+
+void
+MovingAverage::reset()
+{
+    history.clear();
+    runningSum = 0.0;
+}
+
+ExponentialMovingAverage::ExponentialMovingAverage(double alpha)
+    : smoothing(alpha), seeded(false), state(0.0)
+{
+    if (!(alpha > 0.0) || alpha > 1.0)
+        throw ConfigError("EMA alpha must be in (0, 1]");
+}
+
+double
+ExponentialMovingAverage::push(double sample)
+{
+    if (!seeded) {
+        state = sample;
+        seeded = true;
+    } else {
+        state = smoothing * sample + (1.0 - smoothing) * state;
+    }
+    return state;
+}
+
+void
+ExponentialMovingAverage::reset()
+{
+    seeded = false;
+    state = 0.0;
+}
+
+FftBlockFilter::FftBlockFilter(PassBand band, double cutoff_hz,
+                               double sample_rate_hz)
+    : direction(band), cutoff(cutoff_hz), sampleRate(sample_rate_hz)
+{
+    if (!(cutoff_hz > 0.0))
+        throw ConfigError("filter cutoff must be positive");
+    if (!(sample_rate_hz > 0.0))
+        throw ConfigError("sample rate must be positive");
+    if (cutoff_hz >= sample_rate_hz / 2.0)
+        throw ConfigError("filter cutoff must be below Nyquist");
+}
+
+std::vector<double>
+FftBlockFilter::apply(const std::vector<double> &frame) const
+{
+    if (!isPowerOfTwo(frame.size()))
+        throw ConfigError("FFT filter frame size must be a power of two");
+
+    auto spectrum = fftReal(frame);
+    const std::size_t n = spectrum.size();
+
+    // Zero the stop band. Bin i and its mirror n-i represent the same
+    // frequency for a real signal, so both are zeroed together to keep
+    // the output real.
+    for (std::size_t i = 0; i <= n / 2; ++i) {
+        const double freq = binFrequencyHz(i, n, sampleRate);
+        const bool keep = direction == PassBand::LowPass ? freq <= cutoff
+                                                         : freq >= cutoff;
+        if (!keep) {
+            spectrum[i] = Complex(0.0, 0.0);
+            if (i != 0 && i != n / 2)
+                spectrum[n - i] = Complex(0.0, 0.0);
+        }
+    }
+
+    return ifftToReal(std::move(spectrum));
+}
+
+} // namespace sidewinder::dsp

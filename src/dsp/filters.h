@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Data-filtering algorithms from Section 3.6 of the paper:
+ * noise reduction (moving average, exponential moving average) and
+ * FFT-based low-pass / high-pass filtering.
+ */
+
+#ifndef SIDEWINDER_DSP_FILTERS_H
+#define SIDEWINDER_DSP_FILTERS_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "support/ring_buffer.h"
+
+namespace sidewinder::dsp {
+
+/**
+ * Streaming simple moving average over a fixed window.
+ *
+ * Per the interpreter semantics of Section 3.5, no result is produced
+ * until the window has filled: "A moving average with a window size of
+ * N will not produce a result until it has received N data points."
+ */
+class MovingAverage
+{
+  public:
+    /** @param window_size Number of samples averaged; must be positive. */
+    explicit MovingAverage(std::size_t window_size);
+
+    /**
+     * Feed one sample.
+     * @return the window mean once at least window_size samples have
+     *     been seen, otherwise nullopt.
+     */
+    std::optional<double> push(double sample);
+
+    /** Forget all accumulated samples. */
+    void reset();
+
+    /** Configured window size. */
+    std::size_t windowSize() const { return history.capacity(); }
+
+  private:
+    RingBuffer<double> history;
+    double runningSum;
+};
+
+/**
+ * Streaming exponential moving average:
+ * y[n] = alpha * x[n] + (1 - alpha) * y[n-1].
+ *
+ * Produces a result for every input once the first sample seeds the
+ * state.
+ */
+class ExponentialMovingAverage
+{
+  public:
+    /** @param alpha Smoothing factor in (0, 1]. */
+    explicit ExponentialMovingAverage(double alpha);
+
+    /** Feed one sample and return the updated average. */
+    double push(double sample);
+
+    /** Forget the accumulated state. */
+    void reset();
+
+    /** Configured smoothing factor. */
+    double alpha() const { return smoothing; }
+
+  private:
+    double smoothing;
+    bool seeded;
+    double state;
+};
+
+/** Direction selector for the FFT block filter. */
+enum class PassBand { LowPass, HighPass };
+
+/**
+ * FFT-based block filter.
+ *
+ * Operates on whole frames (as produced by a WindowPartitioner): the
+ * frame is transformed, bins outside the pass band are zeroed, and the
+ * frame is transformed back to the time domain. Frame sizes must be
+ * powers of two.
+ */
+class FftBlockFilter
+{
+  public:
+    /**
+     * @param band LowPass keeps frequencies <= cutoff; HighPass keeps
+     *     frequencies >= cutoff.
+     * @param cutoff_hz Cutoff frequency in Hz; must be positive.
+     * @param sample_rate_hz Sampling rate of the input stream.
+     */
+    FftBlockFilter(PassBand band, double cutoff_hz, double sample_rate_hz);
+
+    /** Filter one frame; the input size must be a power of two. */
+    std::vector<double> apply(const std::vector<double> &frame) const;
+
+    /** Configured cutoff frequency in Hz. */
+    double cutoffHz() const { return cutoff; }
+
+    /** Configured pass band direction. */
+    PassBand band() const { return direction; }
+
+  private:
+    PassBand direction;
+    double cutoff;
+    double sampleRate;
+};
+
+} // namespace sidewinder::dsp
+
+#endif // SIDEWINDER_DSP_FILTERS_H

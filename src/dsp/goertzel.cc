@@ -1,0 +1,57 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+
+double
+goertzelMagnitude(const std::vector<double> &frame, double target_hz,
+                  double sample_rate_hz)
+{
+    if (frame.empty())
+        throw ConfigError("goertzel on empty frame");
+    if (!(sample_rate_hz > 0.0))
+        throw ConfigError("goertzel sample rate must be positive");
+    if (!(target_hz > 0.0) || target_hz >= sample_rate_hz / 2.0)
+        throw ConfigError("goertzel target must be in (0, Nyquist)");
+
+    const double omega =
+        2.0 * std::numbers::pi * target_hz / sample_rate_hz;
+    const double coeff = 2.0 * std::cos(omega);
+
+    double s_prev = 0.0;
+    double s_prev2 = 0.0;
+    for (double x : frame) {
+        const double s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+
+    const double power = s_prev * s_prev + s_prev2 * s_prev2 -
+                         coeff * s_prev * s_prev2;
+    return std::sqrt(std::max(power, 0.0));
+}
+
+double
+goertzelRelative(const std::vector<double> &frame, double target_hz,
+                 double sample_rate_hz)
+{
+    const double mag =
+        goertzelMagnitude(frame, target_hz, sample_rate_hz);
+    double energy = 0.0;
+    for (double x : frame)
+        energy += x * x;
+    // A pure unit tone of N samples has |X(k)| = N/2 and energy N/2,
+    // so normalizing by sqrt(energy * N) / sqrt(2) ... use the direct
+    // ratio to the tone's theoretical peak: N/2 * amplitude, where
+    // amplitude^2 = 2 * energy / N.
+    const double n = static_cast<double>(frame.size());
+    const double amplitude = std::sqrt(2.0 * energy / n);
+    const double peak = amplitude * n / 2.0;
+    return peak > 0.0 ? mag / peak : 0.0;
+}
+
+} // namespace sidewinder::dsp

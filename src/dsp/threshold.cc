@@ -1,0 +1,49 @@
+#include "dsp/threshold.h"
+
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+
+Threshold::Threshold(ThresholdKind kind, double limit)
+    : mode(kind), low(limit), high(limit)
+{
+    if (kind != ThresholdKind::Min && kind != ThresholdKind::Max)
+        throw ConfigError(
+            "single-limit Threshold requires Min or Max kind");
+}
+
+Threshold::Threshold(ThresholdKind kind, double low, double high)
+    : mode(kind), low(low), high(high)
+{
+    if (kind != ThresholdKind::Band && kind != ThresholdKind::OutsideBand)
+        throw ConfigError(
+            "two-limit Threshold requires Band or OutsideBand kind");
+    if (low > high)
+        throw ConfigError("Threshold band is inverted");
+}
+
+bool
+Threshold::admits(double value) const
+{
+    switch (mode) {
+      case ThresholdKind::Min:
+        return value >= low;
+      case ThresholdKind::Max:
+        return value <= high;
+      case ThresholdKind::Band:
+        return value >= low && value <= high;
+      case ThresholdKind::OutsideBand:
+        return value < low || value > high;
+    }
+    return false;
+}
+
+std::optional<double>
+Threshold::push(double value) const
+{
+    if (admits(value))
+        return value;
+    return std::nullopt;
+}
+
+} // namespace sidewinder::dsp

@@ -1,0 +1,63 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+
+double
+hammingCoefficient(std::size_t i, std::size_t n)
+{
+    if (n <= 1)
+        return 1.0;
+    return 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                                  static_cast<double>(i) /
+                                  static_cast<double>(n - 1));
+}
+
+void
+applyWindow(std::vector<double> &frame, WindowType type)
+{
+    if (type == WindowType::Rectangular)
+        return;
+    const std::size_t n = frame.size();
+    for (std::size_t i = 0; i < n; ++i)
+        frame[i] *= hammingCoefficient(i, n);
+}
+
+WindowPartitioner::WindowPartitioner(std::size_t size, WindowType type,
+                                     std::size_t hop)
+    : frameSize(size), hopSize(hop == 0 ? size : hop), windowType(type)
+{
+    if (frameSize == 0)
+        throw ConfigError("window size must be positive");
+    if (hopSize == 0 || hopSize > frameSize)
+        throw ConfigError("window hop must be in [1, size]");
+    pending.reserve(frameSize);
+}
+
+std::optional<std::vector<double>>
+WindowPartitioner::push(double sample)
+{
+    pending.push_back(sample);
+    if (pending.size() < frameSize)
+        return std::nullopt;
+
+    std::vector<double> frame = pending;
+    applyWindow(frame, windowType);
+
+    // Retain the overlap tail for the next frame.
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(hopSize));
+    return frame;
+}
+
+void
+WindowPartitioner::reset()
+{
+    pending.clear();
+}
+
+} // namespace sidewinder::dsp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Windowing algorithms: partitioning a sample stream into rectangular
+ * or Hamming windows (Section 3.6 of the paper, "Windowing").
+ */
+
+#ifndef SIDEWINDER_DSP_WINDOW_H
+#define SIDEWINDER_DSP_WINDOW_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sidewinder::dsp {
+
+/** Shape applied to each emitted window. */
+enum class WindowType { Rectangular, Hamming };
+
+/** Hamming coefficient for position @p i of an @p n point window. */
+double hammingCoefficient(std::size_t i, std::size_t n);
+
+/** Multiply @p frame in place by the coefficients of @p type. */
+void applyWindow(std::vector<double> &frame, WindowType type);
+
+/**
+ * Streaming partitioner that groups incoming scalar samples into
+ * fixed-size frames with optional overlap (hop < size) and applies a
+ * window shape to each emitted frame.
+ */
+class WindowPartitioner
+{
+  public:
+    /**
+     * @param size Samples per emitted frame; must be positive.
+     * @param type Shape applied to each frame.
+     * @param hop Samples to advance between frames; defaults to @p size
+     *     (no overlap). Must be in [1, size].
+     */
+    explicit WindowPartitioner(std::size_t size,
+                               WindowType type = WindowType::Rectangular,
+                               std::size_t hop = 0);
+
+    /**
+     * Feed one sample.
+     * @return a completed frame when one becomes available.
+     */
+    std::optional<std::vector<double>> push(double sample);
+
+    /** Discard any partially accumulated frame. */
+    void reset();
+
+    /** Configured frame size. */
+    std::size_t size() const { return frameSize; }
+
+    /** Configured hop (advance between frames). */
+    std::size_t hop() const { return hopSize; }
+
+  private:
+    std::size_t frameSize;
+    std::size_t hopSize;
+    WindowType windowType;
+    std::vector<double> pending;
+};
+
+} // namespace sidewinder::dsp
+
+#endif // SIDEWINDER_DSP_WINDOW_H

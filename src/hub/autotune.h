@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Self-tuning wake-up thresholds from application feedback.
+ *
+ * Section 7 of the paper: "given feedback from the more complex
+ * algorithms running on the application level, self-learning
+ * mechanisms may be able to tune the parameters used on the wake-up
+ * conditions. It is easy to imagine an application notifying the
+ * sensor hub about wake-ups when events of interest were not actually
+ * detected (i.e. false positives). However, it will be more difficult
+ * to automatically identify events of interest missed by the wake-up
+ * condition (i.e. false negatives)."
+ *
+ * The tuner therefore reacts asymmetrically: streaks of reported
+ * false positives tighten the condition's admission stage; because
+ * false negatives are invisible, a slow periodic relaxation after
+ * sustained true positives bounds the risk of having tightened past
+ * real events.
+ */
+
+#ifndef SIDEWINDER_HUB_AUTOTUNE_H
+#define SIDEWINDER_HUB_AUTOTUNE_H
+
+#include <cstddef>
+
+#include "hub/engine.h"
+#include "il/ast.h"
+
+namespace sidewinder::hub {
+
+/** Tuning policy parameters. */
+struct AutoTuneConfig
+{
+    /** Strictness multiplier applied after a false-positive streak. */
+    double tightenFactor = 1.12;
+    /** Strictness multiplier (< 1) for the periodic relaxation. */
+    double relaxFactor = 0.97;
+    /** Consecutive false positives that trigger a tightening step. */
+    int falsePositiveStreak = 3;
+    /** True positives between relaxation steps. */
+    int relaxAfterTruePositives = 20;
+    /** Lower bound on the strictness scale (1 = as deployed). */
+    double minScale = 0.8;
+    /** Upper bound on the strictness scale. */
+    double maxScale = 4.0;
+};
+
+/**
+ * Adjusts the admission-control stage of one installed condition in
+ * response to the application's wake-up verdicts.
+ *
+ * The tuner owns the condition: it installs it at construction and
+ * re-installs a re-parameterized copy on every tuning step (node
+ * sharing makes the unchanged prefix free). The tunable stage is the
+ * last threshold-family statement of the program.
+ */
+class ThresholdAutoTuner
+{
+  public:
+    /**
+     * @param engine Engine to install the condition on.
+     * @param condition_id Condition id to use.
+     * @param program Validated wake-up condition; must contain a
+     *     threshold-family stage.
+     * @throws ConfigError when no tunable stage exists.
+     */
+    ThresholdAutoTuner(Engine &engine, int condition_id,
+                       il::Program program, AutoTuneConfig config = {});
+
+    /** The application judged the last wake-up spurious. */
+    void reportFalsePositive();
+
+    /** The application confirmed the last wake-up. */
+    void reportTruePositive();
+
+    /** Current strictness scale (1 = as originally deployed). */
+    double currentScale() const { return scale; }
+
+    /** Number of re-parameterizations performed so far. */
+    std::size_t retuneCount() const { return retunes; }
+
+    /** The currently installed program. */
+    const il::Program &currentProgram() const { return current; }
+
+  private:
+    void applyScale(double new_scale);
+
+    Engine &engine;
+    int conditionId;
+    il::Program original;
+    il::Program current;
+    AutoTuneConfig config;
+    std::size_t tunableIndex = 0;
+
+    double scale = 1.0;
+    int fpStreak = 0;
+    int tpSinceRelax = 0;
+    std::size_t retunes = 0;
+};
+
+} // namespace sidewinder::hub
+
+#endif // SIDEWINDER_HUB_AUTOTUNE_H

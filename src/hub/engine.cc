@@ -1,0 +1,389 @@
+#include "hub/engine.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "il/algorithm_info.h"
+#include "support/error.h"
+
+namespace sidewinder::hub {
+
+namespace {
+
+/** Per-invocation cost of a node given its input stream. */
+double
+invokeCost(const il::AlgorithmInfo &info,
+           const il::NodeStream &input_stream)
+{
+    double units = 1.0;
+    if (info.inputKind != il::ValueKind::Scalar)
+        units = static_cast<double>(
+            std::max<std::size_t>(input_stream.frameSize, 1));
+    double cost = info.cyclesPerUnit * units;
+    if (info.fftFamily && input_stream.frameSize > 1)
+        cost *= std::log2(static_cast<double>(input_stream.frameSize));
+    return cost;
+}
+
+} // namespace
+
+Engine::Engine(std::vector<il::ChannelInfo> channels, bool share_nodes,
+               std::size_t raw_buffer_size)
+    : channelInfos(std::move(channels)), shareNodes(share_nodes),
+      rawBufferSize(raw_buffer_size)
+{
+    if (channelInfos.empty())
+        throw ConfigError("engine needs at least one channel");
+    for (std::size_t i = 0; i < channelInfos.size(); ++i)
+        rawBuffers.emplace_back(rawBufferSize);
+}
+
+int
+Engine::channelIndexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < channelInfos.size(); ++i)
+        if (channelInfos[i].name == name)
+            return static_cast<int>(i);
+    throw ConfigError("engine has no channel '" + name + "'");
+}
+
+void
+Engine::addCondition(int condition_id, const il::Program &program)
+{
+    if (conditions.count(condition_id))
+        throw ConfigError("condition id " + std::to_string(condition_id) +
+                          " already installed");
+
+    // Re-validate on the hub side: a condition that arrives over the
+    // link is untrusted input.
+    const il::StreamMap streams = il::validate(program, channelInfos);
+
+    Condition cond;
+    cond.id = condition_id;
+    cond.primaryChannel = -1;
+
+    // Map from the program's node ids to global node indexes.
+    std::map<il::NodeId, int> local_to_global;
+
+    for (const auto &stmt : program.statements) {
+        // Resolve inputs to global encoding.
+        std::vector<int> inputs;
+        std::vector<il::NodeStream> input_streams;
+        for (const auto &src : stmt.inputs) {
+            if (src.kind == il::SourceRef::Kind::Channel) {
+                const int ch = channelIndexOf(src.channel);
+                inputs.push_back(-(ch + 1));
+                il::NodeStream s;
+                s.kind = il::ValueKind::Scalar;
+                s.fireRateHz = channelInfos[ch].sampleRateHz;
+                s.baseRateHz = channelInfos[ch].sampleRateHz;
+                input_streams.push_back(s);
+                if (cond.primaryChannel < 0)
+                    cond.primaryChannel = ch;
+            } else {
+                const int global = local_to_global.at(src.node);
+                inputs.push_back(global);
+                input_streams.push_back(nodes[global]->stream);
+            }
+        }
+
+        if (stmt.isOut) {
+            cond.outNode = inputs.front();
+            continue;
+        }
+
+        // Canonical identity for cross-condition sharing.
+        std::ostringstream key;
+        key << stmt.algorithm << "(";
+        for (double p : stmt.params)
+            key << p << ",";
+        key << ")";
+        for (int in : inputs)
+            key << "<" << in;
+
+        int index = -1;
+        if (shareNodes) {
+            auto it = nodeByKey.find(key.str());
+            if (it != nodeByKey.end())
+                index = it->second;
+        }
+
+        if (index < 0) {
+            auto node = std::make_unique<Node>();
+            node->key = key.str();
+            node->algorithm = stmt.algorithm;
+            node->kernel = makeKernel(stmt, input_streams);
+            node->inputs = inputs;
+            node->stream = streams.at(stmt.id);
+
+            const auto info = il::findAlgorithm(stmt.algorithm);
+            if (!info)
+                throw InternalError("validated program with unknown "
+                                    "algorithm");
+            node->cyclesPerInvoke = invokeCost(*info,
+                                               input_streams.front());
+            double rate = input_streams.front().fireRateHz;
+            for (const auto &s : input_streams)
+                rate = std::min(rate, s.fireRateHz);
+            node->invokeRateHz = rate;
+
+            index = static_cast<int>(nodes.size());
+            nodes.push_back(std::move(node));
+            if (shareNodes)
+                nodeByKey[nodes[index]->key] = index;
+        }
+
+        nodes[index]->refCount += 1;
+        cond.ownedNodes.push_back(index);
+        local_to_global[stmt.id] = index;
+    }
+
+    if (cond.outNode < 0)
+        throw InternalError("validated program without OUT node");
+    if (cond.primaryChannel < 0)
+        cond.primaryChannel = 0;
+
+    conditions[condition_id] = std::move(cond);
+}
+
+void
+Engine::removeCondition(int condition_id)
+{
+    auto it = conditions.find(condition_id);
+    if (it == conditions.end())
+        throw ConfigError("condition id " + std::to_string(condition_id) +
+                          " is not installed");
+
+    for (int index : it->second.ownedNodes) {
+        Node *node = nodes[static_cast<std::size_t>(index)].get();
+        if (node == nullptr)
+            throw InternalError("condition references freed node");
+        node->refCount -= 1;
+        if (node->refCount == 0) {
+            nodeByKey.erase(node->key);
+            nodes[static_cast<std::size_t>(index)].reset();
+        }
+    }
+    conditions.erase(it);
+}
+
+bool
+Engine::hasCondition(int condition_id) const
+{
+    return conditions.count(condition_id) != 0;
+}
+
+std::vector<int>
+Engine::conditionIds() const
+{
+    std::vector<int> ids;
+    ids.reserve(conditions.size());
+    for (const auto &[id, cond] : conditions) {
+        (void)cond;
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+void
+Engine::pushSamples(const std::vector<double> &values, double timestamp)
+{
+    if (values.size() != channelInfos.size())
+        throw ConfigError("pushSamples expects " +
+                          std::to_string(channelInfos.size()) +
+                          " values, got " +
+                          std::to_string(values.size()));
+
+    for (std::size_t ch = 0; ch < values.size(); ++ch)
+        rawBuffers[ch].push(values[ch]);
+
+    // Evaluation wave: nodes are stored in topological (installation)
+    // order, so a single forward pass settles the whole graph.
+    channelValues.resize(values.size());
+    for (std::size_t ch = 0; ch < values.size(); ++ch)
+        channelValues[ch] = Value(values[ch]);
+    const std::vector<Value> &channel_values = channelValues;
+
+    for (auto &slot : nodes) {
+        Node *node = slot.get();
+        if (node == nullptr)
+            continue;
+
+        bool all_emitted = true;
+        bool any_emitted = false;
+        bool any_blocked = false;
+        std::vector<const Value *> &input_ptrs = node->scratch;
+        input_ptrs.clear();
+
+        for (int in : node->inputs) {
+            const Value *value = nullptr;
+            WaveState in_state;
+            if (in < 0) {
+                // Channel inputs emit every wave.
+                in_state = WaveState::Emitted;
+                value = &channel_values[static_cast<std::size_t>(
+                    -in - 1)];
+            } else {
+                const Node *producer =
+                    nodes[static_cast<std::size_t>(in)].get();
+                in_state = producer->state;
+                if (in_state == WaveState::Emitted)
+                    value = &producer->result;
+            }
+            all_emitted =
+                all_emitted && in_state == WaveState::Emitted;
+            any_emitted =
+                any_emitted || in_state == WaveState::Emitted;
+            any_blocked =
+                any_blocked || in_state == WaveState::Blocked;
+            input_ptrs.push_back(value);
+        }
+
+        bool run = false;
+        switch (node->kernel->firingPolicy()) {
+          case FiringPolicy::AllInputs:
+            run = all_emitted;
+            break;
+          case FiringPolicy::AnyInput:
+            run = any_emitted;
+            break;
+          case FiringPolicy::ObserveBlocks:
+            run = any_emitted || any_blocked;
+            break;
+        }
+
+        if (!run) {
+            // Not evaluated: a rejection upstream propagates as a
+            // miss; pure inactivity stays invisible.
+            node->state = any_blocked ? WaveState::Blocked
+                                      : WaveState::Idle;
+            continue;
+        }
+
+        dynamicCycles += node->cyclesPerInvoke;
+        auto out = node->kernel->invoke(input_ptrs);
+        if (out) {
+            node->result = std::move(*out);
+            node->state = WaveState::Emitted;
+        } else {
+            // Conditional kernels reject (observable miss); an
+            // accumulator is merely not ready yet.
+            node->state = node->kernel->conditional()
+                              ? WaveState::Blocked
+                              : WaveState::Idle;
+        }
+    }
+
+    for (const auto &[id, cond] : conditions) {
+        const Node *out_node =
+            nodes[static_cast<std::size_t>(cond.outNode)].get();
+        if (out_node != nullptr &&
+            out_node->state == WaveState::Emitted) {
+            pendingWakeEvents.push_back(
+                WakeEvent{id, timestamp, out_node->result.scalar()});
+        }
+    }
+}
+
+void
+Engine::resetState()
+{
+    for (auto &slot : nodes) {
+        if (slot == nullptr)
+            continue;
+        slot->kernel->reset();
+        slot->state = WaveState::Idle;
+    }
+    for (auto &buffer : rawBuffers)
+        buffer.clear();
+    pendingWakeEvents.clear();
+    dynamicCycles = 0.0;
+}
+
+std::vector<WakeEvent>
+Engine::drainWakeEvents()
+{
+    std::vector<WakeEvent> out;
+    out.swap(pendingWakeEvents);
+    return out;
+}
+
+std::vector<double>
+Engine::rawSnapshot(int condition_id) const
+{
+    auto it = conditions.find(condition_id);
+    if (it == conditions.end())
+        throw ConfigError("condition id " + std::to_string(condition_id) +
+                          " is not installed");
+    return rawBuffers[static_cast<std::size_t>(
+                          it->second.primaryChannel)]
+        .snapshot();
+}
+
+std::size_t
+Engine::nodeCount() const
+{
+    std::size_t count = 0;
+    for (const auto &slot : nodes)
+        if (slot != nullptr)
+            ++count;
+    return count;
+}
+
+double
+Engine::estimatedCyclesPerSecond() const
+{
+    double total = 0.0;
+    for (const auto &slot : nodes)
+        if (slot != nullptr)
+            total += slot->cyclesPerInvoke * slot->invokeRateHz;
+    return total;
+}
+
+double
+Engine::estimateProgramCycles(const il::Program &program,
+                              const std::vector<il::ChannelInfo> &channels)
+{
+    const il::StreamMap streams = il::validate(program, channels);
+
+    auto channel_rate = [&](const std::string &name) {
+        for (const auto &ch : channels)
+            if (ch.name == name)
+                return ch.sampleRateHz;
+        throw ConfigError("unknown channel '" + name + "'");
+    };
+
+    double total = 0.0;
+    for (const auto &stmt : program.statements) {
+        if (stmt.isOut)
+            continue;
+        const auto info = il::findAlgorithm(stmt.algorithm);
+        if (!info)
+            continue;
+
+        // First input determines the per-invoke unit count; the
+        // slowest input the invocation rate.
+        il::NodeStream first;
+        double rate = 0.0;
+        bool rate_set = false;
+        for (std::size_t i = 0; i < stmt.inputs.size(); ++i) {
+            il::NodeStream s;
+            if (stmt.inputs[i].kind == il::SourceRef::Kind::Channel) {
+                s.kind = il::ValueKind::Scalar;
+                s.fireRateHz = channel_rate(stmt.inputs[i].channel);
+                s.baseRateHz = s.fireRateHz;
+            } else {
+                s = streams.at(stmt.inputs[i].node);
+            }
+            if (i == 0)
+                first = s;
+            rate = rate_set ? std::min(rate, s.fireRateHz)
+                            : s.fireRateHz;
+            rate_set = true;
+        }
+        total += invokeCost(*info, first) * rate;
+    }
+    return total;
+}
+
+} // namespace sidewinder::hub

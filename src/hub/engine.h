@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The hub's dataflow engine: executes one or more installed wake-up
+ * conditions over the incoming sensor sample stream.
+ *
+ * This is the C++ equivalent of the paper's interpreter (Section 3.5):
+ * "Upon receiving a new configuration, the runtime allocates memory
+ * for each algorithm in the configuration. The interpreter then waits
+ * for sensor data to be available and feeds the data into the
+ * appropriate algorithm. If the algorithm produces a result, it sets a
+ * flag. The interpreter checks the flag and if necessary sends the
+ * result to the next algorithm."
+ *
+ * The engine additionally implements the paper's future-work
+ * optimization (Section 7): "When receiving multiple wake-up
+ * conditions, the sensor manager can attempt to improve performance by
+ * combining the pipelines that use common algorithms." Structurally
+ * identical nodes (same algorithm, parameters, and inputs) are shared
+ * across conditions when sharing is enabled.
+ */
+
+#ifndef SIDEWINDER_HUB_ENGINE_H
+#define SIDEWINDER_HUB_ENGINE_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hub/kernel.h"
+#include "il/ast.h"
+#include "il/validate.h"
+#include "support/ring_buffer.h"
+
+namespace sidewinder::hub {
+
+/** One wake-up raised by an installed condition. */
+struct WakeEvent
+{
+    /** Identifier of the condition that fired. */
+    int conditionId = 0;
+    /** Timestamp of the triggering sample, seconds. */
+    double timestamp = 0.0;
+    /** Scalar value that reached OUT. */
+    double value = 0.0;
+};
+
+/** Executes installed wake-up conditions against sensor samples. */
+class Engine
+{
+  public:
+    /**
+     * @param channels Sensor channels this hub serves; pushSamples()
+     *     must supply one value per channel per tick, so the
+     *     channels of one engine must share a sampling rate (the
+     *     prototype hardware runs one engine per synchronous sensor
+     *     group — accelerometer axes together, microphone separate —
+     *     matching the paper's one-processor-per-sensor sizing
+     *     option in Section 3.8).
+     * @param share_nodes Enable cross-condition node sharing.
+     * @param raw_buffer_size Per-channel raw history handed to the
+     *     application on wake-up.
+     */
+    explicit Engine(std::vector<il::ChannelInfo> channels,
+                    bool share_nodes = true,
+                    std::size_t raw_buffer_size = 200);
+
+    /**
+     * Validate and install a wake-up condition.
+     * @throws ParseError on invalid programs, ConfigError on duplicate
+     *     condition ids.
+     */
+    void addCondition(int condition_id, const il::Program &program);
+
+    /** Remove a condition, freeing nodes no other condition uses. */
+    void removeCondition(int condition_id);
+
+    /** True when @p condition_id is installed. */
+    bool hasCondition(int condition_id) const;
+
+    /** Installed condition ids. */
+    std::vector<int> conditionIds() const;
+
+    /**
+     * Feed one synchronous sample per channel (in the channel order
+     * given at construction) and run one evaluation wave.
+     */
+    void pushSamples(const std::vector<double> &values, double timestamp);
+
+    /** Retrieve and clear the wake-ups raised since the last drain. */
+    std::vector<WakeEvent> drainWakeEvents();
+
+    /**
+     * Recent raw samples of the condition's primary (first-referenced)
+     * channel, oldest first.
+     */
+    std::vector<double> rawSnapshot(int condition_id) const;
+
+    /** Live (shared) algorithm instances across all conditions. */
+    std::size_t nodeCount() const;
+
+    /**
+     * Static estimate of the sustained compute demand of the installed
+     * conditions, in abstract MCU cycle units per second. Used by the
+     * capability model to size the microcontroller.
+     */
+    double estimatedCyclesPerSecond() const;
+
+    /** Abstract cycles consumed by kernel invocations so far. */
+    double cyclesConsumed() const { return dynamicCycles; }
+
+    /**
+     * Power-cycle semantics: keep the installed conditions but drop
+     * all accumulated signal state — window contents, averages, peak
+     * context, consecutive counters, raw history, pending wake-ups,
+     * and the dynamic cycle counter.
+     */
+    void resetState();
+
+    /** Channels this engine serves. */
+    const std::vector<il::ChannelInfo> &channels() const
+    {
+        return channelInfos;
+    }
+
+    /**
+     * Static compute-demand estimate for @p program on @p channels
+     * without building an engine (used for MCU selection on push).
+     */
+    static double estimateProgramCycles(
+        const il::Program &program,
+        const std::vector<il::ChannelInfo> &channels);
+
+  private:
+    struct Node
+    {
+        std::string key;
+        std::string algorithm;
+        std::unique_ptr<Kernel> kernel;
+        /** Inputs: node index (>= 0) or channel as -(index + 1). */
+        std::vector<int> inputs;
+        il::NodeStream stream;
+        double cyclesPerInvoke = 0.0;
+        double invokeRateHz = 0.0;
+        int refCount = 0;
+
+        // Per-wave state.
+        WaveState state = WaveState::Idle;
+        Value result;
+        /** Reused input-pointer scratch (hot-path allocation avoidance). */
+        std::vector<const Value *> scratch;
+    };
+
+    struct Condition
+    {
+        int id = 0;
+        /** Node whose result reaching OUT wakes the main CPU. */
+        int outNode = -1;
+        /** Node indices referenced (for refcounting), one per stmt. */
+        std::vector<int> ownedNodes;
+        /** Index of the first channel the program reads. */
+        int primaryChannel = 0;
+    };
+
+    int channelIndexOf(const std::string &name) const;
+
+    std::vector<il::ChannelInfo> channelInfos;
+    bool shareNodes;
+    std::size_t rawBufferSize;
+
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::unordered_map<std::string, int> nodeByKey;
+    std::map<int, Condition> conditions;
+    std::vector<RingBuffer<double>> rawBuffers;
+    std::vector<WakeEvent> pendingWakeEvents;
+    /** Reused per-wave channel value scratch. */
+    std::vector<Value> channelValues;
+    double dynamicCycles = 0.0;
+};
+
+} // namespace sidewinder::hub
+
+#endif // SIDEWINDER_HUB_ENGINE_H

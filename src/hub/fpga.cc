@@ -1,0 +1,174 @@
+#include "hub/fpga.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "il/algorithm_info.h"
+#include "support/error.h"
+
+namespace sidewinder::hub {
+
+FpgaModel
+ice40Hub()
+{
+    FpgaModel fpga;
+    fpga.name = "iCE40-hub";
+    // A small flash FPGA idles near a milliwatt and reconfigures from
+    // SPI flash in well under a second.
+    fpga.staticPowerMw = 1.2;
+    fpga.logicCells = 7680;
+    fpga.reconfigSeconds = 0.08;
+    fpga.nanojoulesPerCycleUnit = 0.05;
+    return fpga;
+}
+
+std::size_t
+fpgaCellCost(const std::string &algorithm, std::size_t frame_size)
+{
+    // Footprints of the pre-compiled blocks, in logic cells. Frame
+    // algorithms scale with buffer depth (BRAM mapped to cells here
+    // for a single-resource budget).
+    const std::size_t frame =
+        std::max<std::size_t>(frame_size, 1);
+
+    if (algorithm == "movingAvg" || algorithm == "expMovingAvg")
+        return 120;
+    if (algorithm == "window")
+        return 60 + frame / 4;
+    if (algorithm == "fft" || algorithm == "ifft")
+        return 900 + frame / 2;
+    if (algorithm == "spectrum")
+        return 300;
+    if (algorithm == "lowPass" || algorithm == "highPass")
+        return 1400 + frame / 2; // FFT + bin mask + IFFT datapath
+    if (algorithm == "vectorMagnitude")
+        return 350; // multipliers + sqrt
+    if (algorithm == "goertzel" || algorithm == "goertzelRel")
+        return 160; // two-tap IIR + magnitude datapath
+    if (algorithm == "zcr")
+        return 90;
+    if (algorithm == "mean" || algorithm == "min" ||
+        algorithm == "max" || algorithm == "range")
+        return 80;
+    if (algorithm == "variance" || algorithm == "stddev" ||
+        algorithm == "rms")
+        return 220;
+    if (algorithm == "dominantFreqHz" ||
+        algorithm == "dominantFreqMag" ||
+        algorithm == "peakToMeanRatio")
+        return 180;
+    if (algorithm == "minThreshold" || algorithm == "maxThreshold" ||
+        algorithm == "bandThreshold" ||
+        algorithm == "outsideBandThreshold")
+        return 40;
+    if (algorithm == "localMaxima" || algorithm == "localMinima")
+        return 110;
+    if (algorithm == "and" || algorithm == "or")
+        return 20;
+    if (algorithm == "consecutive")
+        return 60;
+
+    throw ConfigError("no FPGA block for algorithm '" + algorithm +
+                      "'");
+}
+
+FpgaPlacement
+planFpgaPlacement(const il::Program &program,
+                  const std::vector<il::ChannelInfo> &channels,
+                  const FpgaModel &fpga)
+{
+    const il::StreamMap streams = il::validate(program, channels);
+
+    auto channel_rate = [&](const std::string &name) {
+        for (const auto &ch : channels)
+            if (ch.name == name)
+                return ch.sampleRateHz;
+        throw ConfigError("unknown channel '" + name + "'");
+    };
+
+    FpgaPlacement placement;
+    double dynamic_mw = 0.0;
+
+    // Structurally identical nodes map to one physical block, the
+    // same hash-consing the Engine applies (a reconfigurable fabric
+    // has even more reason to instantiate each datapath once).
+    std::map<std::string, std::string> canonical_key;
+    std::set<std::string> placed;
+
+    for (const auto &stmt : program.statements) {
+        if (stmt.isOut)
+            continue;
+        const auto info = il::findAlgorithm(stmt.algorithm);
+        if (!info)
+            throw InternalError("validated program with unknown "
+                                "algorithm");
+
+        std::ostringstream key;
+        key << stmt.algorithm << "(";
+        for (double p : stmt.params)
+            key << p << ",";
+        key << ")";
+        for (const auto &src : stmt.inputs) {
+            if (src.kind == il::SourceRef::Kind::Channel)
+                key << "<ch:" << src.channel;
+            else
+                key << "<"
+                    << canonical_key.at(std::to_string(src.node));
+        }
+        canonical_key[std::to_string(stmt.id)] = key.str();
+        const bool is_new = placed.insert(key.str()).second;
+        if (!is_new)
+            continue;
+
+        // Input stream of the first operand: unit count and rate.
+        il::NodeStream first;
+        double rate = 0.0;
+        bool rate_set = false;
+        for (std::size_t i = 0; i < stmt.inputs.size(); ++i) {
+            il::NodeStream s;
+            if (stmt.inputs[i].kind == il::SourceRef::Kind::Channel) {
+                s.kind = il::ValueKind::Scalar;
+                s.fireRateHz = channel_rate(stmt.inputs[i].channel);
+                s.baseRateHz = s.fireRateHz;
+            } else {
+                s = streams.at(stmt.inputs[i].node);
+            }
+            if (i == 0)
+                first = s;
+            rate = rate_set ? std::min(rate, s.fireRateHz)
+                            : s.fireRateHz;
+            rate_set = true;
+        }
+
+        // Buffer-bearing blocks size with the larger of their input
+        // and output frames (a window's cells hold its output frame).
+        const std::size_t sizing_frame = std::max(
+            first.frameSize, streams.at(stmt.id).frameSize);
+
+        FpgaPlacementEntry entry;
+        entry.node = stmt.id;
+        entry.algorithm = stmt.algorithm;
+        entry.cells = fpgaCellCost(stmt.algorithm, sizing_frame);
+        placement.entries.push_back(entry);
+        placement.cellsUsed += entry.cells;
+
+        // Dynamic power: cycle-unit demand priced at the fabric's
+        // energy per unit. mW = (units/s) * nJ/unit * 1e-6.
+        double units = 1.0;
+        if (info->inputKind != il::ValueKind::Scalar)
+            units = static_cast<double>(
+                std::max<std::size_t>(first.frameSize, 1));
+        double cost = info->cyclesPerUnit * units;
+        if (info->fftFamily && first.frameSize > 1)
+            cost *= std::log2(static_cast<double>(first.frameSize));
+        dynamic_mw += cost * rate * fpga.nanojoulesPerCycleUnit * 1e-6;
+    }
+
+    placement.dynamicPowerMw = dynamic_mw;
+    placement.fits = placement.cellsUsed <= fpga.logicCells;
+    return placement;
+}
+
+} // namespace sidewinder::hub

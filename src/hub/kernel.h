@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Kernel interface: one executable algorithm instance on the hub.
+ *
+ * Mirrors the paper's runtime (Section 3.5): "Each algorithm operates
+ * on its own instance of a data structure ... The algorithm operates
+ * on the data available in the structure and, if required, stores the
+ * result in the structure and sets the hasResult flag." Here the data
+ * structure is the kernel object; the interpreter owns the hasResult
+ * bookkeeping around invoke().
+ */
+
+#ifndef SIDEWINDER_HUB_KERNEL_H
+#define SIDEWINDER_HUB_KERNEL_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hub/value.h"
+#include "il/ast.h"
+#include "il/validate.h"
+
+namespace sidewinder::hub {
+
+/**
+ * Per-wave state of a node, generalizing the paper's hasResult flag.
+ *
+ * - Idle: the node produced nothing because its inputs have not
+ *   reached their cadence yet (a window still filling, a moving
+ *   average warming up). Not an observable event downstream.
+ * - Blocked: the node was evaluated at its cadence and *rejected* —
+ *   an admission-control stage whose predicate failed, or a node
+ *   downstream of one. Observable as a "miss" by kernels like
+ *   consecutive.
+ * - Emitted: the node produced a result (hasResult set).
+ */
+enum class WaveState { Idle, Blocked, Emitted };
+
+/** When the interpreter invokes a kernel within a wave. */
+enum class FiringPolicy {
+    /** Invoke only when every input emitted this wave. */
+    AllInputs,
+    /** Invoke when at least one input emitted. */
+    AnyInput,
+    /**
+     * Invoke whenever any input emitted *or blocked*, with nullptr
+     * for non-emitting inputs — kernels that must observe misses
+     * (consecutive) use this.
+     */
+    ObserveBlocks,
+};
+
+/** An executable algorithm instance. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /**
+     * Execute one firing.
+     *
+     * @param inputs One entry per declared input; entries are null
+     *     only under FiringPolicy::Activated when that input produced
+     *     no result this wave.
+     * @return the produced value, or nullopt when this firing yields
+     *     no result (the hasResult flag stays clear).
+     */
+    virtual std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) = 0;
+
+    /** Discard accumulated state (window contents, counters, ...). */
+    virtual void reset() {}
+
+    /** Invocation policy; AllInputs unless overridden. */
+    virtual FiringPolicy firingPolicy() const
+    {
+        return FiringPolicy::AllInputs;
+    }
+
+    /**
+     * True for admission-control kernels whose non-emission is a
+     * rejection (Blocked) rather than mere inactivity (Idle):
+     * thresholds and consecutive. Accumulators (windows, moving
+     * averages, peak detectors) return false — their silence just
+     * means "not yet".
+     */
+    virtual bool conditional() const { return false; }
+};
+
+/**
+ * Instantiate the kernel for @p stmt.
+ *
+ * @param stmt Validated IL statement naming a standard algorithm.
+ * @param inputStreams Stream properties of each input, as produced by
+ *     il::validate() — filters and spectral features need the base
+ *     sample rate and FFT size from here.
+ * @throws ConfigError for unknown algorithms (cannot happen for
+ *     validated programs).
+ */
+std::unique_ptr<Kernel>
+makeKernel(const il::Statement &stmt,
+           const std::vector<il::NodeStream> &inputStreams);
+
+} // namespace sidewinder::hub
+
+#endif // SIDEWINDER_HUB_KERNEL_H

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Kernel implementations for the standardized algorithm set. Every
+ * entry of il::standardAlgorithms() has a kernel here; a static
+ * registry test asserts the two stay in sync.
+ */
+
+#include "hub/kernel.h"
+
+#include <cmath>
+
+#include "dsp/features.h"
+#include "dsp/fft.h"
+#include "dsp/filters.h"
+#include "dsp/goertzel.h"
+#include "dsp/peaks.h"
+#include "dsp/threshold.h"
+#include "dsp/window.h"
+#include "support/error.h"
+
+namespace sidewinder::hub {
+
+namespace {
+
+/** movingAvg(n): scalar noise reduction. */
+class MovingAvgKernel : public Kernel
+{
+  public:
+    explicit MovingAvgKernel(std::size_t n) : filter(n) {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        auto out = filter.push(inputs[0]->scalar());
+        if (!out)
+            return std::nullopt;
+        return Value(*out);
+    }
+
+    void reset() override { filter.reset(); }
+
+  private:
+    dsp::MovingAverage filter;
+};
+
+/** expMovingAvg(alpha). */
+class ExpMovingAvgKernel : public Kernel
+{
+  public:
+    explicit ExpMovingAvgKernel(double alpha) : filter(alpha) {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(filter.push(inputs[0]->scalar()));
+    }
+
+    void reset() override { filter.reset(); }
+
+  private:
+    dsp::ExponentialMovingAverage filter;
+};
+
+/** window(size[, hamming[, hop]]): scalar stream -> frames. */
+class WindowKernel : public Kernel
+{
+  public:
+    WindowKernel(std::size_t size, bool hamming, std::size_t hop)
+        : partitioner(size,
+                      hamming ? dsp::WindowType::Hamming
+                              : dsp::WindowType::Rectangular,
+                      hop)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        auto frame = partitioner.push(inputs[0]->scalar());
+        if (!frame)
+            return std::nullopt;
+        return Value(std::move(*frame));
+    }
+
+    void reset() override { partitioner.reset(); }
+
+  private:
+    dsp::WindowPartitioner partitioner;
+};
+
+/** fft: real frame -> complex spectrum. */
+class FftKernel : public Kernel
+{
+  public:
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(dsp::fftReal(inputs[0]->frame()));
+    }
+};
+
+/** ifft: complex spectrum -> real frame. */
+class IfftKernel : public Kernel
+{
+  public:
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(dsp::ifftToReal(inputs[0]->complexFrame()));
+    }
+};
+
+/** spectrum: complex bins -> magnitudes of the non-redundant half. */
+class SpectrumKernel : public Kernel
+{
+  public:
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        const auto &bins = inputs[0]->complexFrame();
+        const std::size_t half = bins.size() / 2;
+        std::vector<double> mags;
+        mags.reserve(half + 1);
+        for (std::size_t i = 0; i <= half && i < bins.size(); ++i)
+            mags.push_back(std::abs(bins[i]));
+        return Value(std::move(mags));
+    }
+};
+
+/** lowPass / highPass (FFT block filter on frames). */
+class BlockFilterKernel : public Kernel
+{
+  public:
+    BlockFilterKernel(dsp::PassBand band, double cutoff_hz,
+                      double sample_rate_hz)
+        : filter(band, cutoff_hz, sample_rate_hz)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(filter.apply(inputs[0]->frame()));
+    }
+
+  private:
+    dsp::FftBlockFilter filter;
+};
+
+/** vectorMagnitude over 1..8 scalar branches. */
+class VectorMagnitudeKernel : public Kernel
+{
+  public:
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        std::vector<double> components;
+        components.reserve(inputs.size());
+        for (const Value *v : inputs)
+            components.push_back(v->scalar());
+        return Value(dsp::vectorMagnitude(components));
+    }
+};
+
+/** Frame -> scalar reducers (zcr, statistics). */
+class ReducerKernel : public Kernel
+{
+  public:
+    using Fn = double (*)(const std::vector<double> &);
+
+    explicit ReducerKernel(Fn fn) : fn(fn) {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(fn(inputs[0]->frame()));
+    }
+
+  private:
+    Fn fn;
+};
+
+/** Spectral features over a magnitude-spectrum frame. */
+class SpectralFeatureKernel : public Kernel
+{
+  public:
+    enum class Feature { FrequencyHz, Magnitude, PeakToMeanRatio };
+
+    SpectralFeatureKernel(Feature feature, std::size_t fft_size,
+                          double base_rate_hz)
+        : feature(feature), fftSize(fft_size), baseRateHz(base_rate_hz)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        const auto dom = dsp::dominantFrequency(inputs[0]->frame());
+        switch (feature) {
+          case Feature::FrequencyHz:
+            return Value(
+                dsp::binFrequencyHz(dom.bin, fftSize, baseRateHz));
+          case Feature::Magnitude:
+            return Value(dom.magnitude);
+          case Feature::PeakToMeanRatio:
+            return Value(dom.peakToMeanRatio());
+        }
+        return std::nullopt;
+    }
+
+  private:
+    Feature feature;
+    std::size_t fftSize;
+    double baseRateHz;
+};
+
+/** Single-bin spectral probe (Goertzel). */
+class GoertzelKernel : public Kernel
+{
+  public:
+    GoertzelKernel(double target_hz, double base_rate_hz,
+                   bool relative)
+        : targetHz(target_hz), baseRateHz(base_rate_hz),
+          relative(relative)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        const auto &frame = inputs[0]->frame();
+        return Value(relative
+                         ? dsp::goertzelRelative(frame, targetHz,
+                                                 baseRateHz)
+                         : dsp::goertzelMagnitude(frame, targetHz,
+                                                  baseRateHz));
+    }
+
+  private:
+    double targetHz;
+    double baseRateHz;
+    bool relative;
+};
+
+/** Admission control: forwards only admitted values. */
+class ThresholdKernel : public Kernel
+{
+  public:
+    explicit ThresholdKernel(dsp::Threshold threshold)
+        : threshold(threshold)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        auto out = threshold.push(inputs[0]->scalar());
+        if (!out)
+            return std::nullopt;
+        return Value(*out);
+    }
+
+    bool conditional() const override { return true; }
+
+  private:
+    dsp::Threshold threshold;
+};
+
+/** localMaxima / localMinima streaming peak detection. */
+class PeakKernel : public Kernel
+{
+  public:
+    PeakKernel(dsp::PeakPolarity polarity, double low, double high,
+               std::size_t refractory)
+        : detector(polarity, low, high, refractory)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        auto out = detector.push(inputs[0]->scalar());
+        if (!out)
+            return std::nullopt;
+        return Value(*out);
+    }
+
+    void reset() override { detector.reset(); }
+
+  private:
+    dsp::PeakDetector detector;
+};
+
+/** and: fires only when all (conditional) branches fired this wave. */
+class AndKernel : public Kernel
+{
+  public:
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(inputs[0]->scalar());
+    }
+};
+
+/** or: fires when any branch fired; forwards the first present one. */
+class OrKernel : public Kernel
+{
+  public:
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        for (const Value *v : inputs)
+            if (v != nullptr)
+                return Value(v->scalar());
+        return std::nullopt;
+    }
+
+    FiringPolicy firingPolicy() const override
+    {
+        return FiringPolicy::AnyInput;
+    }
+};
+
+/**
+ * consecutive(m): fires when its input has produced a result in m
+ * consecutive upstream firings; a miss resets the count. While the
+ * condition stays true it re-fires at every further multiple of m, so
+ * a sustained event (a long siren, a whole song) keeps re-asserting
+ * the wake-up instead of firing once and going silent — the main CPU
+ * stays awake for as long as the event lasts.
+ */
+class ConsecutiveKernel : public Kernel
+{
+  public:
+    explicit ConsecutiveKernel(std::size_t required)
+        : required(required)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        if (inputs[0] == nullptr) {
+            count = 0;
+            return std::nullopt;
+        }
+        ++count;
+        if (count >= required && count % required == 0)
+            return Value(inputs[0]->scalar());
+        return std::nullopt;
+    }
+
+    void reset() override { count = 0; }
+
+    FiringPolicy firingPolicy() const override
+    {
+        return FiringPolicy::ObserveBlocks;
+    }
+
+    bool conditional() const override { return true; }
+
+  private:
+    std::size_t required;
+    std::size_t count = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+makeKernel(const il::Statement &stmt,
+           const std::vector<il::NodeStream> &inputStreams)
+{
+    const auto &name = stmt.algorithm;
+    const auto &p = stmt.params;
+    const auto &in = inputStreams.front();
+
+    if (name == "movingAvg")
+        return std::make_unique<MovingAvgKernel>(
+            static_cast<std::size_t>(p[0]));
+    if (name == "expMovingAvg")
+        return std::make_unique<ExpMovingAvgKernel>(p[0]);
+    if (name == "window") {
+        const auto size = static_cast<std::size_t>(p[0]);
+        const bool hamming = p.size() >= 2 && p[1] != 0.0;
+        const auto hop =
+            p.size() >= 3 ? static_cast<std::size_t>(p[2]) : size;
+        return std::make_unique<WindowKernel>(size, hamming, hop);
+    }
+    if (name == "fft")
+        return std::make_unique<FftKernel>();
+    if (name == "ifft")
+        return std::make_unique<IfftKernel>();
+    if (name == "spectrum")
+        return std::make_unique<SpectrumKernel>();
+    if (name == "lowPass")
+        return std::make_unique<BlockFilterKernel>(
+            dsp::PassBand::LowPass, p[0], in.baseRateHz);
+    if (name == "highPass")
+        return std::make_unique<BlockFilterKernel>(
+            dsp::PassBand::HighPass, p[0], in.baseRateHz);
+    if (name == "goertzel")
+        return std::make_unique<GoertzelKernel>(p[0], in.baseRateHz,
+                                                false);
+    if (name == "goertzelRel")
+        return std::make_unique<GoertzelKernel>(p[0], in.baseRateHz,
+                                                true);
+    if (name == "vectorMagnitude")
+        return std::make_unique<VectorMagnitudeKernel>();
+    if (name == "zcr")
+        return std::make_unique<ReducerKernel>(dsp::zeroCrossingRate);
+    if (name == "mean")
+        return std::make_unique<ReducerKernel>(dsp::mean);
+    if (name == "variance")
+        return std::make_unique<ReducerKernel>(dsp::variance);
+    if (name == "stddev")
+        return std::make_unique<ReducerKernel>(dsp::stddev);
+    if (name == "min")
+        return std::make_unique<ReducerKernel>(dsp::minimum);
+    if (name == "max")
+        return std::make_unique<ReducerKernel>(dsp::maximum);
+    if (name == "rms")
+        return std::make_unique<ReducerKernel>(dsp::rootMeanSquare);
+    if (name == "range")
+        return std::make_unique<ReducerKernel>(dsp::range);
+    if (name == "dominantFreqHz")
+        return std::make_unique<SpectralFeatureKernel>(
+            SpectralFeatureKernel::Feature::FrequencyHz, in.fftSize,
+            in.baseRateHz);
+    if (name == "dominantFreqMag")
+        return std::make_unique<SpectralFeatureKernel>(
+            SpectralFeatureKernel::Feature::Magnitude, in.fftSize,
+            in.baseRateHz);
+    if (name == "peakToMeanRatio")
+        return std::make_unique<SpectralFeatureKernel>(
+            SpectralFeatureKernel::Feature::PeakToMeanRatio, in.fftSize,
+            in.baseRateHz);
+    if (name == "minThreshold")
+        return std::make_unique<ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::Min, p[0]));
+    if (name == "maxThreshold")
+        return std::make_unique<ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::Max, p[0]));
+    if (name == "bandThreshold")
+        return std::make_unique<ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::Band, p[0], p[1]));
+    if (name == "outsideBandThreshold")
+        return std::make_unique<ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::OutsideBand, p[0], p[1]));
+    if (name == "localMaxima" || name == "localMinima") {
+        const auto refractory =
+            p.size() >= 3 ? static_cast<std::size_t>(p[2]) : 0;
+        return std::make_unique<PeakKernel>(
+            name == "localMaxima" ? dsp::PeakPolarity::Maxima
+                                  : dsp::PeakPolarity::Minima,
+            p[0], p[1], refractory);
+    }
+    if (name == "and")
+        return std::make_unique<AndKernel>();
+    if (name == "or")
+        return std::make_unique<OrKernel>();
+    if (name == "consecutive")
+        return std::make_unique<ConsecutiveKernel>(
+            static_cast<std::size_t>(p[0]));
+
+    throw ConfigError("no kernel registered for algorithm '" + name +
+                      "'");
+}
+
+} // namespace sidewinder::hub

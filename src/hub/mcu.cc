@@ -1,0 +1,52 @@
+#include "hub/mcu.h"
+
+#include "hub/engine.h"
+#include "support/error.h"
+
+namespace sidewinder::hub {
+
+McuModel
+msp430()
+{
+    return McuModel{"MSP430", 3.6, 50'000.0};
+}
+
+McuModel
+lm4f120()
+{
+    return McuModel{"LM4F120", 49.4, 10'000'000.0};
+}
+
+const std::vector<McuModel> &
+availableMcus()
+{
+    static const std::vector<McuModel> mcus = {msp430(), lm4f120()};
+    return mcus;
+}
+
+bool
+canRunInRealTime(const McuModel &mcu, double cycles_per_second)
+{
+    return cycles_per_second <= mcu.cyclesPerSecond;
+}
+
+McuModel
+selectMcuForLoad(double cycles_per_second)
+{
+    for (const auto &mcu : availableMcus())
+        if (canRunInRealTime(mcu, cycles_per_second))
+            return mcu;
+    throw CapabilityError(
+        "no available hub microcontroller sustains " +
+        std::to_string(cycles_per_second) + " cycle units/s");
+}
+
+McuModel
+selectMcu(const il::Program &program,
+          const std::vector<il::ChannelInfo> &channels)
+{
+    return selectMcuForLoad(
+        Engine::estimateProgramCycles(program, channels));
+}
+
+} // namespace sidewinder::hub

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microcontroller capability and power model for the sensor hub.
+ *
+ * The prototype evaluated two hub microcontrollers (Section 4 of the
+ * paper): a TI MSP430 "consuming only 3.6 mW while awake" but which
+ * "was unable to run the FFT-based low-pass filter in real-time", and
+ * a TI LM4F120 (Cortex-M4) which "can run all our filters in real
+ * time" but consumes "an average of 49.4 mW while awake".
+ *
+ * Compute demand is expressed in the abstract cycle units of
+ * il::AlgorithmInfo::cyclesPerUnit. Budgets are calibrated so that
+ * accelerometer pipelines (50 Hz) fit on the MSP430 while audio-rate
+ * FFT pipelines (the siren detector) require the LM4F120 — matching
+ * the MCU assignment the paper uses for Table 2.
+ */
+
+#ifndef SIDEWINDER_HUB_MCU_H
+#define SIDEWINDER_HUB_MCU_H
+
+#include <string>
+#include <vector>
+
+#include "il/ast.h"
+#include "il/validate.h"
+
+namespace sidewinder::hub {
+
+/** Static description of a hub microcontroller. */
+struct McuModel
+{
+    /** Part name, e.g. "MSP430". */
+    std::string name;
+    /** Average power while awake and processing, milliwatts. */
+    double activePowerMw = 0.0;
+    /** Sustained compute budget in abstract cycle units per second. */
+    double cyclesPerSecond = 0.0;
+};
+
+/** The TI MSP430 of the prototype: 3.6 mW, small compute budget. */
+McuModel msp430();
+
+/** The TI LM4F120 (Cortex-M4): 49.4 mW, large compute budget. */
+McuModel lm4f120();
+
+/** All hub MCUs known to the platform, cheapest first. */
+const std::vector<McuModel> &availableMcus();
+
+/** True when @p mcu sustains @p cycles_per_second in real time. */
+bool canRunInRealTime(const McuModel &mcu, double cycles_per_second);
+
+/**
+ * Pick the lowest-power MCU able to run @p program on @p channels in
+ * real time ("Sizing", Section 3.8).
+ *
+ * @throws CapabilityError when no available MCU suffices.
+ */
+McuModel selectMcu(const il::Program &program,
+                   const std::vector<il::ChannelInfo> &channels);
+
+/**
+ * Lowest-power MCU able to sustain @p cycles_per_second.
+ * @throws CapabilityError when no available MCU suffices.
+ */
+McuModel selectMcuForLoad(double cycles_per_second);
+
+} // namespace sidewinder::hub
+
+#endif // SIDEWINDER_HUB_MCU_H

@@ -1,0 +1,132 @@
+#include "hub/runtime.h"
+
+#include "il/parser.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "transport/messages.h"
+
+namespace sidewinder::hub {
+
+HubRuntime::HubRuntime(transport::LinkPair &link,
+                       std::vector<il::ChannelInfo> channels,
+                       McuModel mcu, bool share_nodes)
+    : link(link), dataflow(std::move(channels), share_nodes),
+      mcuModel(std::move(mcu))
+{
+}
+
+void
+HubRuntime::pollLink(double now)
+{
+    decoder.feed(link.phoneToHub().receive(now));
+    while (auto frame = decoder.poll())
+        handleFrame(*frame, now);
+}
+
+void
+HubRuntime::handleFrame(const transport::Frame &frame, double now)
+{
+    switch (frame.type) {
+      case transport::MessageType::ConfigPush: {
+        const auto message = transport::decodeConfigPush(frame);
+        try {
+            const il::Program program = il::parse(message.ilText);
+
+            // Capability gate: the engine's existing load plus this
+            // program must fit the MCU's real-time budget.
+            const double extra = Engine::estimateProgramCycles(
+                program, dataflow.channels());
+            const double load =
+                dataflow.estimatedCyclesPerSecond() + extra;
+            if (!canRunInRealTime(mcuModel, load))
+                throw CapabilityError(
+                    "condition needs " + std::to_string(load) +
+                    " cycle units/s; " + mcuModel.name + " sustains " +
+                    std::to_string(mcuModel.cyclesPerSecond));
+
+            dataflow.addCondition(message.conditionId, program);
+            link.hubToPhone().sendFrame(
+                transport::encodeConfigAck({message.conditionId}), now);
+        } catch (const SidewinderError &error) {
+            link.hubToPhone().sendFrame(
+                transport::encodeConfigReject(
+                    {message.conditionId, error.what()}),
+                now);
+        }
+        return;
+      }
+      case transport::MessageType::ConfigRemove: {
+        const auto message = transport::decodeConfigRemove(frame);
+        try {
+            dataflow.removeCondition(message.conditionId);
+            link.hubToPhone().sendFrame(
+                transport::encodeConfigAck({message.conditionId}), now);
+        } catch (const SidewinderError &error) {
+            link.hubToPhone().sendFrame(
+                transport::encodeConfigReject(
+                    {message.conditionId, error.what()}),
+                now);
+        }
+        return;
+      }
+      default:
+        warn("hub: ignoring unexpected frame type " +
+             std::to_string(static_cast<int>(frame.type)));
+    }
+}
+
+void
+HubRuntime::enableBatchStreaming(std::size_t channel_index,
+                                 std::size_t batch_samples)
+{
+    if (channel_index >= dataflow.channels().size())
+        throw ConfigError("batch streaming: no channel " +
+                          std::to_string(channel_index));
+    if (batch_samples == 0)
+        throw ConfigError("batch streaming needs a positive batch");
+    BatchStream stream;
+    stream.batchSamples = batch_samples;
+    batchStreams[channel_index] = std::move(stream);
+}
+
+void
+HubRuntime::disableBatchStreaming(std::size_t channel_index)
+{
+    batchStreams.erase(channel_index);
+}
+
+void
+HubRuntime::pushSamples(const std::vector<double> &values,
+                        double timestamp)
+{
+    dataflow.pushSamples(values, timestamp);
+
+    for (auto &[channel, stream] : batchStreams) {
+        if (stream.pending.empty())
+            stream.firstTimestamp = timestamp;
+        stream.pending.push_back(values[channel]);
+        if (stream.pending.size() >= stream.batchSamples) {
+            transport::SensorBatchMessage message;
+            message.channelIndex = static_cast<std::int32_t>(channel);
+            message.firstTimestamp = stream.firstTimestamp;
+            message.sampleRateHz =
+                dataflow.channels()[channel].sampleRateHz;
+            message.samples = std::move(stream.pending);
+            stream.pending = {};
+            link.hubToPhone().sendFrame(
+                transport::encodeSensorBatch(message), timestamp);
+        }
+    }
+
+    for (const auto &event : dataflow.drainWakeEvents()) {
+        transport::WakeUpMessage message;
+        message.conditionId = event.conditionId;
+        message.timestamp = event.timestamp;
+        message.triggerValue = event.value;
+        message.rawData = dataflow.rawSnapshot(event.conditionId);
+        link.hubToPhone().sendFrame(transport::encodeWakeUp(message),
+                                    timestamp);
+    }
+}
+
+} // namespace sidewinder::hub

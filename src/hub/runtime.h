@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The hub-side message loop: receives configuration frames from the
+ * phone over the serial link, manages the dataflow engine, and sends
+ * wake-up frames back.
+ *
+ * Together with core::SidewinderSensorManager on the phone side, this
+ * realizes the full architecture of Figure 1 of the paper: the only
+ * coupling between the two halves is the intermediate language
+ * travelling over the framed UART.
+ */
+
+#ifndef SIDEWINDER_HUB_RUNTIME_H
+#define SIDEWINDER_HUB_RUNTIME_H
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "hub/engine.h"
+#include "hub/mcu.h"
+#include "transport/frame.h"
+#include "transport/link.h"
+
+namespace sidewinder::hub {
+
+/** The sensor hub: engine + MCU model + link endpoints. */
+class HubRuntime
+{
+  public:
+    /**
+     * @param link Full-duplex connection to the phone; the runtime
+     *     reads the phone-to-hub direction and writes hub-to-phone.
+     * @param channels Sensor channels wired to this hub.
+     * @param mcu Microcontroller the hub is built around; pushes whose
+     *     compute demand exceeds it are rejected.
+     * @param share_nodes Enable cross-condition node sharing.
+     */
+    HubRuntime(transport::LinkPair &link,
+               std::vector<il::ChannelInfo> channels, McuModel mcu,
+               bool share_nodes = true);
+
+    /**
+     * Process bytes that have arrived from the phone by time @p now:
+     * install / remove conditions and send acks or rejections.
+     */
+    void pollLink(double now);
+
+    /**
+     * Feed one synchronous sample per channel and forward any
+     * resulting wake-ups to the phone as WakeUp frames.
+     */
+    void pushSamples(const std::vector<double> &values, double timestamp);
+
+    /** The dataflow engine (exposed for tests and benchmarks). */
+    Engine &engine() { return dataflow; }
+    const Engine &engine() const { return dataflow; }
+
+    /** The hub's microcontroller model. */
+    const McuModel &mcu() const { return mcuModel; }
+
+    /** Frames that failed to decode (noise on the link). */
+    std::size_t linkDropBytes() const { return decoder.droppedBytes(); }
+
+    /**
+     * Start shipping channel @p channel_index to the phone in
+     * SensorBatch frames of @p batch_samples samples — the hub side
+     * of the Batching configuration (Section 4.2) and of raw-data
+     * streaming after a wake-up (Section 3.8).
+     */
+    void enableBatchStreaming(std::size_t channel_index,
+                              std::size_t batch_samples);
+
+    /** Stop shipping @p channel_index. */
+    void disableBatchStreaming(std::size_t channel_index);
+
+  private:
+    struct BatchStream
+    {
+        std::size_t batchSamples = 0;
+        double firstTimestamp = 0.0;
+        std::vector<double> pending;
+    };
+
+    void handleFrame(const transport::Frame &frame, double now);
+
+    transport::LinkPair &link;
+    Engine dataflow;
+    McuModel mcuModel;
+    transport::FrameDecoder decoder;
+    std::map<std::size_t, BatchStream> batchStreams;
+};
+
+} // namespace sidewinder::hub
+
+#endif // SIDEWINDER_HUB_RUNTIME_H

@@ -1,0 +1,69 @@
+#include "il/dot.h"
+
+#include <map>
+#include <sstream>
+
+#include "il/writer.h"
+
+namespace sidewinder::il {
+
+std::string
+toDot(const Program &program, const std::string &name)
+{
+    std::ostringstream out;
+    out << "digraph " << name << " {\n";
+    out << "    rankdir=TB;\n";
+
+    // Channel boxes (deduplicated by name).
+    std::map<std::string, std::string> channel_ids;
+    for (const auto &stmt : program.statements) {
+        for (const auto &src : stmt.inputs) {
+            if (src.kind != SourceRef::Kind::Channel)
+                continue;
+            if (channel_ids.count(src.channel))
+                continue;
+            const std::string id =
+                "ch" + std::to_string(channel_ids.size());
+            channel_ids[src.channel] = id;
+            out << "    " << id << " [shape=box, label=\""
+                << src.channel << "\"];\n";
+        }
+    }
+
+    // Algorithm nodes and the OUT sink.
+    for (const auto &stmt : program.statements) {
+        if (stmt.isOut) {
+            out << "    OUT [shape=doublecircle];\n";
+            continue;
+        }
+        out << "    n" << stmt.id << " [label=\"" << stmt.algorithm;
+        if (!stmt.params.empty()) {
+            out << "(";
+            for (std::size_t i = 0; i < stmt.params.size(); ++i) {
+                if (i > 0)
+                    out << ",";
+                out << writeParam(stmt.params[i]);
+            }
+            out << ")";
+        }
+        out << "\"];\n";
+    }
+
+    // Edges.
+    for (const auto &stmt : program.statements) {
+        const std::string target =
+            stmt.isOut ? "OUT" : "n" + std::to_string(stmt.id);
+        for (const auto &src : stmt.inputs) {
+            if (src.kind == SourceRef::Kind::Channel)
+                out << "    " << channel_ids.at(src.channel);
+            else
+                out << "    n" << src.node;
+            out << " -> " << target << ";\n";
+        }
+    }
+
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace sidewinder::il

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graphviz export of IL programs — renders the conceptual pipeline
+ * view of Figure 2b / Figure 3 of the paper for any wake-up
+ * condition.
+ */
+
+#ifndef SIDEWINDER_IL_DOT_H
+#define SIDEWINDER_IL_DOT_H
+
+#include <string>
+
+#include "il/ast.h"
+
+namespace sidewinder::il {
+
+/**
+ * Render @p program as a Graphviz digraph: sensor channels as boxes,
+ * algorithm instances as ellipses labeled "name(params)", OUT as a
+ * double circle. Output is deterministic (statement order).
+ *
+ * @param name Graph name; must be a valid dot identifier.
+ */
+std::string toDot(const Program &program,
+                  const std::string &name = "pipeline");
+
+} // namespace sidewinder::il
+
+#endif // SIDEWINDER_IL_DOT_H

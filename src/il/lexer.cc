@@ -1,0 +1,176 @@
+#include "il/lexer.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace sidewinder::il {
+
+std::string
+tokenTypeName(TokenType type)
+{
+    switch (type) {
+      case TokenType::Identifier: return "identifier";
+      case TokenType::Number: return "number";
+      case TokenType::Arrow: return "'->'";
+      case TokenType::Comma: return "','";
+      case TokenType::Semicolon: return "';'";
+      case TokenType::LParen: return "'('";
+      case TokenType::RParen: return "')'";
+      case TokenType::LBrace: return "'{'";
+      case TokenType::RBrace: return "'}'";
+      case TokenType::Equals: return "'='";
+      case TokenType::End: return "end of input";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+[[noreturn]] void
+fail(int line, int column, const std::string &message)
+{
+    std::ostringstream out;
+    out << "IL lex error at " << line << ":" << column << ": " << message;
+    throw ParseError(out.str());
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    int column = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto advance = [&](std::size_t count = 1) {
+        for (std::size_t k = 0; k < count && i < n; ++k) {
+            if (source[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+            ++i;
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '#') {
+            while (i < n && source[i] != '\n')
+                advance();
+            continue;
+        }
+
+        const int tok_line = line;
+        const int tok_column = column;
+
+        if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+            tokens.push_back({TokenType::Arrow, "->", tok_line,
+                              tok_column});
+            advance(2);
+            continue;
+        }
+
+        if (isDigit(c) ||
+            (c == '-' && i + 1 < n &&
+             (isDigit(source[i + 1]) || source[i + 1] == '.')) ||
+            (c == '.' && i + 1 < n && isDigit(source[i + 1]))) {
+            std::string text;
+            if (c == '-') {
+                text.push_back('-');
+                advance();
+            }
+            bool seen_dot = false;
+            bool seen_exp = false;
+            while (i < n) {
+                const char d = source[i];
+                if (isDigit(d)) {
+                    text.push_back(d);
+                    advance();
+                } else if (d == '.' && !seen_dot && !seen_exp) {
+                    seen_dot = true;
+                    text.push_back(d);
+                    advance();
+                } else if ((d == 'e' || d == 'E') && !seen_exp &&
+                           !text.empty() &&
+                           isDigit(text.back())) {
+                    seen_exp = true;
+                    text.push_back(d);
+                    advance();
+                    if (i < n && (source[i] == '+' || source[i] == '-')) {
+                        text.push_back(source[i]);
+                        advance();
+                    }
+                } else {
+                    break;
+                }
+            }
+            if (text.empty() || text == "-")
+                fail(tok_line, tok_column, "malformed number");
+            tokens.push_back({TokenType::Number, text, tok_line,
+                              tok_column});
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::string text;
+            while (i < n && isIdentBody(source[i])) {
+                text.push_back(source[i]);
+                advance();
+            }
+            tokens.push_back({TokenType::Identifier, text, tok_line,
+                              tok_column});
+            continue;
+        }
+
+        TokenType type;
+        switch (c) {
+          case ',': type = TokenType::Comma; break;
+          case ';': type = TokenType::Semicolon; break;
+          case '(': type = TokenType::LParen; break;
+          case ')': type = TokenType::RParen; break;
+          case '{': type = TokenType::LBrace; break;
+          case '}': type = TokenType::RBrace; break;
+          case '=': type = TokenType::Equals; break;
+          default:
+            fail(tok_line, tok_column,
+                 std::string("unexpected character '") + c + "'");
+        }
+        tokens.push_back({type, std::string(1, c), tok_line, tok_column});
+        advance();
+    }
+
+    tokens.push_back({TokenType::End, "", line, column});
+    return tokens;
+}
+
+} // namespace sidewinder::il

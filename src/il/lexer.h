@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tokenizer for the textual intermediate language.
+ */
+
+#ifndef SIDEWINDER_IL_LEXER_H
+#define SIDEWINDER_IL_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace sidewinder::il {
+
+/** Lexical token categories of the IL. */
+enum class TokenType {
+    Identifier, ///< e.g. movingAvg, ACC_X, OUT, id, params
+    Number,     ///< integer or decimal literal, optionally signed
+    Arrow,      ///< ->
+    Comma,      ///< ,
+    Semicolon,  ///< ;
+    LParen,     ///< (
+    RParen,     ///< )
+    LBrace,     ///< {
+    RBrace,     ///< }
+    Equals,     ///< =
+    End,        ///< end of input
+};
+
+/** One lexed token with its source location for error reporting. */
+struct Token
+{
+    TokenType type;
+    /** Verbatim text for identifiers and numbers. */
+    std::string text;
+    /** 1-based line of the first character. */
+    int line;
+    /** 1-based column of the first character. */
+    int column;
+};
+
+/**
+ * Tokenize @p source.
+ *
+ * Comments run from '#' to end of line. The returned vector always ends
+ * with an End token.
+ *
+ * @throws ParseError on characters outside the IL alphabet.
+ */
+std::vector<Token> lex(const std::string &source);
+
+/** Human-readable name of a token type, for diagnostics. */
+std::string tokenTypeName(TokenType type);
+
+} // namespace sidewinder::il
+
+#endif // SIDEWINDER_IL_LEXER_H

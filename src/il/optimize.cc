@@ -1,0 +1,78 @@
+#include "il/optimize.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace sidewinder::il {
+
+namespace {
+
+/** Canonical structural key of a statement's computation. */
+std::string
+keyOf(const Statement &stmt,
+      const std::map<NodeId, std::string> &node_keys)
+{
+    std::ostringstream key;
+    key << stmt.algorithm << "(";
+    for (double p : stmt.params)
+        key << p << ",";
+    key << ")";
+    for (const auto &src : stmt.inputs) {
+        if (src.kind == SourceRef::Kind::Channel)
+            key << "<ch:" << src.channel;
+        else
+            key << "<" << node_keys.at(src.node);
+    }
+    return key.str();
+}
+
+} // namespace
+
+Program
+optimize(const Program &program)
+{
+    Program out;
+    std::map<NodeId, std::string> node_keys;
+    std::map<std::string, NodeId> survivors;
+    std::map<NodeId, NodeId> replacement;
+
+    for (const auto &stmt : program.statements) {
+        Statement rewritten = stmt;
+        for (auto &src : rewritten.inputs) {
+            if (src.kind == SourceRef::Kind::Node) {
+                auto it = replacement.find(src.node);
+                if (it != replacement.end())
+                    src.node = it->second;
+            }
+        }
+
+        if (rewritten.isOut) {
+            out.statements.push_back(std::move(rewritten));
+            continue;
+        }
+
+        const std::string key = keyOf(rewritten, node_keys);
+        node_keys[stmt.id] = key;
+
+        auto it = survivors.find(key);
+        if (it != survivors.end()) {
+            // Duplicate: route this id to the survivor, emit nothing.
+            replacement[stmt.id] = it->second;
+            continue;
+        }
+        survivors[key] = rewritten.id;
+        out.statements.push_back(std::move(rewritten));
+    }
+
+    return out;
+}
+
+std::size_t
+redundantStatementCount(const Program &program)
+{
+    return program.statements.size() -
+           optimize(program).statements.size();
+}
+
+} // namespace sidewinder::il

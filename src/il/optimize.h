@@ -1,0 +1,35 @@
+/**
+ * @file
+ * IL-level common-subexpression elimination.
+ *
+ * The sensor manager performs the paper's pipeline-merging idea
+ * (Section 7) before a condition ever leaves the phone: branches that
+ * recompute the same chain (e.g. the siren detector's three
+ * window/filter/FFT prefixes) collapse to one node, shrinking the IL
+ * text on the wire and the hub's parse/instantiation work. The hub's
+ * engine applies the same hash-consing at install time, so this is an
+ * optimization, never a semantic change.
+ */
+
+#ifndef SIDEWINDER_IL_OPTIMIZE_H
+#define SIDEWINDER_IL_OPTIMIZE_H
+
+#include "il/ast.h"
+
+namespace sidewinder::il {
+
+/**
+ * Deduplicate structurally identical statements (same algorithm, same
+ * parameters, same canonical inputs), rewriting later references to
+ * the surviving node. Statement order and node ids of surviving
+ * statements are preserved; the result validates whenever the input
+ * does and computes the identical dataflow.
+ */
+Program optimize(const Program &program);
+
+/** Number of statements optimize() would remove. */
+std::size_t redundantStatementCount(const Program &program);
+
+} // namespace sidewinder::il
+
+#endif // SIDEWINDER_IL_OPTIMIZE_H

@@ -1,0 +1,166 @@
+#include "il/parser.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "il/lexer.h"
+#include "support/error.h"
+
+namespace sidewinder::il {
+
+namespace {
+
+/** Cursor over the token stream with common error plumbing. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens(std::move(tokens))
+    {}
+
+    Program
+    parseProgram()
+    {
+        Program program;
+        while (!check(TokenType::End))
+            program.statements.push_back(parseStatement());
+        return program;
+    }
+
+  private:
+    std::vector<Token> tokens;
+    std::size_t pos = 0;
+
+    const Token &peek() const { return tokens[pos]; }
+
+    const Token &
+    consume(TokenType type, const std::string &context)
+    {
+        if (!check(type))
+            fail("expected " + tokenTypeName(type) + " " + context +
+                 ", found " + describe(peek()));
+        return tokens[pos++];
+    }
+
+    bool check(TokenType type) const { return peek().type == type; }
+
+    bool
+    match(TokenType type)
+    {
+        if (!check(type))
+            return false;
+        ++pos;
+        return true;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        const Token &tok = peek();
+        std::ostringstream out;
+        out << "IL parse error at " << tok.line << ":" << tok.column
+            << ": " << message;
+        throw ParseError(out.str());
+    }
+
+    static std::string
+    describe(const Token &tok)
+    {
+        if (tok.type == TokenType::Identifier ||
+            tok.type == TokenType::Number)
+            return tokenTypeName(tok.type) + " '" + tok.text + "'";
+        return tokenTypeName(tok.type);
+    }
+
+    double
+    parseNumber(const std::string &context)
+    {
+        const Token &tok = consume(TokenType::Number, context);
+        return std::strtod(tok.text.c_str(), nullptr);
+    }
+
+    int
+    parseInteger(const std::string &context)
+    {
+        const Token &tok = consume(TokenType::Number, context);
+        char *end = nullptr;
+        const long value = std::strtol(tok.text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            fail("expected integer " + context + ", found '" + tok.text +
+                 "'");
+        return static_cast<int>(value);
+    }
+
+    SourceRef
+    parseSource()
+    {
+        if (check(TokenType::Identifier)) {
+            const Token &tok = tokens[pos++];
+            return SourceRef::makeChannel(tok.text);
+        }
+        if (check(TokenType::Number))
+            return SourceRef::makeNode(parseInteger("as node reference"));
+        fail("expected channel name or node id, found " +
+             describe(peek()));
+    }
+
+    Statement
+    parseStatement()
+    {
+        Statement stmt;
+        stmt.inputs.push_back(parseSource());
+        while (match(TokenType::Comma))
+            stmt.inputs.push_back(parseSource());
+
+        consume(TokenType::Arrow, "after statement inputs");
+
+        const Token &target =
+            consume(TokenType::Identifier, "as statement target");
+        if (target.text == "OUT") {
+            stmt.isOut = true;
+            consume(TokenType::Semicolon, "after OUT");
+            return stmt;
+        }
+
+        stmt.algorithm = target.text;
+        consume(TokenType::LParen, "after algorithm name");
+
+        const Token &id_key =
+            consume(TokenType::Identifier, "('id') in algorithm call");
+        if (id_key.text != "id")
+            fail("expected 'id', found '" + id_key.text + "'");
+        consume(TokenType::Equals, "after 'id'");
+        stmt.id = parseInteger("as algorithm id");
+
+        if (match(TokenType::Comma)) {
+            const Token &params_key = consume(TokenType::Identifier,
+                                              "('params') after ','");
+            if (params_key.text != "params")
+                fail("expected 'params', found '" + params_key.text +
+                     "'");
+            consume(TokenType::Equals, "after 'params'");
+            consume(TokenType::LBrace, "to open parameter list");
+            if (!check(TokenType::RBrace)) {
+                stmt.params.push_back(parseNumber("as parameter"));
+                while (match(TokenType::Comma))
+                    stmt.params.push_back(parseNumber("as parameter"));
+            }
+            consume(TokenType::RBrace, "to close parameter list");
+        }
+
+        consume(TokenType::RParen, "to close algorithm call");
+        consume(TokenType::Semicolon, "after statement");
+        return stmt;
+    }
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    Parser parser(lex(source));
+    return parser.parseProgram();
+}
+
+} // namespace sidewinder::il

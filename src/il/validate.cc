@@ -1,0 +1,256 @@
+#include "il/validate.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace sidewinder::il {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    throw ParseError("IL validation error: " + message);
+}
+
+bool
+isPositiveInteger(double v)
+{
+    return v >= 1.0 && v == std::floor(v);
+}
+
+bool
+isPowerOfTwoValue(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Check the algorithm-specific parameter constraints of @p stmt given
+ * the streams on its inputs, and compute the produced stream.
+ */
+NodeStream
+deriveStream(const Statement &stmt, const AlgorithmInfo &info,
+             const std::vector<NodeStream> &inputs)
+{
+    NodeStream out;
+    out.kind = info.outputKind;
+
+    // Nominal firing rate: slowest input dominates for multi-input
+    // nodes; single-input nodes inherit their input's rate.
+    double rate = inputs.front().fireRateHz;
+    for (const auto &in : inputs)
+        rate = std::min(rate, in.fireRateHz);
+    out.fireRateHz = rate;
+    out.frameSize = inputs.front().frameSize;
+    out.baseRateHz = inputs.front().baseRateHz;
+    out.fftSize = inputs.front().fftSize;
+
+    const auto &p = stmt.params;
+    const std::string &name = info.name;
+
+    if (name == "movingAvg") {
+        if (!isPositiveInteger(p[0]))
+            fail("movingAvg window must be a positive integer (node " +
+                 std::to_string(stmt.id) + ")");
+    } else if (name == "expMovingAvg") {
+        if (!(p[0] > 0.0) || p[0] > 1.0)
+            fail("expMovingAvg alpha must be in (0,1] (node " +
+                 std::to_string(stmt.id) + ")");
+    } else if (name == "window") {
+        if (!isPositiveInteger(p[0]))
+            fail("window size must be a positive integer (node " +
+                 std::to_string(stmt.id) + ")");
+        if (p.size() >= 2 && p[1] != 0.0 && p[1] != 1.0)
+            fail("window hamming flag must be 0 or 1 (node " +
+                 std::to_string(stmt.id) + ")");
+        const auto size = static_cast<std::size_t>(p[0]);
+        std::size_t hop = size;
+        if (p.size() >= 3) {
+            if (!isPositiveInteger(p[2]) || p[2] > p[0])
+                fail("window hop must be in [1, size] (node " +
+                     std::to_string(stmt.id) + ")");
+            hop = static_cast<std::size_t>(p[2]);
+        }
+        out.frameSize = size;
+        out.baseRateHz = inputs.front().fireRateHz;
+        out.fireRateHz =
+            inputs.front().fireRateHz / static_cast<double>(hop);
+        out.fftSize = 0;
+    } else if (name == "fft") {
+        if (!isPowerOfTwoValue(inputs.front().frameSize))
+            fail("fft input frame size must be a power of two, got " +
+                 std::to_string(inputs.front().frameSize) + " (node " +
+                 std::to_string(stmt.id) + ")");
+        out.fftSize = inputs.front().frameSize;
+    } else if (name == "ifft") {
+        if (!isPowerOfTwoValue(inputs.front().frameSize))
+            fail("ifft input frame size must be a power of two (node " +
+                 std::to_string(stmt.id) + ")");
+    } else if (name == "spectrum") {
+        if (inputs.front().fftSize == 0)
+            fail("spectrum requires an fft stage upstream (node " +
+                 std::to_string(stmt.id) + ")");
+        out.frameSize = inputs.front().fftSize / 2 + 1;
+    } else if (name == "lowPass" || name == "highPass") {
+        if (!isPowerOfTwoValue(inputs.front().frameSize))
+            fail(name + " frame size must be a power of two (node " +
+                 std::to_string(stmt.id) + ")");
+        const double nyquist = inputs.front().baseRateHz / 2.0;
+        if (!(p[0] > 0.0) || p[0] >= nyquist)
+            fail(name + " cutoff must be in (0, Nyquist=" +
+                 std::to_string(nyquist) + ") (node " +
+                 std::to_string(stmt.id) + ")");
+    } else if (name == "goertzel" || name == "goertzelRel") {
+        const double nyquist = inputs.front().baseRateHz / 2.0;
+        if (!(p[0] > 0.0) || p[0] >= nyquist)
+            fail(name + " target must be in (0, Nyquist=" +
+                 std::to_string(nyquist) + ") (node " +
+                 std::to_string(stmt.id) + ")");
+    } else if (name == "dominantFreqHz" || name == "dominantFreqMag" ||
+               name == "peakToMeanRatio") {
+        if (inputs.front().fftSize == 0)
+            fail(name + " requires an fft+spectrum stage upstream "
+                 "(node " + std::to_string(stmt.id) + ")");
+        out.frameSize = 0;
+    } else if (name == "bandThreshold" ||
+               name == "outsideBandThreshold") {
+        if (p[0] > p[1])
+            fail(name + " band is inverted (node " +
+                 std::to_string(stmt.id) + ")");
+    } else if (name == "localMaxima" || name == "localMinima") {
+        if (p[0] > p[1])
+            fail(name + " band is inverted (node " +
+                 std::to_string(stmt.id) + ")");
+        if (p.size() >= 3 && (p[2] < 0.0 || p[2] != std::floor(p[2])))
+            fail(name + " refractory must be a non-negative integer "
+                 "(node " + std::to_string(stmt.id) + ")");
+    } else if (name == "consecutive") {
+        if (!isPositiveInteger(p[0]))
+            fail("consecutive count must be a positive integer (node " +
+                 std::to_string(stmt.id) + ")");
+    }
+
+    // Scalar streams never carry a frame size.
+    if (out.kind == ValueKind::Scalar)
+        out.frameSize = 0;
+
+    return out;
+}
+
+} // namespace
+
+StreamMap
+validate(const Program &program, const std::vector<ChannelInfo> &channels)
+{
+    if (program.statements.empty())
+        fail("program is empty");
+
+    std::map<std::string, const ChannelInfo *> channel_by_name;
+    for (const auto &ch : channels)
+        channel_by_name[ch.name] = &ch;
+
+    StreamMap streams;
+    std::set<NodeId> consumed;
+    bool seen_out = false;
+
+    for (const auto &stmt : program.statements) {
+        if (seen_out)
+            fail("statements after OUT");
+        if (stmt.inputs.empty())
+            fail("statement with no inputs");
+
+        // Resolve the streams on each input.
+        std::vector<NodeStream> input_streams;
+        for (const auto &src : stmt.inputs) {
+            if (src.kind == SourceRef::Kind::Channel) {
+                auto it = channel_by_name.find(src.channel);
+                if (it == channel_by_name.end())
+                    fail("unknown sensor channel '" + src.channel + "'");
+                NodeStream s;
+                s.kind = ValueKind::Scalar;
+                s.fireRateHz = it->second->sampleRateHz;
+                s.baseRateHz = it->second->sampleRateHz;
+                input_streams.push_back(s);
+            } else {
+                auto it = streams.find(src.node);
+                if (it == streams.end())
+                    fail("node " + std::to_string(src.node) +
+                         " referenced before definition");
+                input_streams.push_back(it->second);
+                consumed.insert(src.node);
+            }
+        }
+
+        if (stmt.isOut) {
+            if (stmt.inputs.size() != 1 ||
+                stmt.inputs[0].kind != SourceRef::Kind::Node)
+                fail("OUT must be fed by exactly one node");
+            if (input_streams[0].kind != ValueKind::Scalar)
+                fail("OUT must be fed a scalar stream");
+            seen_out = true;
+            continue;
+        }
+
+        if (stmt.id <= 0)
+            fail("node ids must be positive, got " +
+                 std::to_string(stmt.id));
+        if (streams.count(stmt.id))
+            fail("duplicate node id " + std::to_string(stmt.id));
+
+        auto info = findAlgorithm(stmt.algorithm);
+        if (!info)
+            fail("unknown algorithm '" + stmt.algorithm + "'");
+
+        if (stmt.inputs.size() < info->minInputs ||
+            stmt.inputs.size() > info->maxInputs) {
+            std::ostringstream msg;
+            msg << stmt.algorithm << " takes " << info->minInputs;
+            if (info->maxInputs != info->minInputs)
+                msg << ".." << info->maxInputs;
+            msg << " inputs, got " << stmt.inputs.size() << " (node "
+                << stmt.id << ")";
+            fail(msg.str());
+        }
+        if (stmt.params.size() < info->minParams ||
+            stmt.params.size() > info->maxParams) {
+            std::ostringstream msg;
+            msg << stmt.algorithm << " takes " << info->minParams;
+            if (info->maxParams != info->minParams)
+                msg << ".." << info->maxParams;
+            msg << " params, got " << stmt.params.size() << " (node "
+                << stmt.id << ")";
+            fail(msg.str());
+        }
+
+        for (const auto &in : input_streams) {
+            if (in.kind != info->inputKind)
+                fail(stmt.algorithm + " expects " +
+                     std::string(info->inputKind == ValueKind::Scalar
+                                     ? "scalar"
+                                     : info->inputKind == ValueKind::Frame
+                                           ? "frame"
+                                           : "complex-frame") +
+                     " inputs (node " + std::to_string(stmt.id) + ")");
+        }
+
+        streams[stmt.id] = deriveStream(stmt, *info, input_streams);
+    }
+
+    if (!seen_out)
+        fail("program has no OUT statement");
+
+    for (const auto &[id, stream] : streams) {
+        (void)stream;
+        if (!consumed.count(id))
+            fail("node " + std::to_string(id) +
+                 " is never consumed; pipelines must converge to OUT");
+    }
+
+    return streams;
+}
+
+} // namespace sidewinder::il

@@ -1,0 +1,106 @@
+#include "metrics/events.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace sidewinder::metrics {
+
+double
+MatchResult::recall() const
+{
+    const std::size_t total = truePositives + falseNegatives;
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(truePositives) /
+           static_cast<double>(total);
+}
+
+double
+MatchResult::precision() const
+{
+    const std::size_t total = truePositives + falsePositives;
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(truePositives) /
+           static_cast<double>(total);
+}
+
+namespace {
+
+MatchResult
+matchImpl(const std::vector<trace::GroundTruthEvent> &truth,
+          const std::vector<double> &detection_times, double tolerance,
+          bool coalesce)
+{
+    if (tolerance < 0.0)
+        throw ConfigError("match tolerance must be non-negative");
+
+    std::vector<double> detections = detection_times;
+    std::sort(detections.begin(), detections.end());
+
+    std::vector<bool> matched(truth.size(), false);
+    MatchResult result;
+
+    for (double t : detections) {
+        // Find any event whose padded interval contains t, preferring
+        // an unmatched one.
+        std::size_t found = truth.size();
+        std::size_t found_unmatched = truth.size();
+        for (std::size_t i = 0; i < truth.size(); ++i) {
+            if (t >= truth[i].startTime - tolerance &&
+                t <= truth[i].endTime + tolerance) {
+                found = i;
+                if (!matched[i]) {
+                    found_unmatched = i;
+                    break;
+                }
+            }
+        }
+
+        if (found_unmatched < truth.size()) {
+            matched[found_unmatched] = true;
+            ++result.truePositives;
+        } else if (found < truth.size()) {
+            // Inside an already-matched event.
+            if (!coalesce)
+                ++result.falsePositives;
+        } else {
+            ++result.falsePositives;
+        }
+    }
+
+    for (bool m : matched)
+        if (!m)
+            ++result.falseNegatives;
+    return result;
+}
+
+} // namespace
+
+MatchResult
+matchEvents(const std::vector<trace::GroundTruthEvent> &truth,
+            const std::vector<double> &detection_times, double tolerance)
+{
+    return matchImpl(truth, detection_times, tolerance, false);
+}
+
+MatchResult
+matchEventsCoalesced(const std::vector<trace::GroundTruthEvent> &truth,
+                     const std::vector<double> &detection_times,
+                     double tolerance)
+{
+    return matchImpl(truth, detection_times, tolerance, true);
+}
+
+double
+savingsFraction(double always_awake_mw, double approach_mw,
+                double oracle_mw)
+{
+    const double available = always_awake_mw - oracle_mw;
+    if (available <= 0.0)
+        return 0.0;
+    return (always_awake_mw - approach_mw) / available;
+}
+
+} // namespace sidewinder::metrics

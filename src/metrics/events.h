@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Detection-quality metrics: matching detections to ground truth and
+ * computing the recall / precision the paper reports (Section 4.3).
+ */
+
+#ifndef SIDEWINDER_METRICS_EVENTS_H
+#define SIDEWINDER_METRICS_EVENTS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace sidewinder::metrics {
+
+/** Outcome of matching detections against ground truth. */
+struct MatchResult
+{
+    /** Ground-truth events matched by at least one detection. */
+    std::size_t truePositives = 0;
+    /** Detections matching no ground-truth event. */
+    std::size_t falsePositives = 0;
+    /** Ground-truth events no detection matched. */
+    std::size_t falseNegatives = 0;
+
+    /** TP / (TP + FN); 1 when there is no ground truth. */
+    double recall() const;
+
+    /** TP / (TP + FP); 1 when there are no detections. */
+    double precision() const;
+};
+
+/**
+ * Greedy one-to-one matching of detection timestamps to ground-truth
+ * events: a detection at time t matches an unmatched event whose
+ * padded interval [start - tolerance, end + tolerance] contains t.
+ * Extra detections inside an already-matched event count as false
+ * positives (over-reporting hurts precision).
+ *
+ * @param truth Ground-truth events, sorted by start time.
+ * @param detection_times Detection timestamps, seconds, sorted.
+ * @param tolerance Padding applied to each event interval, seconds.
+ */
+MatchResult matchEvents(const std::vector<trace::GroundTruthEvent> &truth,
+                        const std::vector<double> &detection_times,
+                        double tolerance);
+
+/**
+ * Variant that treats multiple detections inside one event interval
+ * as a single detection (appropriate for events with duration, e.g. a
+ * siren yielding several window-level triggers).
+ */
+MatchResult
+matchEventsCoalesced(const std::vector<trace::GroundTruthEvent> &truth,
+                     const std::vector<double> &detection_times,
+                     double tolerance);
+
+/**
+ * Fraction of the available power savings an approach achieves
+ * relative to the Oracle (Section 5.2 of the paper):
+ * (AlwaysAwake - approach) / (AlwaysAwake - Oracle).
+ */
+double savingsFraction(double always_awake_mw, double approach_mw,
+                       double oracle_mw);
+
+} // namespace sidewinder::metrics
+
+#endif // SIDEWINDER_METRICS_EVENTS_H

@@ -1,0 +1,60 @@
+#include "sim/calibrate.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace sidewinder::sim {
+
+CalibrationResult
+calibratePredefinedThreshold(const std::vector<trace::Trace> &traces,
+                             const apps::Application &app,
+                             std::vector<double> candidates,
+                             SimConfig base)
+{
+    if (traces.empty())
+        throw ConfigError("calibration needs at least one trace");
+    if (candidates.empty())
+        throw ConfigError("calibration needs candidate thresholds");
+
+    std::sort(candidates.begin(), candidates.end(),
+              std::greater<double>());
+
+    base.strategy = Strategy::PredefinedActivity;
+
+    for (double threshold : candidates) {
+        base.predefinedThreshold = threshold;
+        double power_sum = 0.0;
+        bool full_recall = true;
+        for (const auto &trace : traces) {
+            const SimResult result = simulate(trace, app, base);
+            power_sum += result.averagePowerMw;
+            if (result.recall < 1.0) {
+                full_recall = false;
+                break;
+            }
+        }
+        if (full_recall) {
+            CalibrationResult out;
+            out.threshold = threshold;
+            out.averagePowerMw =
+                power_sum / static_cast<double>(traces.size());
+            out.achievedFullRecall = true;
+            return out;
+        }
+    }
+
+    // Even the most sensitive candidate misses events; report it.
+    CalibrationResult out;
+    out.threshold = candidates.back();
+    base.predefinedThreshold = out.threshold;
+    double power_sum = 0.0;
+    for (const auto &trace : traces)
+        power_sum += simulate(trace, app, base).averagePowerMw;
+    out.averagePowerMw =
+        power_sum / static_cast<double>(traces.size());
+    out.achievedFullRecall = false;
+    return out;
+}
+
+} // namespace sidewinder::sim

@@ -1,0 +1,34 @@
+#include "sim/power_model.h"
+
+namespace sidewinder::sim {
+
+PowerModel
+nexus4()
+{
+    return PowerModel{};
+}
+
+PowerModel
+nexus4WithHub(double hub_mw)
+{
+    PowerModel model;
+    model.hubMw = hub_mw;
+    return model;
+}
+
+double
+nexus4BatteryMj()
+{
+    // 2100 mAh * 3.8 V = 7.98 Wh = 28728 J.
+    return 2100.0 * 3.6 * 3.8 * 1000.0;
+}
+
+double
+batteryLifeHours(double average_power_mw)
+{
+    if (average_power_mw <= 0.0)
+        return 0.0;
+    return nexus4BatteryMj() / average_power_mw / 3600.0;
+}
+
+} // namespace sidewinder::sim

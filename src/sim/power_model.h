@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Power model of the Google Nexus 4 prototype, parameterized with the
+ * measured values of Table 1 of the paper:
+ *
+ *     Awake, running sensor-driven application   323 mW
+ *     Asleep                                     9.7 mW
+ *     Asleep-to-Awake transition                 384 mW, ~1 s
+ *     Awake-to-Asleep transition                 341 mW, ~1 s
+ *
+ * plus the (optional) always-on sensor-hub microcontroller power
+ * (Section 4.3: "the power model accounts for ... the cost of a
+ * low-power TI MSP430 microcontroller").
+ */
+
+#ifndef SIDEWINDER_SIM_POWER_MODEL_H
+#define SIDEWINDER_SIM_POWER_MODEL_H
+
+namespace sidewinder::sim {
+
+/** Power characteristics of the simulated device. */
+struct PowerModel
+{
+    /** Main CPU awake and running the application, mW. */
+    double awakeMw = 323.0;
+    /** Main CPU in its sleep state, mW. */
+    double asleepMw = 9.7;
+    /** Asleep-to-awake transition power, mW. */
+    double wakeTransitionMw = 384.0;
+    /** Awake-to-asleep transition power, mW. */
+    double sleepTransitionMw = 341.0;
+    /** Duration of each transition, seconds. */
+    double transitionSeconds = 1.0;
+    /** Always-on sensor-hub power, mW (0 when no hub is used). */
+    double hubMw = 0.0;
+};
+
+/** The measured Nexus 4 profile with no sensor hub attached. */
+PowerModel nexus4();
+
+/** Nexus 4 plus an always-on hub consuming @p hub_mw. */
+PowerModel nexus4WithHub(double hub_mw);
+
+/** Nexus 4 battery capacity (2100 mAh at 3.8 V), millijoules. */
+double nexus4BatteryMj();
+
+/**
+ * Hours a Nexus 4 battery lasts at a sustained @p average_power_mw —
+ * the user-facing number behind every milliwatt in the evaluation
+ * (the paper's motivation: continuous sensing "results in poor
+ * battery life").
+ */
+double batteryLifeHours(double average_power_mw);
+
+} // namespace sidewinder::sim
+
+#endif // SIDEWINDER_SIM_POWER_MODEL_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Trace-driven simulator (Section 4 of the paper): replays a recorded
+ * trace under one of the sensing configurations of Section 4.2 —
+ * Always Awake, Duty Cycling, Batching, Predefined Activity,
+ * Sidewinder, or the Oracle — and reports power, wake-ups, recall and
+ * precision.
+ */
+
+#ifndef SIDEWINDER_SIM_SIMULATOR_H
+#define SIDEWINDER_SIM_SIMULATOR_H
+
+#include <string>
+
+#include "apps/app.h"
+#include "metrics/events.h"
+#include "sim/power_model.h"
+#include "sim/timeline.h"
+#include "trace/types.h"
+
+namespace sidewinder::sim {
+
+/** Which hardware executes the Sidewinder wake-up condition. */
+enum class HubBackend {
+    /** MSP430 / LM4F120 selected by the capability model (paper). */
+    Microcontroller,
+    /** The modeled iCE40-class FPGA fabric (Section 7 future work). */
+    Fpga,
+};
+
+/** The sensing configurations of Section 4.2 of the paper. */
+enum class Strategy {
+    /** Main CPU awake for the whole trace. */
+    AlwaysAwake,
+    /** Wake every N seconds, sample for the dwell, sleep again. */
+    DutyCycling,
+    /** Like Duty Cycling, but the hub buffers data across sleeps. */
+    Batching,
+    /** Hub runs the manufacturer's significant-motion/sound detector. */
+    PredefinedActivity,
+    /** Hub runs the application's custom wake-up condition. */
+    Sidewinder,
+    /** Hypothetical ideal: awake exactly during events of interest. */
+    Oracle,
+};
+
+/** Short display name, e.g. "DC-10" for Duty Cycling at 10 s. */
+std::string strategyName(Strategy strategy,
+                         double sleep_interval_seconds = 0.0);
+
+/** Parameters of one simulation. */
+struct SimConfig
+{
+    Strategy strategy = Strategy::AlwaysAwake;
+    /** Sleep interval for Duty Cycling / Batching, seconds. */
+    double sleepIntervalSeconds = 10.0;
+    /**
+     * Data-collection dwell of Duty Cycling / Batching, seconds
+     * (Section 4.2: "collect sensor data for 4 seconds").
+     */
+    double awakeDwellSeconds = 4.0;
+    /**
+     * How long the device stays awake after the *last* hub trigger of
+     * an event-driven wake-up (Predefined Activity / Sidewinder) —
+     * long enough to run the second-stage classifier on the buffered
+     * data, far shorter than a blind collection window. 0 (the
+     * default) uses the application's own recommendation
+     * (apps::Application::recommendedEventDwellSeconds).
+     */
+    double eventDwellSeconds = 0.0;
+    /**
+     * Raw-history window the hub hands the application on a wake-up,
+     * seconds (Section 3.8: the hub passes buffered raw sensor data).
+     * 0 (the default) uses the application's own recommendation
+     * (apps::Application::recommendedLookbackSeconds).
+     */
+    double lookbackSeconds = 0.0;
+    /** Cross-condition node sharing on the hub. */
+    bool shareHubNodes = true;
+    /**
+     * Threshold of the Predefined Activity detector; 0 selects the
+     * built-in default for the application's sensor type.
+     */
+    double predefinedThreshold = 0.0;
+    /** Hub hardware for the Sidewinder strategy. */
+    HubBackend hubBackend = HubBackend::Microcontroller;
+};
+
+/** Outputs of one simulation. */
+struct SimResult
+{
+    /** Display name of the configuration, e.g. "Sw" or "DC-10". */
+    std::string configName;
+    /** State occupancy and energy. */
+    TimelineSummary timeline;
+    /** Average power, mW (timeline.averagePowerMw). */
+    double averagePowerMw = 0.0;
+    /** Raw hub OUT firings (before awake-interval merging). */
+    std::size_t hubTriggerCount = 0;
+    /** Detection quality against ground truth. */
+    metrics::MatchResult detection;
+    double recall = 1.0;
+    double precision = 1.0;
+    /** Hub microcontroller used ("" when the strategy needs none). */
+    std::string mcuName;
+    /** Hub power included in the model, mW. */
+    double hubMw = 0.0;
+    /**
+     * Mean delay from event start to the device being awake and able
+     * to process it (the paper's timeliness concern for Batching),
+     * seconds.
+     */
+    double meanDetectionLatencySeconds = 0.0;
+};
+
+/**
+ * Replay @p trace for @p app under @p config.
+ *
+ * @throws ConfigError when the trace lacks a channel the application
+ *     needs; CapabilityError when a Sidewinder condition fits no
+ *     available MCU.
+ */
+SimResult simulate(const trace::Trace &trace,
+                   const apps::Application &app, const SimConfig &config);
+
+} // namespace sidewinder::sim
+
+#endif // SIDEWINDER_SIM_SIMULATOR_H

@@ -1,0 +1,107 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace sidewinder::sim {
+
+DeviceTimeline::DeviceTimeline(double total_seconds)
+    : total(total_seconds)
+{
+    if (!(total_seconds > 0.0))
+        throw ConfigError("timeline duration must be positive");
+}
+
+void
+DeviceTimeline::addAwakeInterval(double start, double end)
+{
+    start = std::max(start, 0.0);
+    end = std::min(end, total);
+    if (end <= start)
+        return;
+    intervals.push_back(Interval{start, end});
+}
+
+std::vector<Interval>
+DeviceTimeline::mergedIntervals(double min_gap) const
+{
+    std::vector<Interval> sorted = intervals;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+
+    std::vector<Interval> merged;
+    for (const auto &interval : sorted) {
+        if (!merged.empty() &&
+            interval.start <= merged.back().end + min_gap) {
+            merged.back().end = std::max(merged.back().end,
+                                         interval.end);
+        } else {
+            merged.push_back(interval);
+        }
+    }
+    return merged;
+}
+
+TimelineSummary
+DeviceTimeline::summarize(const PowerModel &model) const
+{
+    // Gaps strictly shorter than the two transitions cannot host a
+    // sleep; a gap of exactly two transition times is a (wasteful but
+    // legal) zero-second sleep, which is precisely what makes short
+    // duty-cycling intervals cost more than staying awake (§5.4).
+    const auto merged =
+        mergedIntervals(2.0 * model.transitionSeconds - 1e-9);
+
+    TimelineSummary summary;
+    summary.totalSeconds = total;
+    summary.wakeUps = merged.size();
+
+    for (const auto &interval : merged)
+        summary.awakeSeconds += interval.duration();
+
+    // Each awake episode needs one wake and one sleep transition,
+    // except where the episode touches the trace boundary.
+    double wake_trans = 0.0;
+    double sleep_trans = 0.0;
+    for (const auto &interval : merged) {
+        if (interval.start > 0.0)
+            wake_trans += std::min(model.transitionSeconds,
+                                   interval.start);
+        if (interval.end < total)
+            sleep_trans += std::min(model.transitionSeconds,
+                                    total - interval.end);
+    }
+
+    // Transitions eat into what would otherwise be asleep time; if
+    // the schedule is so dense that they do not fit, the device is
+    // effectively awake instead (clamp proportionally).
+    double asleep = total - summary.awakeSeconds - wake_trans -
+                    sleep_trans;
+    if (asleep < 0.0) {
+        const double trans = wake_trans + sleep_trans;
+        const double available = total - summary.awakeSeconds;
+        const double scale = trans > 0.0 ? available / trans : 0.0;
+        wake_trans *= scale;
+        sleep_trans *= scale;
+        asleep = 0.0;
+    }
+
+    summary.wakeTransitionSeconds = wake_trans;
+    summary.sleepTransitionSeconds = sleep_trans;
+    summary.asleepSeconds = asleep;
+
+    const double energy_mj =
+        summary.awakeSeconds * model.awakeMw +
+        summary.asleepSeconds * model.asleepMw +
+        wake_trans * model.wakeTransitionMw +
+        sleep_trans * model.sleepTransitionMw +
+        total * model.hubMw;
+    summary.energyMj = energy_mj;
+    summary.averagePowerMw = energy_mj / total;
+    return summary;
+}
+
+} // namespace sidewinder::sim

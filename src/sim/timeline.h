@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Awake/asleep bookkeeping of the simulated device.
+ *
+ * The simulator records when the main CPU must be awake; the timeline
+ * merges those intervals (a device cannot complete an
+ * awake-asleep-awake round trip inside two transition times), charges
+ * the wake/sleep transitions of Table 1, and prices the result with a
+ * PowerModel.
+ */
+
+#ifndef SIDEWINDER_SIM_TIMELINE_H
+#define SIDEWINDER_SIM_TIMELINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/power_model.h"
+
+namespace sidewinder::sim {
+
+/** A half-open awake interval in seconds. */
+struct Interval
+{
+    double start = 0.0;
+    double end = 0.0;
+
+    double duration() const { return end - start; }
+};
+
+/** Energy and state-occupancy summary of a simulated run. */
+struct TimelineSummary
+{
+    double totalSeconds = 0.0;
+    double awakeSeconds = 0.0;
+    double asleepSeconds = 0.0;
+    double wakeTransitionSeconds = 0.0;
+    double sleepTransitionSeconds = 0.0;
+    /** Number of distinct awake episodes (= wake-ups). */
+    std::size_t wakeUps = 0;
+    /** Average power over the whole run, mW (hub included). */
+    double averagePowerMw = 0.0;
+    /** Total energy over the run, millijoules. */
+    double energyMj = 0.0;
+};
+
+/** Accumulates awake intervals and prices them with a PowerModel. */
+class DeviceTimeline
+{
+  public:
+    /** @param total_seconds Length of the simulated trace. */
+    explicit DeviceTimeline(double total_seconds);
+
+    /**
+     * Mark [start, end) as requiring the main CPU awake. Intervals
+     * may be added in any order and may overlap; they are clamped to
+     * [0, total].
+     */
+    void addAwakeInterval(double start, double end);
+
+    /**
+     * Merged awake intervals, closing gaps shorter than @p min_gap
+     * seconds (a device cannot usefully sleep for less than the two
+     * transition times).
+     */
+    std::vector<Interval> mergedIntervals(double min_gap) const;
+
+    /** Price the timeline. Transition time is taken from the gaps. */
+    TimelineSummary summarize(const PowerModel &model) const;
+
+    /** Total simulated duration, seconds. */
+    double totalSeconds() const { return total; }
+
+  private:
+    double total;
+    std::vector<Interval> intervals;
+};
+
+} // namespace sidewinder::sim
+
+#endif // SIDEWINDER_SIM_TIMELINE_H

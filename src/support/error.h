@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Exception hierarchy used across the Sidewinder library.
+ *
+ * Following the gem5 fatal()/panic() distinction: ConfigError and
+ * ParseError correspond to user mistakes (bad pipeline wiring, malformed
+ * intermediate code), while InternalError flags conditions that indicate
+ * a bug in the library itself.
+ */
+
+#ifndef SIDEWINDER_SUPPORT_ERROR_H
+#define SIDEWINDER_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace sidewinder {
+
+/** Base class for all errors raised by the Sidewinder library. */
+class SidewinderError : public std::runtime_error
+{
+  public:
+    explicit SidewinderError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** A user-supplied configuration is invalid (bad pipeline, bad params). */
+class ConfigError : public SidewinderError
+{
+  public:
+    explicit ConfigError(const std::string &what) : SidewinderError(what) {}
+};
+
+/** Intermediate-language text failed to lex, parse, or validate. */
+class ParseError : public SidewinderError
+{
+  public:
+    explicit ParseError(const std::string &what) : SidewinderError(what) {}
+};
+
+/**
+ * A wake-up condition exceeds the capabilities of the selected
+ * microcontroller (e.g. FFT pipelines on the MSP430, Section 4 of the
+ * paper).
+ */
+class CapabilityError : public SidewinderError
+{
+  public:
+    explicit CapabilityError(const std::string &what)
+        : SidewinderError(what)
+    {}
+};
+
+/** A malformed frame or protocol violation on the phone-hub link. */
+class TransportError : public SidewinderError
+{
+  public:
+    explicit TransportError(const std::string &what)
+        : SidewinderError(what)
+    {}
+};
+
+/** An invariant inside the library was violated; indicates a bug. */
+class InternalError : public SidewinderError
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : SidewinderError(what)
+    {}
+};
+
+} // namespace sidewinder
+
+#endif // SIDEWINDER_SUPPORT_ERROR_H

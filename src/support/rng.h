@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic random number generation for trace synthesis.
+ *
+ * All trace generators draw from a Rng seeded explicitly so that every
+ * experiment in the repository is exactly reproducible. The paper's
+ * robot runs randomize the order of actions per run (Section 4.1); we
+ * reproduce that with per-run seeds.
+ */
+
+#ifndef SIDEWINDER_SUPPORT_RNG_H
+#define SIDEWINDER_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sidewinder {
+
+/** A seeded pseudo-random source with the sampling helpers we need. */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed) : engine(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+        return dist(engine);
+    }
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine);
+    }
+
+    /** Bernoulli trial that succeeds with probability @p p. */
+    bool
+    chance(double p)
+    {
+        std::bernoulli_distribution dist(p);
+        return dist(engine);
+    }
+
+    /**
+     * Draw an index according to @p weights (need not be normalized).
+     * @return index in [0, weights.size()).
+     */
+    std::size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        std::discrete_distribution<std::size_t> dist(weights.begin(),
+                                                     weights.end());
+        return dist(engine);
+    }
+
+    /** Derive an independent child generator (for per-run streams). */
+    Rng
+    fork()
+    {
+        return Rng(engine());
+    }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace sidewinder
+
+#endif // SIDEWINDER_SUPPORT_RNG_H

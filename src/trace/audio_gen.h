@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic audio traces with mixed-in events of interest.
+ *
+ * Stands in for the paper's "three half-hour audio traces in different
+ * environments: an office, a coffee shop and outdoors", into which
+ * audio events were mixed: "music (5% of each trace), speech (5% of
+ * each trace), and sirens (2% of each trace)" (Section 4.1).
+ *
+ * Events are synthesized to carry exactly the features the paper's
+ * detectors key on (Section 3.7.2):
+ *  - sirens: strongly pitched sweeps in 850-1800 Hz lasting > 650 ms
+ *    (high dominant-frequency peak-to-mean ratio);
+ *  - music: harmonic content with a beating amplitude envelope (high
+ *    amplitude variance, low zero-crossing-rate variance);
+ *  - speech: alternating voiced/unvoiced syllables (high ZCR variance
+ *    across sub-windows).
+ *
+ * A subset of speech segments contains the target "phrase" (< 1% of
+ * the trace), reproducing the paper's phrase-detection scenario where
+ * the wake-up condition fires on all speech but the Oracle only on the
+ * phrase itself (Section 5.2).
+ */
+
+#ifndef SIDEWINDER_TRACE_AUDIO_GEN_H
+#define SIDEWINDER_TRACE_AUDIO_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace sidewinder::trace {
+
+/** The three recording environments of Section 4.1. */
+enum class AudioEnvironment { Office, CoffeeShop, Outdoors };
+
+/** Printable name of an environment. */
+std::string audioEnvironmentName(AudioEnvironment environment);
+
+/** Parameters of one synthesized audio recording. */
+struct AudioTraceConfig
+{
+    AudioEnvironment environment = AudioEnvironment::Office;
+    /** Recording length in seconds (the paper used half-hour traces). */
+    double durationSeconds = 1800.0;
+    /** Audio sampling rate in Hz (must keep sirens below Nyquist). */
+    double sampleRateHz = 4000.0;
+    /** Fraction of the trace occupied by sirens. */
+    double sirenFraction = 0.02;
+    /** Fraction occupied by music. */
+    double musicFraction = 0.05;
+    /** Fraction occupied by speech. */
+    double speechFraction = 0.05;
+    /** Probability that a speech segment contains the phrase. */
+    double phraseProbability = 0.15;
+    /** Seed for the mixing script. */
+    std::uint64_t seed = 1;
+    /** Trace name recorded in the output. */
+    std::string name = "audio";
+};
+
+/**
+ * Generate one audio recording on a single channel named "AUDIO".
+ * Ground-truth events: "siren", "music", "speech", "phrase".
+ */
+Trace generateAudioTrace(const AudioTraceConfig &config);
+
+/**
+ * Generate the paper's three-environment corpus with derived seeds.
+ */
+std::vector<Trace> generateAudioCorpus(double duration_seconds,
+                                       std::uint64_t seed);
+
+} // namespace sidewinder::trace
+
+#endif // SIDEWINDER_TRACE_AUDIO_GEN_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace augmentation utilities: noise injection, gain errors, and
+ * resampling. Used by the robustness experiments to ask how far the
+ * wake-up conditions' 100%-recall calibration survives sensor
+ * imperfections the paper's single prototype could not vary.
+ */
+
+#ifndef SIDEWINDER_TRACE_AUGMENT_H
+#define SIDEWINDER_TRACE_AUGMENT_H
+
+#include <cstdint>
+
+#include "trace/types.h"
+
+namespace sidewinder::trace {
+
+/**
+ * Additive white Gaussian noise on every channel.
+ *
+ * @param sigma Noise standard deviation, in signal units.
+ * @param seed Deterministic noise stream seed.
+ */
+Trace addGaussianNoise(const Trace &trace, double sigma,
+                       std::uint64_t seed);
+
+/**
+ * Multiplicative gain error (sensor miscalibration): every sample of
+ * every channel scaled by @p gain.
+ */
+Trace applyGain(const Trace &trace, double gain);
+
+/**
+ * Constant per-channel offset (sensor bias). @p offsets must have one
+ * entry per channel.
+ */
+Trace applyOffset(const Trace &trace,
+                  const std::vector<double> &offsets);
+
+/**
+ * Integer decimation: keep every @p factor-th sample (a cheaper,
+ * lower-rate sensor). Ground-truth events are preserved; the sample
+ * rate is divided by @p factor.
+ */
+Trace decimate(const Trace &trace, std::size_t factor);
+
+} // namespace sidewinder::trace
+
+#endif // SIDEWINDER_TRACE_AUGMENT_H

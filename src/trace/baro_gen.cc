@@ -1,0 +1,124 @@
+#include "trace/baro_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace sidewinder::trace {
+
+namespace {
+
+/** Pressure change per building floor, hPa (negative going up). */
+constexpr double hpaPerFloor = 0.4;
+/** Sea-level-ish ambient pressure, hPa. */
+constexpr double ambientHpa = 1013.25;
+/** Sensor noise, hPa. */
+constexpr double noiseSigma = 0.012;
+
+} // namespace
+
+Trace
+generateBaroTrace(const BaroTraceConfig &config)
+{
+    if (config.durationSeconds <= 0.0 || config.sampleRateHz <= 0.0)
+        throw ConfigError("baro trace duration and rate must be "
+                          "positive");
+    if (config.rideFraction < 0.0 || config.rideFraction >= 0.5)
+        throw ConfigError("baro ride fraction must be in [0, 0.5)");
+
+    Trace trace;
+    trace.name = config.name;
+    trace.sampleRateHz = config.sampleRateHz;
+    trace.channelNames = {"BARO"};
+    trace.channels.assign(1, {});
+
+    Rng rng(config.seed);
+    const double dt = 1.0 / config.sampleRateHz;
+    const double total = config.durationSeconds;
+
+    double time = 0.0;
+    double level = ambientHpa + rng.uniform(-5.0, 5.0);
+    // Slow weather drift, hPa/s (~0.5 hPa/hour).
+    double drift = rng.uniform(-1.0, 1.0) * 1.4e-4;
+
+    double blip_left = 0.0;
+    double blip_amp = 0.0;
+
+    auto push = [&](double value) {
+        trace.channels[0].push_back(
+            value + rng.gaussian(0.0, noiseSigma));
+        time += dt;
+    };
+
+    auto emit_flat = [&](double seconds) {
+        const auto n =
+            static_cast<std::size_t>(seconds * config.sampleRateHz);
+        for (std::size_t i = 0; i < n; ++i) {
+            level += drift * dt;
+            if (blip_left <= 0.0 &&
+                rng.chance(config.blipsPerMinute * dt / 60.0)) {
+                blip_left = rng.uniform(0.3, 0.8);
+                blip_amp = rng.uniform(-0.08, 0.08);
+            }
+            double blip = 0.0;
+            if (blip_left > 0.0) {
+                blip = blip_amp;
+                blip_left -= dt;
+            }
+            push(level + blip);
+        }
+    };
+
+    auto emit_ride = [&]() {
+        // Elevator (fast) or stairs (slow), 1-6 floors, up or down.
+        const bool stairs = rng.chance(0.4);
+        const long floors = rng.uniformInt(1, stairs ? 2 : 6);
+        const double direction = rng.chance(0.5) ? -1.0 : 1.0;
+        const double delta =
+            direction * hpaPerFloor * static_cast<double>(floors);
+        const double seconds =
+            static_cast<double>(floors) *
+            (stairs ? rng.uniform(8.0, 14.0) : rng.uniform(2.5, 4.0));
+
+        const double start_time = time;
+        const double start_level = level;
+        const auto n =
+            static_cast<std::size_t>(seconds * config.sampleRateHz);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double phase =
+                static_cast<double>(i) / static_cast<double>(n);
+            // Smooth S-curve ride profile.
+            const double blend =
+                0.5 * (1.0 - std::cos(std::numbers::pi * phase));
+            level = start_level + delta * blend;
+            push(level);
+        }
+        trace.events.push_back(GroundTruthEvent{
+            event_type::floorChange, start_time, time});
+    };
+
+    const double ride_budget = total * config.rideFraction;
+    double ride_used = 0.0;
+    while (time < total - 40.0) {
+        emit_flat(rng.uniform(15.0, 60.0));
+        if (ride_used < ride_budget) {
+            const double before = time;
+            emit_ride();
+            ride_used += time - before;
+        }
+    }
+    if (time < total)
+        emit_flat(total - time);
+
+    std::sort(trace.events.begin(), trace.events.end(),
+              [](const GroundTruthEvent &a, const GroundTruthEvent &b) {
+                  return a.startTime < b.startTime;
+              });
+    trace.checkInvariants();
+    return trace;
+}
+
+} // namespace sidewinder::trace

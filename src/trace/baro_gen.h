@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic barometer traces for the floor-change extension.
+ *
+ * The paper's intro lists the barometer among the Nexus 5's sensors;
+ * the architecture is sensor-generic, so this generator (plus
+ * apps/floors.cc) demonstrates a third sensing domain beyond the
+ * paper's accelerometer and microphone evaluations.
+ *
+ * Physics: ~0.12 hPa of pressure drop per meter of ascent (~0.4 hPa
+ * per building floor). A trace is ambient pressure with slow weather
+ * drift and sensor noise, plus:
+ *  - elevator rides: smooth multi-floor ramps over several seconds
+ *    (ground-truth "floor" events);
+ *  - stair climbs: slower single-floor ramps (also "floor" events);
+ *  - HVAC/door transients: brief pressure blips that are *not*
+ *    events, giving the wake-up condition false-positive pressure.
+ */
+
+#ifndef SIDEWINDER_TRACE_BARO_GEN_H
+#define SIDEWINDER_TRACE_BARO_GEN_H
+
+#include <cstdint>
+
+#include "trace/types.h"
+
+namespace sidewinder::trace {
+
+/** Ground-truth label for floor-change events. */
+namespace event_type {
+inline const std::string floorChange = "floor";
+}
+
+/** Parameters of one synthesized barometer recording. */
+struct BaroTraceConfig
+{
+    /** Recording length in seconds. */
+    double durationSeconds = 1200.0;
+    /** Barometer sampling rate, Hz. */
+    double sampleRateHz = 20.0;
+    /** Fraction of time spent riding elevators / climbing stairs. */
+    double rideFraction = 0.04;
+    /** Mean transient blips (doors, HVAC) per minute. */
+    double blipsPerMinute = 1.0;
+    /** Seed for the script. */
+    std::uint64_t seed = 1;
+    /** Trace name recorded in the output. */
+    std::string name = "baro";
+};
+
+/**
+ * Generate one barometer recording on a single channel named "BARO".
+ * Ground-truth events: "floor" (one per ride, spanning the ramp).
+ */
+Trace generateBaroTrace(const BaroTraceConfig &config);
+
+} // namespace sidewinder::trace
+
+#endif // SIDEWINDER_TRACE_BARO_GEN_H

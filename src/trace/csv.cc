@@ -1,0 +1,167 @@
+#include "trace/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace sidewinder::trace {
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &line)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : line) {
+        if (c == ',') {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+double
+parseDouble(const std::string &text, const std::string &context)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || text.empty())
+        throw ParseError("trace csv: bad number '" + text + "' in " +
+                         context);
+    return value;
+}
+
+} // namespace
+
+void
+saveCsv(const Trace &trace, std::ostream &out)
+{
+    trace.checkInvariants();
+
+    out << "# sidewinder-trace v1\n";
+    out << "name=" << trace.name << "\n";
+    out << "rate=" << trace.sampleRateHz << "\n";
+    out << "channels=";
+    for (std::size_t i = 0; i < trace.channelNames.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        out << trace.channelNames[i];
+    }
+    out << "\n";
+    for (const auto &ev : trace.events)
+        out << "event=" << ev.type << "," << ev.startTime << ","
+            << ev.endTime << "\n";
+    out << "data\n";
+
+    out.precision(9);
+    const std::size_t n = trace.sampleCount();
+    for (std::size_t row = 0; row < n; ++row) {
+        for (std::size_t ch = 0; ch < trace.channels.size(); ++ch) {
+            if (ch > 0)
+                out << ",";
+            out << trace.channels[ch][row];
+        }
+        out << "\n";
+    }
+}
+
+void
+saveCsvFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw ConfigError("cannot open '" + path + "' for writing");
+    saveCsv(trace, out);
+}
+
+Trace
+loadCsv(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    bool in_data = false;
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        if (!in_data) {
+            if (line == "data") {
+                if (trace.channelNames.empty())
+                    throw ParseError(
+                        "trace csv: 'data' before 'channels='");
+                trace.channels.assign(trace.channelNames.size(), {});
+                in_data = true;
+                continue;
+            }
+            const auto eq = line.find('=');
+            if (eq == std::string::npos)
+                throw ParseError("trace csv: malformed header line '" +
+                                 line + "'");
+            const std::string key = line.substr(0, eq);
+            const std::string value = line.substr(eq + 1);
+            if (key == "name") {
+                trace.name = value;
+            } else if (key == "rate") {
+                trace.sampleRateHz = parseDouble(value, "rate");
+            } else if (key == "channels") {
+                trace.channelNames = splitCommas(value);
+            } else if (key == "event") {
+                const auto parts = splitCommas(value);
+                if (parts.size() != 3)
+                    throw ParseError("trace csv: malformed event '" +
+                                     value + "'");
+                GroundTruthEvent ev;
+                ev.type = parts[0];
+                ev.startTime = parseDouble(parts[1], "event start");
+                ev.endTime = parseDouble(parts[2], "event end");
+                trace.events.push_back(ev);
+            } else {
+                throw ParseError("trace csv: unknown header key '" +
+                                 key + "'");
+            }
+            continue;
+        }
+
+        const auto parts = splitCommas(line);
+        if (parts.size() != trace.channels.size())
+            throw ParseError("trace csv: row has " +
+                             std::to_string(parts.size()) +
+                             " columns, expected " +
+                             std::to_string(trace.channels.size()));
+        for (std::size_t ch = 0; ch < parts.size(); ++ch)
+            trace.channels[ch].push_back(
+                parseDouble(parts[ch], "data row"));
+    }
+
+    if (!in_data)
+        throw ParseError("trace csv: missing 'data' section");
+
+    std::sort(trace.events.begin(), trace.events.end(),
+              [](const GroundTruthEvent &a, const GroundTruthEvent &b) {
+                  return a.startTime < b.startTime;
+              });
+    trace.checkInvariants();
+    return trace;
+}
+
+Trace
+loadCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot open '" + path + "' for reading");
+    return loadCsv(in);
+}
+
+} // namespace sidewinder::trace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Persistence of traces in a simple self-describing CSV dialect so
+ * experiments can be re-run on stored traces and traces can be
+ * inspected with standard tooling.
+ *
+ * Format:
+ *
+ *     # sidewinder-trace v1
+ *     name=robot-g1-run0
+ *     rate=50
+ *     channels=ACC_X,ACC_Y,ACC_Z
+ *     event=step,12.0,12.1
+ *     event=walk,10.0,20.0
+ *     data
+ *     0.01,0.02,9.81
+ *     ...
+ */
+
+#ifndef SIDEWINDER_TRACE_CSV_H
+#define SIDEWINDER_TRACE_CSV_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/types.h"
+
+namespace sidewinder::trace {
+
+/** Serialize @p trace to @p out in the sidewinder-trace v1 format. */
+void saveCsv(const Trace &trace, std::ostream &out);
+
+/** Serialize @p trace to the file at @p path. */
+void saveCsvFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a trace from @p in.
+ * @throws ParseError on malformed input.
+ */
+Trace loadCsv(std::istream &in);
+
+/** Parse a trace from the file at @p path. */
+Trace loadCsvFile(const std::string &path);
+
+} // namespace sidewinder::trace
+
+#endif // SIDEWINDER_TRACE_CSV_H

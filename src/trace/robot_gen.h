@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic AIBO ERA-210 accelerometer traces.
+ *
+ * Stands in for the robotic-dog testbed of Section 4.1 of the paper:
+ * a prototype phone on the robot's back records 3-axis accelerometer
+ * data while the robot performs scripted runs of five actions —
+ * standing idle, walking, sit-to-stand, stand-to-sit, and headbutts —
+ * logging start/end of each action as ground truth.
+ *
+ * Signal signatures are chosen so the paper's detectors (Section 3.7.1)
+ * apply verbatim:
+ *  - steps: local maxima of low-pass-filtered x acceleration in
+ *    [2.5, 4.5] m/s^2;
+ *  - posture: standing when z in [9, 11] and y in [-1, 1]; sitting when
+ *    z in [7.5, 9.5] and y in [3.5, 5.5];
+ *  - headbutts: local y minima in [-6.75, -3.75] m/s^2.
+ */
+
+#ifndef SIDEWINDER_TRACE_ROBOT_GEN_H
+#define SIDEWINDER_TRACE_ROBOT_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace sidewinder::trace {
+
+/** Parameters of one scripted robot run. */
+struct RobotRunConfig
+{
+    /** Fraction of run time spent standing idle (0.9 / 0.5 / 0.1). */
+    double idleFraction = 0.9;
+    /** Run length in seconds. */
+    double durationSeconds = 600.0;
+    /** Accelerometer sampling rate in Hz. */
+    double sampleRateHz = 50.0;
+    /** Seed for the randomized action script. */
+    std::uint64_t seed = 1;
+    /** Trace name recorded in the output. */
+    std::string name = "robot-run";
+};
+
+/**
+ * Generate one scripted robot run.
+ *
+ * Active (non-idle) time is split 73% walking, 24% sit/stand
+ * transitions, 3% headbutts, with the action order randomized
+ * (Section 4.1). Ground-truth events emitted: "step" (one per step),
+ * "transition", "headbutt", plus "walk" and "active" segment
+ * annotations.
+ */
+Trace generateRobotRun(const RobotRunConfig &config);
+
+/**
+ * Generate the paper's 18-run corpus: 9 runs at 90% idle (group 1),
+ * 6 at 50% (group 2), 3 at 10% (group 3), with per-run derived seeds.
+ *
+ * @param duration_seconds Length of every run.
+ * @param seed Master seed; runs use independent derived streams.
+ */
+std::vector<Trace> generateRobotCorpus(double duration_seconds,
+                                       std::uint64_t seed);
+
+/** Idle fraction of the paper's activity group @p group (1, 2 or 3). */
+double robotGroupIdleFraction(int group);
+
+/** Number of runs the paper executed for @p group (9, 6 or 3). */
+int robotGroupRunCount(int group);
+
+} // namespace sidewinder::trace
+
+#endif // SIDEWINDER_TRACE_ROBOT_GEN_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * CRC-16/CCITT-FALSE checksum used to protect frames on the
+ * phone-to-hub serial link.
+ */
+
+#ifndef SIDEWINDER_TRANSPORT_CRC_H
+#define SIDEWINDER_TRANSPORT_CRC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sidewinder::transport {
+
+/** CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) of @p data. */
+std::uint16_t crc16(const std::vector<std::uint8_t> &data);
+
+/** Incremental form: fold @p byte into a running @p crc. */
+std::uint16_t crc16Step(std::uint16_t crc, std::uint8_t byte);
+
+} // namespace sidewinder::transport
+
+#endif // SIDEWINDER_TRANSPORT_CRC_H

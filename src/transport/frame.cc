@@ -1,0 +1,123 @@
+#include "transport/frame.h"
+
+#include "support/error.h"
+#include "transport/crc.h"
+
+namespace sidewinder::transport {
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &frame)
+{
+    if (frame.payload.size() > maxPayloadBytes)
+        throw TransportError("frame payload too large: " +
+                             std::to_string(frame.payload.size()));
+
+    std::vector<std::uint8_t> wire;
+    wire.reserve(frame.payload.size() + 6);
+    wire.push_back(frameSof);
+    wire.push_back(static_cast<std::uint8_t>(frame.type));
+    wire.push_back(
+        static_cast<std::uint8_t>(frame.payload.size() & 0xFF));
+    wire.push_back(
+        static_cast<std::uint8_t>((frame.payload.size() >> 8) & 0xFF));
+    wire.insert(wire.end(), frame.payload.begin(), frame.payload.end());
+
+    // The CRC covers type, length and payload (everything after SOF).
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 1; i < wire.size(); ++i)
+        crc = crc16Step(crc, wire[i]);
+    wire.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+    wire.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    return wire;
+}
+
+void
+FrameDecoder::restart(bool count_as_drop)
+{
+    if (count_as_drop)
+        dropped += 4 + payload.size();
+    state = State::Sync;
+    payload.clear();
+}
+
+void
+FrameDecoder::feed(std::uint8_t byte)
+{
+    switch (state) {
+      case State::Sync:
+        if (byte == frameSof) {
+            state = State::Type;
+            crcAccum = 0xFFFF;
+            payload.clear();
+        } else {
+            ++dropped;
+        }
+        return;
+      case State::Type:
+        type = byte;
+        crcAccum = crc16Step(crcAccum, byte);
+        if (type < 1 ||
+            type > static_cast<std::uint8_t>(MessageType::SensorBatch)) {
+            restart(true);
+            return;
+        }
+        state = State::LenLo;
+        return;
+      case State::LenLo:
+        expected = byte;
+        crcAccum = crc16Step(crcAccum, byte);
+        state = State::LenHi;
+        return;
+      case State::LenHi:
+        expected |= static_cast<std::size_t>(byte) << 8;
+        crcAccum = crc16Step(crcAccum, byte);
+        if (expected > maxPayloadBytes) {
+            restart(true);
+            return;
+        }
+        state = expected == 0 ? State::CrcHi : State::Payload;
+        return;
+      case State::Payload:
+        payload.push_back(byte);
+        crcAccum = crc16Step(crcAccum, byte);
+        if (payload.size() == expected)
+            state = State::CrcHi;
+        return;
+      case State::CrcHi:
+        crcReceived = static_cast<std::uint16_t>(byte) << 8;
+        state = State::CrcLo;
+        return;
+      case State::CrcLo:
+        crcReceived |= byte;
+        if (crcReceived == crcAccum) {
+            Frame frame;
+            frame.type = static_cast<MessageType>(type);
+            frame.payload = std::move(payload);
+            payload = {};
+            ready.push_back(std::move(frame));
+            restart(false);
+        } else {
+            restart(true);
+        }
+        return;
+    }
+}
+
+void
+FrameDecoder::feed(const std::vector<std::uint8_t> &bytes)
+{
+    for (std::uint8_t byte : bytes)
+        feed(byte);
+}
+
+std::optional<Frame>
+FrameDecoder::poll()
+{
+    if (ready.empty())
+        return std::nullopt;
+    Frame frame = std::move(ready.front());
+    ready.pop_front();
+    return frame;
+}
+
+} // namespace sidewinder::transport

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Framing layer of the phone-to-hub serial protocol.
+ *
+ * The prototype in the paper connects the Nexus 4 and the
+ * microcontroller "over the UART port made available by the Nexus 4
+ * debugging interface" (Section 3.4). A raw UART is an unreliable byte
+ * pipe, so every message travels inside a frame:
+ *
+ *     SOF(0x7E) | type(1) | length(2, LE) | payload | crc16(2, BE)
+ *
+ * The decoder resynchronizes by scanning for SOF after any CRC or
+ * length violation, counting the bytes it had to discard.
+ */
+
+#ifndef SIDEWINDER_TRANSPORT_FRAME_H
+#define SIDEWINDER_TRANSPORT_FRAME_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace sidewinder::transport {
+
+/** Message categories carried in a frame header. */
+enum class MessageType : std::uint8_t {
+    /** Phone -> hub: install a wake-up condition (IL text payload). */
+    ConfigPush = 1,
+    /** Hub -> phone: condition installed. */
+    ConfigAck = 2,
+    /** Hub -> phone: condition rejected (reason text payload). */
+    ConfigReject = 3,
+    /** Phone -> hub: remove a previously installed condition. */
+    ConfigRemove = 4,
+    /** Hub -> phone: wake-up with condition id and raw sensor data. */
+    WakeUp = 5,
+    /**
+     * Hub -> phone: a batch of buffered sensor samples (the Batching
+     * configuration of Section 4.2 and the raw-data streaming of
+     * Section 3.8).
+     */
+    SensorBatch = 6,
+};
+
+/** Start-of-frame marker byte. */
+constexpr std::uint8_t frameSof = 0x7E;
+
+/** Largest payload a frame may carry. */
+constexpr std::size_t maxPayloadBytes = 60000;
+
+/** One decoded (or to-be-encoded) frame. */
+struct Frame
+{
+    MessageType type = MessageType::ConfigPush;
+    std::vector<std::uint8_t> payload;
+
+    bool
+    operator==(const Frame &other) const
+    {
+        return type == other.type && payload == other.payload;
+    }
+};
+
+/**
+ * Encode @p frame into its wire bytes.
+ * @throws TransportError when the payload exceeds maxPayloadBytes.
+ */
+std::vector<std::uint8_t> encodeFrame(const Frame &frame);
+
+/**
+ * Streaming decoder: feed raw bytes, poll for completed frames.
+ * Corrupt input never throws — bad bytes are skipped and counted so a
+ * noisy link degrades instead of wedging the hub.
+ */
+class FrameDecoder
+{
+  public:
+    /** Feed one received byte. */
+    void feed(std::uint8_t byte);
+
+    /** Feed a span of received bytes. */
+    void feed(const std::vector<std::uint8_t> &bytes);
+
+    /** Retrieve the next completed frame, if any. */
+    std::optional<Frame> poll();
+
+    /** Bytes discarded during resynchronization so far. */
+    std::size_t droppedBytes() const { return dropped; }
+
+  private:
+    enum class State { Sync, Type, LenLo, LenHi, Payload, CrcHi, CrcLo };
+
+    void restart(bool count_as_drop);
+
+    State state = State::Sync;
+    std::uint8_t type = 0;
+    std::size_t expected = 0;
+    std::vector<std::uint8_t> payload;
+    std::uint16_t crcAccum = 0;
+    std::uint16_t crcReceived = 0;
+    std::size_t dropped = 0;
+    std::deque<Frame> ready;
+};
+
+} // namespace sidewinder::transport
+
+#endif // SIDEWINDER_TRANSPORT_FRAME_H

@@ -1,0 +1,63 @@
+#include "transport/link.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace sidewinder::transport {
+
+UartLink::UartLink(double baud_rate) : baudRate(baud_rate)
+{
+    if (!(baud_rate > 0.0))
+        throw TransportError("baud rate must be positive");
+}
+
+double
+UartLink::transferSeconds(std::size_t byte_count) const
+{
+    // 8N1: start bit + 8 data bits + stop bit per byte.
+    return static_cast<double>(byte_count) * 10.0 / baudRate;
+}
+
+void
+UartLink::send(const std::vector<std::uint8_t> &bytes, double now)
+{
+    double start = std::max(now, lineBusyUntil);
+    for (std::uint8_t byte : bytes) {
+        const double done = start + transferSeconds(1);
+        const std::uint8_t delivered = corrupt ? corrupt(byte) : byte;
+        inFlight.push_back(InFlight{delivered, done});
+        start = done;
+    }
+    lineBusyUntil = start;
+}
+
+void
+UartLink::sendFrame(const Frame &frame, double now)
+{
+    send(encodeFrame(frame), now);
+}
+
+std::vector<std::uint8_t>
+UartLink::receive(double now)
+{
+    std::vector<std::uint8_t> out;
+    while (!inFlight.empty() &&
+           inFlight.front().deliveryTime <= now + 1e-12) {
+        out.push_back(inFlight.front().byte);
+        inFlight.pop_front();
+    }
+    return out;
+}
+
+std::size_t
+UartLink::pendingBytes(double now) const
+{
+    std::size_t count = 0;
+    for (const auto &entry : inFlight)
+        if (entry.deliveryTime > now + 1e-12)
+            ++count;
+    return count;
+}
+
+} // namespace sidewinder::transport

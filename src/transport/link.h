@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Simulated UART link with baud-rate timing and fault injection.
+ *
+ * Models the serial connection of the prototype (Section 3.4): a
+ * byte pipe whose delivery time is bounded by the configured baud
+ * rate. The paper notes the link "provides sufficient bandwidth to
+ * support low bit-rate sensors"; bandwidthBitsPerSecond() lets callers
+ * check that claim for their own sensor mix.
+ */
+
+#ifndef SIDEWINDER_TRANSPORT_LINK_H
+#define SIDEWINDER_TRANSPORT_LINK_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "transport/frame.h"
+
+namespace sidewinder::transport {
+
+/**
+ * One direction of a simulated UART connection.
+ *
+ * Bytes written with send() become available to receive() only after
+ * the serialization delay implied by the baud rate (8N1 framing: 10
+ * bit times per byte). An optional corruption hook lets tests flip
+ * bits in transit to exercise the decoder's resynchronization.
+ */
+class UartLink
+{
+  public:
+    /** @param baud_rate Line rate in bits/second; must be positive. */
+    explicit UartLink(double baud_rate);
+
+    /** Queue @p bytes for transmission starting at time @p now. */
+    void send(const std::vector<std::uint8_t> &bytes, double now);
+
+    /** Queue an encoded frame for transmission at time @p now. */
+    void sendFrame(const Frame &frame, double now);
+
+    /** Bytes fully delivered by time @p now, in order. */
+    std::vector<std::uint8_t> receive(double now);
+
+    /** Seconds needed to serialize @p byte_count bytes. */
+    double transferSeconds(std::size_t byte_count) const;
+
+    /** Usable payload bandwidth in bits/second (8 of every 10 bits). */
+    double bandwidthBitsPerSecond() const { return baudRate * 0.8; }
+
+    /**
+     * Install a per-byte corruption hook; it receives the byte and
+     * returns the (possibly corrupted) byte to deliver.
+     */
+    void
+    setCorruptor(std::function<std::uint8_t(std::uint8_t)> corruptor)
+    {
+        corrupt = std::move(corruptor);
+    }
+
+    /** Bytes still in flight at time @p now. */
+    std::size_t pendingBytes(double now) const;
+
+  private:
+    struct InFlight
+    {
+        std::uint8_t byte;
+        double deliveryTime;
+    };
+
+    double baudRate;
+    /** Time the transmitter becomes free again. */
+    double lineBusyUntil = 0.0;
+    std::deque<InFlight> inFlight;
+    std::function<std::uint8_t(std::uint8_t)> corrupt;
+};
+
+/**
+ * A full-duplex connection: the phone-side and hub-side endpoints the
+ * sensor manager and hub runtime talk through.
+ */
+class LinkPair
+{
+  public:
+    /** Create both directions at the same @p baud_rate. */
+    explicit LinkPair(double baud_rate)
+        : phoneToHubLink(baud_rate), hubToPhoneLink(baud_rate)
+    {}
+
+    /** Phone -> hub direction. */
+    UartLink &phoneToHub() { return phoneToHubLink; }
+
+    /** Hub -> phone direction. */
+    UartLink &hubToPhone() { return hubToPhoneLink; }
+
+  private:
+    UartLink phoneToHubLink;
+    UartLink hubToPhoneLink;
+};
+
+} // namespace sidewinder::transport
+
+#endif // SIDEWINDER_TRANSPORT_LINK_H

@@ -1,0 +1,308 @@
+#include "transport/messages.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace sidewinder::transport {
+
+namespace {
+
+/** Little-endian primitive writer over a growing byte vector. */
+class Writer
+{
+  public:
+    void
+    u32(std::uint32_t value)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(
+                static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+    }
+
+    void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+
+    void
+    f64(double value)
+    {
+        std::uint64_t raw;
+        static_assert(sizeof(raw) == sizeof(value));
+        std::memcpy(&raw, &value, sizeof(raw));
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(
+                static_cast<std::uint8_t>((raw >> (8 * i)) & 0xFF));
+    }
+
+    void
+    text(const std::string &value)
+    {
+        u32(static_cast<std::uint32_t>(value.size()));
+        bytes.insert(bytes.end(), value.begin(), value.end());
+    }
+
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Bounds-checked little-endian reader over a frame payload. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &bytes)
+        : bytes(bytes)
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return bytes[pos++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+        return value;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    double
+    f64()
+    {
+        need(8);
+        std::uint64_t raw = 0;
+        for (int i = 0; i < 8; ++i)
+            raw |= static_cast<std::uint64_t>(bytes[pos++]) << (8 * i);
+        double value;
+        std::memcpy(&value, &raw, sizeof(value));
+        return value;
+    }
+
+    std::string
+    text()
+    {
+        const std::uint32_t length = u32();
+        need(length);
+        std::string value(bytes.begin() + static_cast<long>(pos),
+                          bytes.begin() + static_cast<long>(pos + length));
+        pos += length;
+        return value;
+    }
+
+    void
+    expectEnd() const
+    {
+        if (pos != bytes.size())
+            throw TransportError("message payload has trailing bytes");
+    }
+
+  private:
+    void
+    need(std::size_t count) const
+    {
+        if (pos + count > bytes.size())
+            throw TransportError("message payload truncated");
+    }
+
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t pos = 0;
+};
+
+void
+expectType(const Frame &frame, MessageType type, const char *what)
+{
+    if (frame.type != type)
+        throw TransportError(std::string("frame is not a ") + what +
+                             " message");
+}
+
+} // namespace
+
+Frame
+encodeConfigPush(const ConfigPushMessage &message)
+{
+    Writer w;
+    w.i32(message.conditionId);
+    w.text(message.ilText);
+    return Frame{MessageType::ConfigPush, std::move(w.bytes)};
+}
+
+Frame
+encodeConfigAck(const ConfigAckMessage &message)
+{
+    Writer w;
+    w.i32(message.conditionId);
+    return Frame{MessageType::ConfigAck, std::move(w.bytes)};
+}
+
+Frame
+encodeConfigReject(const ConfigRejectMessage &message)
+{
+    Writer w;
+    w.i32(message.conditionId);
+    w.text(message.reason);
+    return Frame{MessageType::ConfigReject, std::move(w.bytes)};
+}
+
+Frame
+encodeConfigRemove(const ConfigRemoveMessage &message)
+{
+    Writer w;
+    w.i32(message.conditionId);
+    return Frame{MessageType::ConfigRemove, std::move(w.bytes)};
+}
+
+Frame
+encodeWakeUp(const WakeUpMessage &message)
+{
+    Writer w;
+    w.i32(message.conditionId);
+    w.f64(message.timestamp);
+    w.f64(message.triggerValue);
+    w.u32(static_cast<std::uint32_t>(message.rawData.size()));
+    for (double v : message.rawData)
+        w.f64(v);
+    return Frame{MessageType::WakeUp, std::move(w.bytes)};
+}
+
+Frame
+encodeSensorBatch(const SensorBatchMessage &message)
+{
+    if (!(message.scale > 0.0))
+        throw TransportError("sensor batch scale must be positive");
+
+    Writer w;
+    w.i32(message.channelIndex);
+    w.f64(message.firstTimestamp);
+    w.f64(message.sampleRateHz);
+    w.f64(message.scale);
+    w.u32(static_cast<std::uint32_t>(message.samples.size()));
+    for (double v : message.samples) {
+        const double raw = std::round(v / message.scale);
+        const auto clamped = static_cast<std::int16_t>(
+            std::clamp(raw, -32768.0, 32767.0));
+        const auto bits = static_cast<std::uint16_t>(clamped);
+        w.bytes.push_back(static_cast<std::uint8_t>(bits & 0xFF));
+        w.bytes.push_back(
+            static_cast<std::uint8_t>((bits >> 8) & 0xFF));
+    }
+    return Frame{MessageType::SensorBatch, std::move(w.bytes)};
+}
+
+SensorBatchMessage
+decodeSensorBatch(const Frame &frame)
+{
+    expectType(frame, MessageType::SensorBatch, "SensorBatch");
+    Reader r(frame.payload);
+    SensorBatchMessage message;
+    message.channelIndex = r.i32();
+    message.firstTimestamp = r.f64();
+    message.sampleRateHz = r.f64();
+    message.scale = r.f64();
+    const std::uint32_t count = r.u32();
+    message.samples.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const auto lo = static_cast<std::uint16_t>(r.u8());
+        const auto hi = static_cast<std::uint16_t>(r.u8());
+        const auto bits = static_cast<std::uint16_t>(lo | (hi << 8));
+        message.samples.push_back(
+            static_cast<double>(static_cast<std::int16_t>(bits)) *
+            message.scale);
+    }
+    r.expectEnd();
+    return message;
+}
+
+std::size_t
+sensorBatchWireBytes(std::size_t sample_count,
+                     std::size_t samples_per_frame)
+{
+    if (samples_per_frame == 0)
+        throw TransportError("samples_per_frame must be positive");
+    // Per frame: SOF+type+len+crc (6) + header (4+8+8+8+4 = 32) +
+    // 2 bytes per sample.
+    const std::size_t frames =
+        (sample_count + samples_per_frame - 1) / samples_per_frame;
+    return frames * (6 + 32) + sample_count * 2;
+}
+
+bool
+canStreamContinuously(double usable_bits_per_second,
+                      double sample_rate_hz)
+{
+    const std::size_t per_second_bytes =
+        sensorBatchWireBytes(static_cast<std::size_t>(sample_rate_hz));
+    return static_cast<double>(per_second_bytes) * 8.0 <=
+           usable_bits_per_second;
+}
+
+ConfigPushMessage
+decodeConfigPush(const Frame &frame)
+{
+    expectType(frame, MessageType::ConfigPush, "ConfigPush");
+    Reader r(frame.payload);
+    ConfigPushMessage message;
+    message.conditionId = r.i32();
+    message.ilText = r.text();
+    r.expectEnd();
+    return message;
+}
+
+ConfigAckMessage
+decodeConfigAck(const Frame &frame)
+{
+    expectType(frame, MessageType::ConfigAck, "ConfigAck");
+    Reader r(frame.payload);
+    ConfigAckMessage message;
+    message.conditionId = r.i32();
+    r.expectEnd();
+    return message;
+}
+
+ConfigRejectMessage
+decodeConfigReject(const Frame &frame)
+{
+    expectType(frame, MessageType::ConfigReject, "ConfigReject");
+    Reader r(frame.payload);
+    ConfigRejectMessage message;
+    message.conditionId = r.i32();
+    message.reason = r.text();
+    r.expectEnd();
+    return message;
+}
+
+ConfigRemoveMessage
+decodeConfigRemove(const Frame &frame)
+{
+    expectType(frame, MessageType::ConfigRemove, "ConfigRemove");
+    Reader r(frame.payload);
+    ConfigRemoveMessage message;
+    message.conditionId = r.i32();
+    r.expectEnd();
+    return message;
+}
+
+WakeUpMessage
+decodeWakeUp(const Frame &frame)
+{
+    expectType(frame, MessageType::WakeUp, "WakeUp");
+    Reader r(frame.payload);
+    WakeUpMessage message;
+    message.conditionId = r.i32();
+    message.timestamp = r.f64();
+    message.triggerValue = r.f64();
+    const std::uint32_t count = r.u32();
+    message.rawData.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        message.rawData.push_back(r.f64());
+    r.expectEnd();
+    return message;
+}
+
+} // namespace sidewinder::transport

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Typed messages carried over the framed serial link, with their
+ * payload (de)serialization.
+ */
+
+#ifndef SIDEWINDER_TRANSPORT_MESSAGES_H
+#define SIDEWINDER_TRANSPORT_MESSAGES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transport/frame.h"
+
+namespace sidewinder::transport {
+
+/** Phone -> hub: install a wake-up condition. */
+struct ConfigPushMessage
+{
+    /** Phone-assigned identifier of the condition. */
+    std::int32_t conditionId = 0;
+    /** Intermediate-language text of the condition. */
+    std::string ilText;
+};
+
+/** Hub -> phone: result of a ConfigPush. */
+struct ConfigAckMessage
+{
+    std::int32_t conditionId = 0;
+};
+
+/** Hub -> phone: a ConfigPush was rejected. */
+struct ConfigRejectMessage
+{
+    std::int32_t conditionId = 0;
+    /** Human-readable reason (validation or capability failure). */
+    std::string reason;
+};
+
+/** Phone -> hub: remove an installed condition. */
+struct ConfigRemoveMessage
+{
+    std::int32_t conditionId = 0;
+};
+
+/** Hub -> phone: a wake-up condition fired. */
+struct WakeUpMessage
+{
+    std::int32_t conditionId = 0;
+    /** Hub timestamp of the triggering value, seconds. */
+    double timestamp = 0.0;
+    /** Value that reached OUT. */
+    double triggerValue = 0.0;
+    /**
+     * Recent raw samples of the condition's primary channel, oldest
+     * first (Section 3.8: the implementation passes a buffer of raw
+     * sensor data to the application).
+     */
+    std::vector<double> rawData;
+};
+
+/**
+ * Hub -> phone: a batch of buffered samples from one channel.
+ *
+ * Samples travel as 16-bit fixed-point values (a real low-power hub
+ * would never ship doubles over a UART); `scale` converts them back:
+ * value = raw * scale. decode reconstructs doubles with the
+ * quantization the wire format implies.
+ */
+struct SensorBatchMessage
+{
+    /** Index of the channel on the hub. */
+    std::int32_t channelIndex = 0;
+    /** Timestamp of the first sample, seconds. */
+    double firstTimestamp = 0.0;
+    /** Sampling rate, Hz. */
+    double sampleRateHz = 0.0;
+    /** Fixed-point scale: value = raw * scale. */
+    double scale = 1.0 / 1024.0;
+    /** Decoded sample values. */
+    std::vector<double> samples;
+};
+
+/** @{ Frame encoding of each message. */
+Frame encodeConfigPush(const ConfigPushMessage &message);
+Frame encodeConfigAck(const ConfigAckMessage &message);
+Frame encodeConfigReject(const ConfigRejectMessage &message);
+Frame encodeConfigRemove(const ConfigRemoveMessage &message);
+Frame encodeWakeUp(const WakeUpMessage &message);
+Frame encodeSensorBatch(const SensorBatchMessage &message);
+/** @} */
+
+/**
+ * @{ Frame decoding; each throws TransportError when the frame type or
+ * payload shape does not match.
+ */
+ConfigPushMessage decodeConfigPush(const Frame &frame);
+ConfigAckMessage decodeConfigAck(const Frame &frame);
+ConfigRejectMessage decodeConfigReject(const Frame &frame);
+ConfigRemoveMessage decodeConfigRemove(const Frame &frame);
+WakeUpMessage decodeWakeUp(const Frame &frame);
+SensorBatchMessage decodeSensorBatch(const Frame &frame);
+/** @} */
+
+/**
+ * Wire bytes needed to ship @p sample_count samples in SensorBatch
+ * frames of at most @p samples_per_frame samples (header + payload +
+ * framing per frame).
+ */
+std::size_t sensorBatchWireBytes(std::size_t sample_count,
+                                 std::size_t samples_per_frame = 1024);
+
+/**
+ * True when a link with @p usable_bits_per_second sustains continuous
+ * streaming of one channel at @p sample_rate_hz in SensorBatch frames
+ * — the Section 3.4 feasibility question ("the serial connection
+ * provides sufficient bandwidth to support low bit-rate sensors ...
+ * higher bit-rate sensors like the camera would require a higher
+ * bandwidth data bus").
+ */
+bool canStreamContinuously(double usable_bits_per_second,
+                           double sample_rate_hz);
+
+} // namespace sidewinder::transport
+
+#endif // SIDEWINDER_TRANSPORT_MESSAGES_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Corpus-wide calibration invariant: the property Section 5 of the
+ * paper builds its entire comparison on — "we calibrated all
+ * approaches so that they all achieve 100% recall" — must hold for
+ * every accelerometer application on every run of the robot corpus,
+ * end to end through the simulator (hub condition + awake windows +
+ * second-stage classifier).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "sim/simulator.h"
+#include "trace/robot_gen.h"
+
+namespace sidewinder::sim {
+namespace {
+
+class CorpusCalibration : public ::testing::Test
+{
+  protected:
+    static const std::vector<trace::Trace> &
+    corpus()
+    {
+        static const std::vector<trace::Trace> traces =
+            trace::generateRobotCorpus(300.0, 20160402);
+        return traces;
+    }
+};
+
+TEST_F(CorpusCalibration, SidewinderFullRecallOnEveryRun)
+{
+    SimConfig config;
+    config.strategy = Strategy::Sidewinder;
+    for (const auto &app : apps::accelerometerApps()) {
+        for (const auto &t : corpus()) {
+            const auto r = simulate(t, *app, config);
+            EXPECT_DOUBLE_EQ(r.recall, 1.0)
+                << app->name() << " on " << t.name;
+            EXPECT_GE(r.precision, 0.85)
+                << app->name() << " on " << t.name;
+        }
+    }
+}
+
+TEST_F(CorpusCalibration, BatchingFullRecallOnEveryRun)
+{
+    SimConfig config;
+    config.strategy = Strategy::Batching;
+    config.sleepIntervalSeconds = 10.0;
+    for (const auto &app : apps::accelerometerApps()) {
+        for (const auto &t : corpus()) {
+            EXPECT_DOUBLE_EQ(simulate(t, *app, config).recall, 1.0)
+                << app->name() << " on " << t.name;
+        }
+    }
+}
+
+TEST_F(CorpusCalibration, SidewinderBelowAlwaysAwakeEverywhere)
+{
+    SimConfig config;
+    config.strategy = Strategy::Sidewinder;
+    for (const auto &app : apps::accelerometerApps()) {
+        for (const auto &t : corpus()) {
+            EXPECT_LT(simulate(t, *app, config).averagePowerMw, 323.0)
+                << app->name() << " on " << t.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace sidewinder::sim

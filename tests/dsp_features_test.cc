@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for feature extraction: vector magnitude, ZCR,
+ * statistics, dominant frequency.
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "dsp/features.h"
+#include "dsp/fft.h"
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+namespace {
+
+TEST(VectorMagnitude, PythagoreanTriple)
+{
+    EXPECT_DOUBLE_EQ(vectorMagnitude({3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(vectorMagnitude({1.0, 2.0, 2.0}), 3.0);
+}
+
+TEST(VectorMagnitude, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(vectorMagnitude({}), 0.0);
+}
+
+TEST(ZeroCrossingRate, AlternatingSignIsMaximal)
+{
+    EXPECT_DOUBLE_EQ(zeroCrossingRate({1.0, -1.0, 1.0, -1.0, 1.0}),
+                     1.0);
+}
+
+TEST(ZeroCrossingRate, ConstantSignIsZero)
+{
+    EXPECT_DOUBLE_EQ(zeroCrossingRate({1.0, 2.0, 3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(zeroCrossingRate({-1.0, -2.0}), 0.0);
+}
+
+TEST(ZeroCrossingRate, ShortFramesAreZero)
+{
+    EXPECT_DOUBLE_EQ(zeroCrossingRate({}), 0.0);
+    EXPECT_DOUBLE_EQ(zeroCrossingRate({5.0}), 0.0);
+}
+
+TEST(ZeroCrossingRate, SineMatchesTwiceFrequency)
+{
+    // A tone at frequency f crosses zero 2f times per second.
+    const double fs = 1000.0;
+    const double f = 50.0;
+    std::vector<double> frame(1000);
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        frame[i] = std::sin(2.0 * std::numbers::pi * f *
+                            static_cast<double>(i) / fs);
+    EXPECT_NEAR(zeroCrossingRate(frame), 2.0 * f / fs, 0.01);
+}
+
+TEST(Statistics, MeanVarianceStddev)
+{
+    const std::vector<double> frame = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                       7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(frame), 5.0);
+    EXPECT_DOUBLE_EQ(variance(frame), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(frame), 2.0);
+}
+
+TEST(Statistics, EmptyFrameDefaults)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({}), 0.0);
+    EXPECT_DOUBLE_EQ(rootMeanSquare({}), 0.0);
+    EXPECT_THROW(minimum({}), ConfigError);
+    EXPECT_THROW(maximum({}), ConfigError);
+    EXPECT_THROW(range({}), ConfigError);
+}
+
+TEST(Statistics, MinMaxRange)
+{
+    const std::vector<double> frame = {3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(minimum(frame), -1.0);
+    EXPECT_DOUBLE_EQ(maximum(frame), 7.0);
+    EXPECT_DOUBLE_EQ(range(frame), 8.0);
+}
+
+TEST(Statistics, RmsOfConstant)
+{
+    EXPECT_DOUBLE_EQ(rootMeanSquare({-3.0, -3.0, -3.0}), 3.0);
+}
+
+TEST(Statistics, RmsOfSine)
+{
+    std::vector<double> frame(1000);
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        frame[i] = 2.0 * std::sin(2.0 * std::numbers::pi * 10.0 *
+                                  static_cast<double>(i) / 1000.0);
+    EXPECT_NEAR(rootMeanSquare(frame), 2.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(DominantFrequency, NeedsAtLeastTwoBins)
+{
+    EXPECT_THROW(dominantFrequency({1.0}), ConfigError);
+}
+
+TEST(DominantFrequency, IgnoresDcBin)
+{
+    // Bin 0 (DC) is largest but must not be selected.
+    const auto dom = dominantFrequency({100.0, 1.0, 5.0, 2.0});
+    EXPECT_EQ(dom.bin, 2u);
+    EXPECT_DOUBLE_EQ(dom.magnitude, 5.0);
+    EXPECT_NEAR(dom.meanMagnitude, 8.0 / 3.0, 1e-12);
+}
+
+TEST(DominantFrequency, PeakToMeanRatioForPitchedTone)
+{
+    const double fs = 4000.0;
+    const std::size_t n = 256;
+    std::vector<double> frame(n);
+    for (std::size_t i = 0; i < n; ++i)
+        frame[i] = std::sin(2.0 * std::numbers::pi * 1000.0 *
+                            static_cast<double>(i) / fs);
+    const auto dom = dominantFrequency(magnitudeSpectrum(frame));
+    // 1000 Hz at fs 4000, n 256 -> bin 64.
+    EXPECT_EQ(dom.bin, 64u);
+    EXPECT_GT(dom.peakToMeanRatio(), 20.0);
+}
+
+TEST(DominantFrequency, ZeroSpectrumHasZeroRatio)
+{
+    const auto dom = dominantFrequency({0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(dom.peakToMeanRatio(), 0.0);
+}
+
+} // namespace
+} // namespace sidewinder::dsp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the streaming peak detector.
+ */
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/peaks.h"
+#include "support/error.h"
+
+namespace sidewinder::dsp {
+namespace {
+
+std::vector<double>
+runDetector(PeakDetector &det, const std::vector<double> &samples)
+{
+    std::vector<double> peaks;
+    for (double s : samples)
+        if (auto p = det.push(s))
+            peaks.push_back(*p);
+    return peaks;
+}
+
+TEST(PeakDetector, RejectsInvertedBand)
+{
+    EXPECT_THROW(PeakDetector(PeakPolarity::Maxima, 5.0, 1.0),
+                 ConfigError);
+}
+
+TEST(PeakDetector, FindsSimpleMaximum)
+{
+    PeakDetector det(PeakPolarity::Maxima, 2.0, 5.0);
+    const auto peaks = runDetector(det, {0.0, 1.0, 3.0, 1.0, 0.0});
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_DOUBLE_EQ(peaks[0], 3.0);
+}
+
+TEST(PeakDetector, IgnoresOutOfBandMaximum)
+{
+    PeakDetector det(PeakPolarity::Maxima, 2.0, 5.0);
+    // Peak at 7.0 is above the band; peak at 1.0 below it.
+    const auto peaks =
+        runDetector(det, {0.0, 7.0, 0.0, 1.0, 0.0});
+    EXPECT_TRUE(peaks.empty());
+}
+
+TEST(PeakDetector, FindsSimpleMinimum)
+{
+    PeakDetector det(PeakPolarity::Minima, -6.0, -3.0);
+    const auto peaks =
+        runDetector(det, {0.0, -2.0, -5.0, -2.0, 0.0});
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_DOUBLE_EQ(peaks[0], -5.0);
+}
+
+TEST(PeakDetector, PlateauIsSinglePeak)
+{
+    PeakDetector det(PeakPolarity::Maxima, 2.0, 5.0);
+    const auto peaks =
+        runDetector(det, {0.0, 3.0, 3.0, 3.0, 0.0});
+    EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(PeakDetector, RefractorySuppressesCloseRepeats)
+{
+    PeakDetector det(PeakPolarity::Maxima, 2.0, 5.0, 4);
+    // Two peaks 2 samples apart: second suppressed.
+    const auto peaks =
+        runDetector(det, {0.0, 3.0, 0.0, 3.0, 0.0});
+    EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(PeakDetector, RefractoryExpires)
+{
+    PeakDetector det(PeakPolarity::Maxima, 2.0, 5.0, 2);
+    const auto peaks = runDetector(
+        det, {0.0, 3.0, 0.0, 0.0, 0.0, 3.0, 0.0});
+    EXPECT_EQ(peaks.size(), 2u);
+}
+
+TEST(PeakDetector, ResetForgetsContext)
+{
+    PeakDetector det(PeakPolarity::Maxima, 2.0, 5.0);
+    det.push(0.0);
+    det.push(3.0);
+    det.reset();
+    // Without reset the next sample would confirm the 3.0 peak.
+    EXPECT_FALSE(det.push(0.0).has_value());
+}
+
+TEST(PeakDetector, CountsStepsInSyntheticGait)
+{
+    // Ten sin^2 bumps of amplitude 3.5 with gaps, like the step
+    // signature of the trace generators.
+    std::vector<double> samples;
+    for (int step = 0; step < 10; ++step) {
+        for (int i = 0; i < 12; ++i) {
+            const double phase =
+                static_cast<double>(i) / 12.0;
+            samples.push_back(
+                3.5 * std::pow(std::sin(std::numbers::pi * phase), 2));
+        }
+        for (int i = 0; i < 18; ++i)
+            samples.push_back(0.0);
+    }
+
+    PeakDetector det(PeakPolarity::Maxima, 2.5, 4.5, 15);
+    EXPECT_EQ(runDetector(det, samples).size(), 10u);
+}
+
+} // namespace
+} // namespace sidewinder::dsp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for detection matching and savings metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/events.h"
+#include "support/error.h"
+
+namespace sidewinder::metrics {
+namespace {
+
+using trace::GroundTruthEvent;
+
+std::vector<GroundTruthEvent>
+twoEvents()
+{
+    return {{"e", 1.0, 1.2}, {"e", 5.0, 5.2}};
+}
+
+TEST(Match, PerfectDetection)
+{
+    const auto r = matchEvents(twoEvents(), {1.1, 5.1}, 0.1);
+    EXPECT_EQ(r.truePositives, 2u);
+    EXPECT_EQ(r.falsePositives, 0u);
+    EXPECT_EQ(r.falseNegatives, 0u);
+    EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(r.precision(), 1.0);
+}
+
+TEST(Match, MissedEventCountsFalseNegative)
+{
+    const auto r = matchEvents(twoEvents(), {1.1}, 0.1);
+    EXPECT_EQ(r.truePositives, 1u);
+    EXPECT_EQ(r.falseNegatives, 1u);
+    EXPECT_DOUBLE_EQ(r.recall(), 0.5);
+}
+
+TEST(Match, SpuriousDetectionCountsFalsePositive)
+{
+    const auto r = matchEvents(twoEvents(), {1.1, 3.0, 5.1}, 0.1);
+    EXPECT_EQ(r.falsePositives, 1u);
+    EXPECT_DOUBLE_EQ(r.precision(), 2.0 / 3.0);
+}
+
+TEST(Match, ToleranceWidensAcceptance)
+{
+    EXPECT_EQ(matchEvents(twoEvents(), {0.5}, 0.1).truePositives, 0u);
+    EXPECT_EQ(matchEvents(twoEvents(), {0.5}, 0.6).truePositives, 1u);
+}
+
+TEST(Match, NegativeToleranceThrows)
+{
+    EXPECT_THROW(matchEvents(twoEvents(), {}, -1.0), ConfigError);
+}
+
+TEST(Match, DoubleCountingPenalizedUncoalesced)
+{
+    const auto r = matchEvents(twoEvents(), {1.05, 1.1, 5.1}, 0.1);
+    EXPECT_EQ(r.truePositives, 2u);
+    EXPECT_EQ(r.falsePositives, 1u);
+}
+
+TEST(Match, CoalescedIgnoresRepeatsInsideEvent)
+{
+    const auto r =
+        matchEventsCoalesced(twoEvents(), {1.05, 1.1, 1.15, 5.1}, 0.1);
+    EXPECT_EQ(r.truePositives, 2u);
+    EXPECT_EQ(r.falsePositives, 0u);
+}
+
+TEST(Match, EmptyTruthAndDetections)
+{
+    const auto r = matchEvents({}, {}, 0.1);
+    EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(r.precision(), 1.0);
+}
+
+TEST(Match, UnsortedDetectionsHandled)
+{
+    const auto r = matchEvents(twoEvents(), {5.1, 1.1}, 0.1);
+    EXPECT_EQ(r.truePositives, 2u);
+}
+
+TEST(Savings, PaperFormula)
+{
+    // (AA - X) / (AA - Oracle), Section 5.2.
+    EXPECT_DOUBLE_EQ(savingsFraction(323.0, 323.0, 16.8), 0.0);
+    EXPECT_DOUBLE_EQ(savingsFraction(323.0, 16.8, 16.8), 1.0);
+    EXPECT_NEAR(savingsFraction(323.0, 47.4, 16.8), 0.9, 1e-3);
+}
+
+TEST(Savings, DegenerateDenominator)
+{
+    EXPECT_DOUBLE_EQ(savingsFraction(100.0, 50.0, 100.0), 0.0);
+}
+
+} // namespace
+} // namespace sidewinder::metrics

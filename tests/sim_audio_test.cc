@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Simulator orderings on the audio domain (the Table 2 relationships
+ * of the paper, at test scale): Oracle <= Sidewinder << Always Awake,
+ * PA beats Sidewinder for the common loud event (sirens need the big
+ * MCU) but loses for selective conditions, and the phrase detector's
+ * wake-on-speech suboptimality stays within the bound of §5.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "metrics/events.h"
+#include "sim/calibrate.h"
+#include "sim/simulator.h"
+#include "trace/audio_gen.h"
+
+namespace sidewinder::sim {
+namespace {
+
+trace::Trace
+audioTrace(std::uint64_t seed = 42)
+{
+    trace::AudioTraceConfig config;
+    config.environment = trace::AudioEnvironment::Office;
+    config.durationSeconds = 300.0;
+    config.seed = seed;
+    config.phraseProbability = 0.5;
+    return trace::generateAudioTrace(config);
+}
+
+SimResult
+run(const trace::Trace &t, const apps::Application &app,
+    Strategy strategy)
+{
+    SimConfig config;
+    config.strategy = strategy;
+    return simulate(t, app, config);
+}
+
+TEST(SimAudio, SirenUsesTheBigMcuAndKeepsRecall)
+{
+    const auto app = apps::makeSirenApp();
+    const auto trace = audioTrace();
+    const auto sw = run(trace, *app, Strategy::Sidewinder);
+    EXPECT_EQ(sw.mcuName, "LM4F120");
+    EXPECT_DOUBLE_EQ(sw.recall, 1.0);
+    // The LM4F120 floor: Sidewinder can never drop below hub power
+    // plus sleeping phone.
+    EXPECT_GE(sw.averagePowerMw, 49.4 + 9.7);
+    EXPECT_LT(sw.averagePowerMw, 323.0 / 2.0);
+}
+
+TEST(SimAudio, MusicAndPhraseStayOnTheSmallMcu)
+{
+    const auto trace = audioTrace();
+    for (auto make : {apps::makeMusicJournalApp, apps::makePhraseApp}) {
+        const auto app = make();
+        const auto sw = run(trace, *app, Strategy::Sidewinder);
+        EXPECT_EQ(sw.mcuName, "MSP430") << app->name();
+        EXPECT_DOUBLE_EQ(sw.recall, 1.0) << app->name();
+    }
+}
+
+TEST(SimAudio, OracleIsTheFloor)
+{
+    const auto trace = audioTrace();
+    for (const auto &app : apps::audioApps()) {
+        const auto oracle = run(trace, *app, Strategy::Oracle);
+        const auto sw = run(trace, *app, Strategy::Sidewinder);
+        EXPECT_GE(sw.averagePowerMw, oracle.averagePowerMw)
+            << app->name();
+    }
+}
+
+TEST(SimAudio, PhraseWakesOnSpeechYetSavesMostPower)
+{
+    // §5.2: the wake condition fires for every speech segment (~5% of
+    // the trace) though the phrase is rarer; even so Sidewinder
+    // achieves ~90% of the possible saving.
+    const auto app = apps::makePhraseApp();
+    const auto trace = audioTrace();
+    const auto sw = run(trace, *app, Strategy::Sidewinder);
+    const auto oracle = run(trace, *app, Strategy::Oracle);
+
+    const auto speech = trace.eventsOfType(trace::event_type::speech);
+    const auto phrases = trace.eventsOfType(trace::event_type::phrase);
+    ASSERT_GT(speech.size(), phrases.size());
+    // More hub triggers than phrases: the suboptimality is real...
+    EXPECT_GT(sw.hubTriggerCount, phrases.size());
+    // ...yet the savings share still clears the paper's ~90% bar.
+    EXPECT_GE(metrics::savingsFraction(323.0, sw.averagePowerMw,
+                                       oracle.averagePowerMw),
+              0.88);
+}
+
+TEST(SimAudio, PredefinedActivityCheaperOnlyForSiren)
+{
+    // §5.3 on audio: with the paper's over-fit threshold calibration,
+    // PA beat Sidewinder for sirens (which carry the LM4F120 cost)
+    // but lost for the more selective phrase condition.
+    const std::vector<trace::Trace> traces = {audioTrace()};
+    const std::vector<double> candidates = {0.05, 0.07, 0.09,
+                                            0.12, 0.16, 0.22};
+
+    const auto siren = apps::makeSirenApp();
+    const auto siren_cal =
+        calibratePredefinedThreshold(traces, *siren, candidates);
+    EXPECT_TRUE(siren_cal.achievedFullRecall);
+    const double sw_siren =
+        run(traces[0], *siren, Strategy::Sidewinder).averagePowerMw;
+    EXPECT_LT(siren_cal.averagePowerMw, sw_siren);
+
+    const auto phrase = apps::makePhraseApp();
+    const auto phrase_cal =
+        calibratePredefinedThreshold(traces, *phrase, candidates);
+    const double sw_phrase =
+        run(traces[0], *phrase, Strategy::Sidewinder).averagePowerMw;
+    EXPECT_GT(phrase_cal.averagePowerMw, sw_phrase);
+}
+
+TEST(SimAudio, DutyCyclingMissesShortSirens)
+{
+    const auto app = apps::makeSirenApp();
+    const auto trace = audioTrace(7);
+    SimConfig config;
+    config.strategy = Strategy::DutyCycling;
+    config.sleepIntervalSeconds = 30.0;
+    const auto dc = simulate(trace, *app, config);
+    EXPECT_LT(dc.recall, 1.0);
+}
+
+} // namespace
+} // namespace sidewinder::sim

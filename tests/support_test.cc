@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the support module: ring buffer, RNG determinism,
+ * and logging levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/ring_buffer.h"
+#include "support/rng.h"
+
+namespace sidewinder {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity)
+{
+    EXPECT_THROW(RingBuffer<int>(0), ConfigError);
+}
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> buf(4);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.capacity(), 4u);
+}
+
+TEST(RingBuffer, FillsInOrder)
+{
+    RingBuffer<int> buf(3);
+    buf.push(1);
+    buf.push(2);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf[0], 1);
+    EXPECT_EQ(buf[1], 2);
+    EXPECT_EQ(buf.front(), 1);
+    EXPECT_EQ(buf.back(), 2);
+}
+
+TEST(RingBuffer, EvictsOldestWhenFull)
+{
+    RingBuffer<int> buf(3);
+    for (int i = 1; i <= 5; ++i)
+        buf.push(i);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf[0], 3);
+    EXPECT_EQ(buf[1], 4);
+    EXPECT_EQ(buf[2], 5);
+}
+
+TEST(RingBuffer, SnapshotIsOldestFirst)
+{
+    RingBuffer<int> buf(3);
+    for (int i = 1; i <= 4; ++i)
+        buf.push(i);
+    const auto snap = buf.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0], 2);
+    EXPECT_EQ(snap[2], 4);
+}
+
+TEST(RingBuffer, ClearResets)
+{
+    RingBuffer<int> buf(2);
+    buf.push(7);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    buf.push(9);
+    EXPECT_EQ(buf.front(), 9);
+}
+
+TEST(RingBuffer, OutOfRangeIndexThrows)
+{
+    RingBuffer<int> buf(2);
+    buf.push(1);
+    EXPECT_THROW(buf[1], InternalError);
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights)
+{
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        const auto idx = rng.weightedIndex({0.0, 1.0, 0.0});
+        EXPECT_EQ(idx, 1u);
+    }
+}
+
+TEST(Rng, GaussianRoughlyCentered)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 1.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.fork();
+    // Child stream differs from the parent's continued stream.
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform(0.0, 1.0) != child.uniform(0.0, 1.0);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Logging, LevelGates)
+{
+    const LogLevel old_level = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    // Should not crash / emit below threshold.
+    inform("suppressed");
+    warn("suppressed");
+    setLogLevel(old_level);
+}
+
+} // namespace
+} // namespace sidewinder

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the transport layer: CRC, frame codec with fault
+ * injection, message serialization, and UART timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "transport/crc.h"
+#include "transport/frame.h"
+#include "transport/link.h"
+#include "transport/messages.h"
+
+namespace sidewinder::transport {
+namespace {
+
+TEST(Crc16, KnownVector)
+{
+    // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    const std::string text = "123456789";
+    std::vector<std::uint8_t> data(text.begin(), text.end());
+    EXPECT_EQ(crc16(data), 0x29B1);
+}
+
+TEST(Crc16, EmptyIsInit)
+{
+    EXPECT_EQ(crc16({}), 0xFFFF);
+}
+
+TEST(FrameCodec, RoundTripsPayload)
+{
+    Frame frame;
+    frame.type = MessageType::WakeUp;
+    frame.payload = {1, 2, 3, 0x7E, 0xFF, 0};
+
+    FrameDecoder decoder;
+    decoder.feed(encodeFrame(frame));
+    const auto decoded = decoder.poll();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, frame);
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_EQ(decoder.droppedBytes(), 0u);
+}
+
+TEST(FrameCodec, RoundTripsEmptyPayload)
+{
+    Frame frame;
+    frame.type = MessageType::ConfigAck;
+
+    FrameDecoder decoder;
+    decoder.feed(encodeFrame(frame));
+    const auto decoded = decoder.poll();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameCodec, RejectsOversizedPayload)
+{
+    Frame frame;
+    frame.payload.assign(maxPayloadBytes + 1, 0);
+    EXPECT_THROW(encodeFrame(frame), TransportError);
+}
+
+TEST(FrameCodec, ResynchronizesAfterNoise)
+{
+    Frame frame;
+    frame.type = MessageType::ConfigPush;
+    frame.payload = {42, 43};
+
+    FrameDecoder decoder;
+    decoder.feed({0x00, 0x13, 0x37}); // line noise
+    decoder.feed(encodeFrame(frame));
+    const auto decoded = decoder.poll();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, frame);
+    EXPECT_EQ(decoder.droppedBytes(), 3u);
+}
+
+TEST(FrameCodec, DropsCorruptedFrameButRecovers)
+{
+    Frame frame;
+    frame.type = MessageType::WakeUp;
+    frame.payload = {9, 9, 9, 9};
+
+    auto corrupted = encodeFrame(frame);
+    corrupted[5] ^= 0x40; // flip a payload bit -> CRC mismatch
+
+    FrameDecoder decoder;
+    decoder.feed(corrupted);
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_GT(decoder.droppedBytes(), 0u);
+
+    decoder.feed(encodeFrame(frame));
+    const auto decoded = decoder.poll();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, frame);
+}
+
+TEST(FrameCodec, SurvivesRandomNoiseBetweenFrames)
+{
+    Rng rng(17);
+    FrameDecoder decoder;
+    std::size_t delivered = 0;
+    for (int round = 0; round < 50; ++round) {
+        // Noise burst (may accidentally contain SOF bytes).
+        const auto noise_len = rng.uniformInt(0, 20);
+        for (long i = 0; i < noise_len; ++i)
+            decoder.feed(
+                static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+
+        Frame frame;
+        frame.type = MessageType::WakeUp;
+        frame.payload = {static_cast<std::uint8_t>(round)};
+        decoder.feed(encodeFrame(frame));
+        while (auto f = decoder.poll()) {
+            // Only count frames with our expected shape; noise can
+            // theoretically fabricate a valid frame but CRC16 makes
+            // that vanishingly rare within 50 rounds.
+            if (f->type == MessageType::WakeUp &&
+                f->payload.size() == 1)
+                ++delivered;
+        }
+    }
+    // Noise may eat the frame that follows it (the decoder may be
+    // mid-"frame" when the real SOF arrives), but most must survive.
+    EXPECT_GE(delivered, 25u);
+}
+
+TEST(Messages, ConfigPushRoundTrip)
+{
+    ConfigPushMessage message{7, "ACC_X -> movingAvg(id=1);\n"};
+    const auto decoded = decodeConfigPush(encodeConfigPush(message));
+    EXPECT_EQ(decoded.conditionId, 7);
+    EXPECT_EQ(decoded.ilText, message.ilText);
+}
+
+TEST(Messages, RejectRoundTripPreservesReason)
+{
+    ConfigRejectMessage message{3, "capability exceeded"};
+    const auto decoded =
+        decodeConfigReject(encodeConfigReject(message));
+    EXPECT_EQ(decoded.conditionId, 3);
+    EXPECT_EQ(decoded.reason, "capability exceeded");
+}
+
+TEST(Messages, WakeUpRoundTripPreservesRawData)
+{
+    WakeUpMessage message;
+    message.conditionId = 2;
+    message.timestamp = 123.456;
+    message.triggerValue = -6.5;
+    message.rawData = {0.1, -0.2, 9.81};
+    const auto decoded = decodeWakeUp(encodeWakeUp(message));
+    EXPECT_EQ(decoded.conditionId, 2);
+    EXPECT_DOUBLE_EQ(decoded.timestamp, 123.456);
+    EXPECT_DOUBLE_EQ(decoded.triggerValue, -6.5);
+    ASSERT_EQ(decoded.rawData.size(), 3u);
+    EXPECT_DOUBLE_EQ(decoded.rawData[2], 9.81);
+}
+
+TEST(Messages, TypeMismatchThrows)
+{
+    const auto frame = encodeConfigAck({1});
+    EXPECT_THROW(decodeWakeUp(frame), TransportError);
+}
+
+TEST(Messages, TruncatedPayloadThrows)
+{
+    auto frame = encodeWakeUp({1, 0.0, 0.0, {1.0, 2.0}});
+    frame.payload.resize(frame.payload.size() - 4);
+    EXPECT_THROW(decodeWakeUp(frame), TransportError);
+}
+
+TEST(UartLink, RejectsBadBaud)
+{
+    EXPECT_THROW(UartLink(0.0), TransportError);
+}
+
+TEST(UartLink, TransferTimeMatches8N1)
+{
+    UartLink link(115200.0);
+    EXPECT_NEAR(link.transferSeconds(1152), 0.1, 1e-9);
+    EXPECT_NEAR(link.bandwidthBitsPerSecond(), 92160.0, 1e-9);
+}
+
+TEST(UartLink, DeliversOnlyAfterSerializationDelay)
+{
+    UartLink link(1000.0); // 10 ms per byte
+    link.send({1, 2, 3}, 0.0);
+    EXPECT_TRUE(link.receive(0.005).empty());
+    EXPECT_EQ(link.receive(0.0101).size(), 1u);
+    EXPECT_EQ(link.receive(0.0301).size(), 2u);
+    EXPECT_EQ(link.pendingBytes(0.0301), 0u);
+}
+
+TEST(UartLink, QueuesBackToBackSends)
+{
+    UartLink link(1000.0);
+    link.send({1}, 0.0);
+    link.send({2}, 0.0); // must wait for the first byte
+    auto bytes = link.receive(0.0201);
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 1);
+    EXPECT_EQ(bytes[1], 2);
+}
+
+TEST(UartLink, CorruptorAffectsDelivery)
+{
+    UartLink link(1e6);
+    link.setCorruptor([](std::uint8_t b) {
+        return static_cast<std::uint8_t>(b ^ 0xFF);
+    });
+    link.send({0x0F}, 0.0);
+    const auto bytes = link.receive(1.0);
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xF0);
+}
+
+TEST(UartLink, FrameOverCorruptLinkIsDroppedByDecoder)
+{
+    UartLink link(1e6);
+    int count = 0;
+    link.setCorruptor([&count](std::uint8_t b) {
+        ++count;
+        return count == 6 ? static_cast<std::uint8_t>(b ^ 1) : b;
+    });
+
+    Frame frame;
+    frame.type = MessageType::ConfigAck;
+    frame.payload = {1, 2, 3, 4};
+    link.sendFrame(frame, 0.0);
+
+    FrameDecoder decoder;
+    decoder.feed(link.receive(1.0));
+    EXPECT_FALSE(decoder.poll().has_value());
+}
+
+
+TEST(SensorBatch, RoundTripsWithQuantization)
+{
+    SensorBatchMessage message;
+    message.channelIndex = 2;
+    message.firstTimestamp = 10.5;
+    message.sampleRateHz = 50.0;
+    message.scale = 1.0 / 1024.0;
+    message.samples = {0.0, 1.0, -2.5, 9.81};
+
+    const auto decoded =
+        decodeSensorBatch(encodeSensorBatch(message));
+    EXPECT_EQ(decoded.channelIndex, 2);
+    EXPECT_DOUBLE_EQ(decoded.firstTimestamp, 10.5);
+    ASSERT_EQ(decoded.samples.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(decoded.samples[i], message.samples[i],
+                    message.scale);
+}
+
+TEST(SensorBatch, ClampsOutOfRangeValues)
+{
+    SensorBatchMessage message;
+    message.scale = 1.0;
+    message.samples = {1e9, -1e9};
+    const auto decoded =
+        decodeSensorBatch(encodeSensorBatch(message));
+    EXPECT_DOUBLE_EQ(decoded.samples[0], 32767.0);
+    EXPECT_DOUBLE_EQ(decoded.samples[1], -32768.0);
+}
+
+TEST(SensorBatch, RejectsBadScale)
+{
+    SensorBatchMessage message;
+    message.scale = 0.0;
+    EXPECT_THROW(encodeSensorBatch(message), TransportError);
+}
+
+TEST(SensorBatch, WireOverheadAccounting)
+{
+    // One frame: 38 bytes of framing/header + 2 per sample.
+    EXPECT_EQ(sensorBatchWireBytes(100, 1024), 38u + 200u);
+    // Two frames for 2000 samples at 1024 per frame.
+    EXPECT_EQ(sensorBatchWireBytes(2000, 1024), 2u * 38u + 4000u);
+    EXPECT_THROW(sensorBatchWireBytes(10, 0), TransportError);
+}
+
+TEST(SensorBatch, UartFeasibilityMatchesPaperClaims)
+{
+    // Section 3.4: the serial connection supports low bit-rate
+    // sensors (accelerometer, microphone, GPS) but not the camera.
+    const UartLink uart(115200.0);
+    const double usable = uart.bandwidthBitsPerSecond();
+    EXPECT_TRUE(canStreamContinuously(usable, 50.0));     // accel axis
+    EXPECT_TRUE(canStreamContinuously(usable, 3 * 50.0)); // 3 axes
+    EXPECT_TRUE(canStreamContinuously(usable, 4000.0));   // microphone
+    // A camera stream (640*480 pixels at 30 fps) is far beyond UART.
+    EXPECT_FALSE(canStreamContinuously(usable, 640.0 * 480.0 * 30.0));
+}
+
+} // namespace
+} // namespace sidewinder::transport
