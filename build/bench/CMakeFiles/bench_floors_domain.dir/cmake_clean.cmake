@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floors_domain.dir/bench_floors_domain.cpp.o"
+  "CMakeFiles/bench_floors_domain.dir/bench_floors_domain.cpp.o.d"
+  "bench_floors_domain"
+  "bench_floors_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floors_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fpga_ablation.cpp" "bench/CMakeFiles/bench_fpga_ablation.dir/bench_fpga_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_fpga_ablation.dir/bench_fpga_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hub/CMakeFiles/sw_hub.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sw_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/sw_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sw_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sw_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga_ablation.dir/bench_fpga_ablation.cpp.o"
+  "CMakeFiles/bench_fpga_ablation.dir/bench_fpga_ablation.cpp.o.d"
+  "bench_fpga_ablation"
+  "bench_fpga_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

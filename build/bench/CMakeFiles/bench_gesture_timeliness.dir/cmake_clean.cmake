@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gesture_timeliness.dir/bench_gesture_timeliness.cpp.o"
+  "CMakeFiles/bench_gesture_timeliness.dir/bench_gesture_timeliness.cpp.o.d"
+  "bench_gesture_timeliness"
+  "bench_gesture_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gesture_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

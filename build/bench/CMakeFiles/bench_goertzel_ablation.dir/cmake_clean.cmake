@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_goertzel_ablation.dir/bench_goertzel_ablation.cpp.o"
+  "CMakeFiles/bench_goertzel_ablation.dir/bench_goertzel_ablation.cpp.o.d"
+  "bench_goertzel_ablation"
+  "bench_goertzel_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_goertzel_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

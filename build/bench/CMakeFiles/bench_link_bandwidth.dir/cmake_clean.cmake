@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_bandwidth.dir/bench_link_bandwidth.cpp.o"
+  "CMakeFiles/bench_link_bandwidth.dir/bench_link_bandwidth.cpp.o.d"
+  "bench_link_bandwidth"
+  "bench_link_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whole_device.dir/bench_whole_device.cpp.o"
+  "CMakeFiles/bench_whole_device.dir/bench_whole_device.cpp.o.d"
+  "bench_whole_device"
+  "bench_whole_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whole_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

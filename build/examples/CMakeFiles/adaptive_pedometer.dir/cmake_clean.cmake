@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pedometer.dir/adaptive_pedometer.cpp.o"
+  "CMakeFiles/adaptive_pedometer.dir/adaptive_pedometer.cpp.o.d"
+  "adaptive_pedometer"
+  "adaptive_pedometer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pedometer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_journal.dir/music_journal.cpp.o"
+  "CMakeFiles/music_journal.dir/music_journal.cpp.o.d"
+  "music_journal"
+  "music_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

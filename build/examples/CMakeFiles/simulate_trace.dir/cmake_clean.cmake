@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_trace.dir/simulate_trace.cpp.o"
+  "CMakeFiles/simulate_trace.dir/simulate_trace.cpp.o.d"
+  "simulate_trace"
+  "simulate_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siren_monitor.dir/siren_monitor.cpp.o"
+  "CMakeFiles/siren_monitor.dir/siren_monitor.cpp.o.d"
+  "siren_monitor"
+  "siren_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siren_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_counter.dir/step_counter.cpp.o"
+  "CMakeFiles/step_counter.dir/step_counter.cpp.o.d"
+  "step_counter"
+  "step_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

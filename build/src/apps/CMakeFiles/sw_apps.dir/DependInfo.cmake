@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cc" "src/apps/CMakeFiles/sw_apps.dir/apps.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/apps.cc.o.d"
+  "/root/repo/src/apps/audio_features.cc" "src/apps/CMakeFiles/sw_apps.dir/audio_features.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/audio_features.cc.o.d"
+  "/root/repo/src/apps/floors.cc" "src/apps/CMakeFiles/sw_apps.dir/floors.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/floors.cc.o.d"
+  "/root/repo/src/apps/gesture.cc" "src/apps/CMakeFiles/sw_apps.dir/gesture.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/gesture.cc.o.d"
+  "/root/repo/src/apps/headbutts.cc" "src/apps/CMakeFiles/sw_apps.dir/headbutts.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/headbutts.cc.o.d"
+  "/root/repo/src/apps/music_journal.cc" "src/apps/CMakeFiles/sw_apps.dir/music_journal.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/music_journal.cc.o.d"
+  "/root/repo/src/apps/phrase.cc" "src/apps/CMakeFiles/sw_apps.dir/phrase.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/phrase.cc.o.d"
+  "/root/repo/src/apps/predefined.cc" "src/apps/CMakeFiles/sw_apps.dir/predefined.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/predefined.cc.o.d"
+  "/root/repo/src/apps/siren.cc" "src/apps/CMakeFiles/sw_apps.dir/siren.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/siren.cc.o.d"
+  "/root/repo/src/apps/steps.cc" "src/apps/CMakeFiles/sw_apps.dir/steps.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/steps.cc.o.d"
+  "/root/repo/src/apps/transitions.cc" "src/apps/CMakeFiles/sw_apps.dir/transitions.cc.o" "gcc" "src/apps/CMakeFiles/sw_apps.dir/transitions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sw_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sw_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/sw_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sw_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_apps.dir/apps.cc.o"
+  "CMakeFiles/sw_apps.dir/apps.cc.o.d"
+  "CMakeFiles/sw_apps.dir/audio_features.cc.o"
+  "CMakeFiles/sw_apps.dir/audio_features.cc.o.d"
+  "CMakeFiles/sw_apps.dir/floors.cc.o"
+  "CMakeFiles/sw_apps.dir/floors.cc.o.d"
+  "CMakeFiles/sw_apps.dir/gesture.cc.o"
+  "CMakeFiles/sw_apps.dir/gesture.cc.o.d"
+  "CMakeFiles/sw_apps.dir/headbutts.cc.o"
+  "CMakeFiles/sw_apps.dir/headbutts.cc.o.d"
+  "CMakeFiles/sw_apps.dir/music_journal.cc.o"
+  "CMakeFiles/sw_apps.dir/music_journal.cc.o.d"
+  "CMakeFiles/sw_apps.dir/phrase.cc.o"
+  "CMakeFiles/sw_apps.dir/phrase.cc.o.d"
+  "CMakeFiles/sw_apps.dir/predefined.cc.o"
+  "CMakeFiles/sw_apps.dir/predefined.cc.o.d"
+  "CMakeFiles/sw_apps.dir/siren.cc.o"
+  "CMakeFiles/sw_apps.dir/siren.cc.o.d"
+  "CMakeFiles/sw_apps.dir/steps.cc.o"
+  "CMakeFiles/sw_apps.dir/steps.cc.o.d"
+  "CMakeFiles/sw_apps.dir/transitions.cc.o"
+  "CMakeFiles/sw_apps.dir/transitions.cc.o.d"
+  "libsw_apps.a"
+  "libsw_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm.cc" "src/core/CMakeFiles/sw_core.dir/algorithm.cc.o" "gcc" "src/core/CMakeFiles/sw_core.dir/algorithm.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/sw_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/sw_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/sensor_manager.cc" "src/core/CMakeFiles/sw_core.dir/sensor_manager.cc.o" "gcc" "src/core/CMakeFiles/sw_core.dir/sensor_manager.cc.o.d"
+  "/root/repo/src/core/sensors.cc" "src/core/CMakeFiles/sw_core.dir/sensors.cc.o" "gcc" "src/core/CMakeFiles/sw_core.dir/sensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/il/CMakeFiles/sw_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_core.dir/algorithm.cc.o"
+  "CMakeFiles/sw_core.dir/algorithm.cc.o.d"
+  "CMakeFiles/sw_core.dir/pipeline.cc.o"
+  "CMakeFiles/sw_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/sw_core.dir/sensor_manager.cc.o"
+  "CMakeFiles/sw_core.dir/sensor_manager.cc.o.d"
+  "CMakeFiles/sw_core.dir/sensors.cc.o"
+  "CMakeFiles/sw_core.dir/sensors.cc.o.d"
+  "libsw_core.a"
+  "libsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

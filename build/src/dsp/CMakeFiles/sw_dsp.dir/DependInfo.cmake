@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/features.cc" "src/dsp/CMakeFiles/sw_dsp.dir/features.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/features.cc.o.d"
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/sw_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/filters.cc" "src/dsp/CMakeFiles/sw_dsp.dir/filters.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/filters.cc.o.d"
+  "/root/repo/src/dsp/goertzel.cc" "src/dsp/CMakeFiles/sw_dsp.dir/goertzel.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/goertzel.cc.o.d"
+  "/root/repo/src/dsp/peaks.cc" "src/dsp/CMakeFiles/sw_dsp.dir/peaks.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/peaks.cc.o.d"
+  "/root/repo/src/dsp/threshold.cc" "src/dsp/CMakeFiles/sw_dsp.dir/threshold.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/threshold.cc.o.d"
+  "/root/repo/src/dsp/window.cc" "src/dsp/CMakeFiles/sw_dsp.dir/window.cc.o" "gcc" "src/dsp/CMakeFiles/sw_dsp.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_dsp.dir/features.cc.o"
+  "CMakeFiles/sw_dsp.dir/features.cc.o.d"
+  "CMakeFiles/sw_dsp.dir/fft.cc.o"
+  "CMakeFiles/sw_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/sw_dsp.dir/filters.cc.o"
+  "CMakeFiles/sw_dsp.dir/filters.cc.o.d"
+  "CMakeFiles/sw_dsp.dir/goertzel.cc.o"
+  "CMakeFiles/sw_dsp.dir/goertzel.cc.o.d"
+  "CMakeFiles/sw_dsp.dir/peaks.cc.o"
+  "CMakeFiles/sw_dsp.dir/peaks.cc.o.d"
+  "CMakeFiles/sw_dsp.dir/threshold.cc.o"
+  "CMakeFiles/sw_dsp.dir/threshold.cc.o.d"
+  "CMakeFiles/sw_dsp.dir/window.cc.o"
+  "CMakeFiles/sw_dsp.dir/window.cc.o.d"
+  "libsw_dsp.a"
+  "libsw_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hub/autotune.cc" "src/hub/CMakeFiles/sw_hub.dir/autotune.cc.o" "gcc" "src/hub/CMakeFiles/sw_hub.dir/autotune.cc.o.d"
+  "/root/repo/src/hub/engine.cc" "src/hub/CMakeFiles/sw_hub.dir/engine.cc.o" "gcc" "src/hub/CMakeFiles/sw_hub.dir/engine.cc.o.d"
+  "/root/repo/src/hub/fpga.cc" "src/hub/CMakeFiles/sw_hub.dir/fpga.cc.o" "gcc" "src/hub/CMakeFiles/sw_hub.dir/fpga.cc.o.d"
+  "/root/repo/src/hub/kernels.cc" "src/hub/CMakeFiles/sw_hub.dir/kernels.cc.o" "gcc" "src/hub/CMakeFiles/sw_hub.dir/kernels.cc.o.d"
+  "/root/repo/src/hub/mcu.cc" "src/hub/CMakeFiles/sw_hub.dir/mcu.cc.o" "gcc" "src/hub/CMakeFiles/sw_hub.dir/mcu.cc.o.d"
+  "/root/repo/src/hub/runtime.cc" "src/hub/CMakeFiles/sw_hub.dir/runtime.cc.o" "gcc" "src/hub/CMakeFiles/sw_hub.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/sw_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/sw_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sw_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

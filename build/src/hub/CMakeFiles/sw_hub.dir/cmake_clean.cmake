@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_hub.dir/autotune.cc.o"
+  "CMakeFiles/sw_hub.dir/autotune.cc.o.d"
+  "CMakeFiles/sw_hub.dir/engine.cc.o"
+  "CMakeFiles/sw_hub.dir/engine.cc.o.d"
+  "CMakeFiles/sw_hub.dir/fpga.cc.o"
+  "CMakeFiles/sw_hub.dir/fpga.cc.o.d"
+  "CMakeFiles/sw_hub.dir/kernels.cc.o"
+  "CMakeFiles/sw_hub.dir/kernels.cc.o.d"
+  "CMakeFiles/sw_hub.dir/mcu.cc.o"
+  "CMakeFiles/sw_hub.dir/mcu.cc.o.d"
+  "CMakeFiles/sw_hub.dir/runtime.cc.o"
+  "CMakeFiles/sw_hub.dir/runtime.cc.o.d"
+  "libsw_hub.a"
+  "libsw_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/il/algorithm_info.cc" "src/il/CMakeFiles/sw_il.dir/algorithm_info.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/algorithm_info.cc.o.d"
+  "/root/repo/src/il/ast.cc" "src/il/CMakeFiles/sw_il.dir/ast.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/ast.cc.o.d"
+  "/root/repo/src/il/dot.cc" "src/il/CMakeFiles/sw_il.dir/dot.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/dot.cc.o.d"
+  "/root/repo/src/il/lexer.cc" "src/il/CMakeFiles/sw_il.dir/lexer.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/lexer.cc.o.d"
+  "/root/repo/src/il/optimize.cc" "src/il/CMakeFiles/sw_il.dir/optimize.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/optimize.cc.o.d"
+  "/root/repo/src/il/parser.cc" "src/il/CMakeFiles/sw_il.dir/parser.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/parser.cc.o.d"
+  "/root/repo/src/il/validate.cc" "src/il/CMakeFiles/sw_il.dir/validate.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/validate.cc.o.d"
+  "/root/repo/src/il/writer.cc" "src/il/CMakeFiles/sw_il.dir/writer.cc.o" "gcc" "src/il/CMakeFiles/sw_il.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_il.dir/algorithm_info.cc.o"
+  "CMakeFiles/sw_il.dir/algorithm_info.cc.o.d"
+  "CMakeFiles/sw_il.dir/ast.cc.o"
+  "CMakeFiles/sw_il.dir/ast.cc.o.d"
+  "CMakeFiles/sw_il.dir/dot.cc.o"
+  "CMakeFiles/sw_il.dir/dot.cc.o.d"
+  "CMakeFiles/sw_il.dir/lexer.cc.o"
+  "CMakeFiles/sw_il.dir/lexer.cc.o.d"
+  "CMakeFiles/sw_il.dir/optimize.cc.o"
+  "CMakeFiles/sw_il.dir/optimize.cc.o.d"
+  "CMakeFiles/sw_il.dir/parser.cc.o"
+  "CMakeFiles/sw_il.dir/parser.cc.o.d"
+  "CMakeFiles/sw_il.dir/validate.cc.o"
+  "CMakeFiles/sw_il.dir/validate.cc.o.d"
+  "CMakeFiles/sw_il.dir/writer.cc.o"
+  "CMakeFiles/sw_il.dir/writer.cc.o.d"
+  "libsw_il.a"
+  "libsw_il.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_il.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_metrics.dir/events.cc.o"
+  "CMakeFiles/sw_metrics.dir/events.cc.o.d"
+  "libsw_metrics.a"
+  "libsw_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

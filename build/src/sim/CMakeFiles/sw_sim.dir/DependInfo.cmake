@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/calibrate.cc" "src/sim/CMakeFiles/sw_sim.dir/calibrate.cc.o" "gcc" "src/sim/CMakeFiles/sw_sim.dir/calibrate.cc.o.d"
+  "/root/repo/src/sim/concurrent.cc" "src/sim/CMakeFiles/sw_sim.dir/concurrent.cc.o" "gcc" "src/sim/CMakeFiles/sw_sim.dir/concurrent.cc.o.d"
+  "/root/repo/src/sim/power_model.cc" "src/sim/CMakeFiles/sw_sim.dir/power_model.cc.o" "gcc" "src/sim/CMakeFiles/sw_sim.dir/power_model.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/sw_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/sw_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/sim/CMakeFiles/sw_sim.dir/timeline.cc.o" "gcc" "src/sim/CMakeFiles/sw_sim.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sw_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hub/CMakeFiles/sw_hub.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sw_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sw_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/sw_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sw_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

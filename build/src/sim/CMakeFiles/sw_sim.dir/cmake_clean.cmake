@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_sim.dir/calibrate.cc.o"
+  "CMakeFiles/sw_sim.dir/calibrate.cc.o.d"
+  "CMakeFiles/sw_sim.dir/concurrent.cc.o"
+  "CMakeFiles/sw_sim.dir/concurrent.cc.o.d"
+  "CMakeFiles/sw_sim.dir/power_model.cc.o"
+  "CMakeFiles/sw_sim.dir/power_model.cc.o.d"
+  "CMakeFiles/sw_sim.dir/simulator.cc.o"
+  "CMakeFiles/sw_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/sw_sim.dir/timeline.cc.o"
+  "CMakeFiles/sw_sim.dir/timeline.cc.o.d"
+  "libsw_sim.a"
+  "libsw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/sw_sim.dir/power_model.cc.o: \
+ /root/repo/src/sim/power_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sim/power_model.h

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/audio_gen.cc" "src/trace/CMakeFiles/sw_trace.dir/audio_gen.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/audio_gen.cc.o.d"
+  "/root/repo/src/trace/augment.cc" "src/trace/CMakeFiles/sw_trace.dir/augment.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/augment.cc.o.d"
+  "/root/repo/src/trace/baro_gen.cc" "src/trace/CMakeFiles/sw_trace.dir/baro_gen.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/baro_gen.cc.o.d"
+  "/root/repo/src/trace/csv.cc" "src/trace/CMakeFiles/sw_trace.dir/csv.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/csv.cc.o.d"
+  "/root/repo/src/trace/human_gen.cc" "src/trace/CMakeFiles/sw_trace.dir/human_gen.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/human_gen.cc.o.d"
+  "/root/repo/src/trace/robot_gen.cc" "src/trace/CMakeFiles/sw_trace.dir/robot_gen.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/robot_gen.cc.o.d"
+  "/root/repo/src/trace/types.cc" "src/trace/CMakeFiles/sw_trace.dir/types.cc.o" "gcc" "src/trace/CMakeFiles/sw_trace.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_trace.dir/audio_gen.cc.o"
+  "CMakeFiles/sw_trace.dir/audio_gen.cc.o.d"
+  "CMakeFiles/sw_trace.dir/augment.cc.o"
+  "CMakeFiles/sw_trace.dir/augment.cc.o.d"
+  "CMakeFiles/sw_trace.dir/baro_gen.cc.o"
+  "CMakeFiles/sw_trace.dir/baro_gen.cc.o.d"
+  "CMakeFiles/sw_trace.dir/csv.cc.o"
+  "CMakeFiles/sw_trace.dir/csv.cc.o.d"
+  "CMakeFiles/sw_trace.dir/human_gen.cc.o"
+  "CMakeFiles/sw_trace.dir/human_gen.cc.o.d"
+  "CMakeFiles/sw_trace.dir/robot_gen.cc.o"
+  "CMakeFiles/sw_trace.dir/robot_gen.cc.o.d"
+  "CMakeFiles/sw_trace.dir/types.cc.o"
+  "CMakeFiles/sw_trace.dir/types.cc.o.d"
+  "libsw_trace.a"
+  "libsw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/crc.cc" "src/transport/CMakeFiles/sw_transport.dir/crc.cc.o" "gcc" "src/transport/CMakeFiles/sw_transport.dir/crc.cc.o.d"
+  "/root/repo/src/transport/frame.cc" "src/transport/CMakeFiles/sw_transport.dir/frame.cc.o" "gcc" "src/transport/CMakeFiles/sw_transport.dir/frame.cc.o.d"
+  "/root/repo/src/transport/link.cc" "src/transport/CMakeFiles/sw_transport.dir/link.cc.o" "gcc" "src/transport/CMakeFiles/sw_transport.dir/link.cc.o.d"
+  "/root/repo/src/transport/messages.cc" "src/transport/CMakeFiles/sw_transport.dir/messages.cc.o" "gcc" "src/transport/CMakeFiles/sw_transport.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_transport.dir/crc.cc.o"
+  "CMakeFiles/sw_transport.dir/crc.cc.o.d"
+  "CMakeFiles/sw_transport.dir/frame.cc.o"
+  "CMakeFiles/sw_transport.dir/frame.cc.o.d"
+  "CMakeFiles/sw_transport.dir/link.cc.o"
+  "CMakeFiles/sw_transport.dir/link.cc.o.d"
+  "CMakeFiles/sw_transport.dir/messages.cc.o"
+  "CMakeFiles/sw_transport.dir/messages.cc.o.d"
+  "libsw_transport.a"
+  "libsw_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_gesture_test.dir/apps_gesture_test.cc.o"
+  "CMakeFiles/apps_gesture_test.dir/apps_gesture_test.cc.o.d"
+  "apps_gesture_test"
+  "apps_gesture_test.pdb"
+  "apps_gesture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_gesture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

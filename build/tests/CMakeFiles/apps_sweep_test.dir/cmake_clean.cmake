@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_sweep_test.dir/apps_sweep_test.cc.o"
+  "CMakeFiles/apps_sweep_test.dir/apps_sweep_test.cc.o.d"
+  "apps_sweep_test"
+  "apps_sweep_test.pdb"
+  "apps_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

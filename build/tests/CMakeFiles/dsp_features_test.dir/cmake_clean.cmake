@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_features_test.dir/dsp_features_test.cc.o"
+  "CMakeFiles/dsp_features_test.dir/dsp_features_test.cc.o.d"
+  "dsp_features_test"
+  "dsp_features_test.pdb"
+  "dsp_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_filters_test.dir/dsp_filters_test.cc.o"
+  "CMakeFiles/dsp_filters_test.dir/dsp_filters_test.cc.o.d"
+  "dsp_filters_test"
+  "dsp_filters_test.pdb"
+  "dsp_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_peaks_test.dir/dsp_peaks_test.cc.o"
+  "CMakeFiles/dsp_peaks_test.dir/dsp_peaks_test.cc.o.d"
+  "dsp_peaks_test"
+  "dsp_peaks_test.pdb"
+  "dsp_peaks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_peaks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_threshold_test.dir/dsp_threshold_test.cc.o"
+  "CMakeFiles/dsp_threshold_test.dir/dsp_threshold_test.cc.o.d"
+  "dsp_threshold_test"
+  "dsp_threshold_test.pdb"
+  "dsp_threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_window_test.dir/dsp_window_test.cc.o"
+  "CMakeFiles/dsp_window_test.dir/dsp_window_test.cc.o.d"
+  "dsp_window_test"
+  "dsp_window_test.pdb"
+  "dsp_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_autotune_test.dir/hub_autotune_test.cc.o"
+  "CMakeFiles/hub_autotune_test.dir/hub_autotune_test.cc.o.d"
+  "hub_autotune_test"
+  "hub_autotune_test.pdb"
+  "hub_autotune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_autotune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

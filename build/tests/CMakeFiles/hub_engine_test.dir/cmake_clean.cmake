@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_engine_test.dir/hub_engine_test.cc.o"
+  "CMakeFiles/hub_engine_test.dir/hub_engine_test.cc.o.d"
+  "hub_engine_test"
+  "hub_engine_test.pdb"
+  "hub_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

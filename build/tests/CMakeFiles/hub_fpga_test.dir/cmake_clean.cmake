@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_fpga_test.dir/hub_fpga_test.cc.o"
+  "CMakeFiles/hub_fpga_test.dir/hub_fpga_test.cc.o.d"
+  "hub_fpga_test"
+  "hub_fpga_test.pdb"
+  "hub_fpga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_fpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_kernels_test.dir/hub_kernels_test.cc.o"
+  "CMakeFiles/hub_kernels_test.dir/hub_kernels_test.cc.o.d"
+  "hub_kernels_test"
+  "hub_kernels_test.pdb"
+  "hub_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

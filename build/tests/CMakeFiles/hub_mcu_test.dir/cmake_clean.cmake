@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_mcu_test.dir/hub_mcu_test.cc.o"
+  "CMakeFiles/hub_mcu_test.dir/hub_mcu_test.cc.o.d"
+  "hub_mcu_test"
+  "hub_mcu_test.pdb"
+  "hub_mcu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_mcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_runtime_test.dir/hub_runtime_test.cc.o"
+  "CMakeFiles/hub_runtime_test.dir/hub_runtime_test.cc.o.d"
+  "hub_runtime_test"
+  "hub_runtime_test.pdb"
+  "hub_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_value_test.dir/hub_value_test.cc.o"
+  "CMakeFiles/hub_value_test.dir/hub_value_test.cc.o.d"
+  "hub_value_test"
+  "hub_value_test.pdb"
+  "hub_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/il_property_test.dir/il_property_test.cc.o"
+  "CMakeFiles/il_property_test.dir/il_property_test.cc.o.d"
+  "il_property_test"
+  "il_property_test.pdb"
+  "il_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/il_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/il_test.dir/il_test.cc.o"
+  "CMakeFiles/il_test.dir/il_test.cc.o.d"
+  "il_test"
+  "il_test.pdb"
+  "il_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/il_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_augment_test.dir/trace_augment_test.cc.o"
+  "CMakeFiles/trace_augment_test.dir/trace_augment_test.cc.o.d"
+  "trace_augment_test"
+  "trace_augment_test.pdb"
+  "trace_augment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
