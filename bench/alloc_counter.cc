@@ -1,0 +1,106 @@
+#include "alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size == 0 ? 1 : size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t alignment)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    // aligned_alloc requires the size to be a multiple of alignment.
+    const std::size_t rounded =
+        (size + alignment - 1) / alignment * alignment;
+    if (void *p = std::aligned_alloc(alignment,
+                                     rounded == 0 ? alignment : rounded))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+namespace sidewinder::bench {
+
+std::uint64_t
+allocCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+} // namespace sidewinder::bench
+
+// Replaceable global allocation functions (counting).
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment)
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(alignment));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment)
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(alignment));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Bench-mode heap allocation counter. Linking alloc_counter.cc into a
+ * binary replaces the global operator new/delete with counting
+ * versions; benchmarks read the counter around a measured region to
+ * prove a path is allocation-free in steady state.
+ */
+
+#ifndef SIDEWINDER_BENCH_ALLOC_COUNTER_H
+#define SIDEWINDER_BENCH_ALLOC_COUNTER_H
+
+#include <cstdint>
+
+namespace sidewinder::bench {
+
+/** Process-wide count of operator new / new[] calls so far. */
+std::uint64_t allocCount();
+
+} // namespace sidewinder::bench
+
+#endif // SIDEWINDER_BENCH_ALLOC_COUNTER_H

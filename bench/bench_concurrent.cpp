@@ -10,11 +10,14 @@
  *    with hub node sharing on and off.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "alloc_counter.h"
 #include "apps/apps.h"
 #include "bench_common.h"
+#include "dsp/fft_plan.h"
 #include "sim/concurrent.h"
 #include "trace/robot_gen.h"
 
@@ -42,6 +45,10 @@ main()
     std::size_t nodes_unshared = 0;
     double worst_recall = 1.0;
 
+    dsp::resetFftCounters();
+    const std::uint64_t allocs_before = bench::allocCount();
+    const auto wall_start = std::chrono::steady_clock::now();
+
     for (const trace::Trace *t : runs) {
         sim::SimConfig solo_config;
         solo_config.strategy = sim::Strategy::Sidewinder;
@@ -68,6 +75,13 @@ main()
         nodes_unshared = unshared.hubNodeCount;
     }
 
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    const std::uint64_t allocs =
+        bench::allocCount() - allocs_before;
+    const auto fft = dsp::fftCounters();
+
     const double n = static_cast<double>(runs.size());
     bench::rule();
     std::printf("three solo deployments (sum):   %8.1f mW\n",
@@ -80,6 +94,20 @@ main()
                 combined_unshared / n, nodes_unshared);
     std::printf("worst per-app recall, combined: %8.2f\n",
                 worst_recall);
+    bench::rule();
+    std::printf("wall clock: %.2f s for %.0f simulated s "
+                "(%.0fx real time)\n",
+                wall_seconds, seconds * n * 3.0,
+                wall_seconds > 0.0 ? seconds * n * 3.0 / wall_seconds
+                                   : 0.0);
+    std::printf("hub DSP: %llu planned transforms (%llu real-input), "
+                "%llu naive, %llu plans built; %llu heap allocations\n",
+                static_cast<unsigned long long>(fft.plannedTransforms),
+                static_cast<unsigned long long>(
+                    fft.plannedRealTransforms),
+                static_cast<unsigned long long>(fft.naiveTransforms),
+                static_cast<unsigned long long>(fft.plansBuilt),
+                static_cast<unsigned long long>(allocs));
     bench::rule();
     std::printf("(sharing keeps detections identical; it reduces hub "
                 "footprint/compute, which matters for MCU sizing, not "

@@ -12,8 +12,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.h"
 #include "dsp/features.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/filters.h"
 #include "dsp/window.h"
 #include "hub/engine.h"
@@ -33,15 +35,112 @@ toneFrame(std::size_t n, double freq = 1000.0, double fs = 4000.0)
     return frame;
 }
 
+/**
+ * Attach planned-vs-naive transform counts and the heap-allocation
+ * rate of the measured region to a benchmark's output.
+ */
+class DspCounterScope
+{
+  public:
+    explicit DspCounterScope(benchmark::State &state)
+        : state(state), before(dsp::fftCounters()),
+          allocsBefore(bench::allocCount())
+    {}
+
+    ~DspCounterScope()
+    {
+        const auto after = dsp::fftCounters();
+        const double iters =
+            static_cast<double>(std::max<std::int64_t>(
+                state.iterations(), 1));
+        state.counters["planned/iter"] = static_cast<double>(
+            (after.plannedTransforms - before.plannedTransforms) +
+            (after.plannedRealTransforms -
+             before.plannedRealTransforms)) / iters;
+        state.counters["naive/iter"] = static_cast<double>(
+            after.naiveTransforms - before.naiveTransforms) / iters;
+        state.counters["allocs/iter"] = static_cast<double>(
+            bench::allocCount() - allocsBefore) / iters;
+    }
+
+  private:
+    benchmark::State &state;
+    dsp::FftCounters before;
+    std::uint64_t allocsBefore;
+};
+
+/**
+ * Pre-PR baseline: the naive full-complex transform with a freshly
+ * allocated buffer per frame, exactly what dsp::fftReal() did before
+ * the planned path landed. The BM_FftReal speedup is measured against
+ * this in BENCH_dsp.json.
+ */
+void
+BM_FftRealNaive(benchmark::State &state)
+{
+    const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        std::vector<dsp::Complex> data(frame.begin(), frame.end());
+        dsp::naiveFft(data);
+        benchmark::DoNotOptimize(data);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftRealNaive)->RangeMultiplier(4)->Range(64, 4096);
+
 void
 BM_FftReal(benchmark::State &state)
 {
     const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    dsp::fftReal(frame); // warm the plan cache outside the timed loop
+    DspCounterScope counters(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(dsp::fftReal(frame));
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FftReal)->RangeMultiplier(4)->Range(64, 4096);
+
+/**
+ * The fully planned path the hub kernels run: held plan, reused
+ * output buffer. allocs/iter must be 0 — this is the zero-allocation
+ * acceptance check.
+ */
+void
+BM_FftPlanReal(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto frame = toneFrame(n);
+    const auto plan = dsp::FftPlan::forSize(n);
+    std::vector<dsp::Complex> spectrum(n);
+    plan->forwardReal(frame.data(), spectrum.data()); // warm-up
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        plan->forwardReal(frame.data(), spectrum.data());
+        benchmark::DoNotOptimize(spectrum.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftPlanReal)->RangeMultiplier(4)->Range(64, 4096);
+
+/** Planned real round trip (forwardReal + inverseReal), zero-alloc. */
+void
+BM_FftPlanRealRoundTrip(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto frame = toneFrame(n);
+    const auto plan = dsp::FftPlan::forSize(n);
+    std::vector<dsp::Complex> spectrum(n);
+    std::vector<double> restored(n);
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        plan->forwardReal(frame.data(), spectrum.data());
+        plan->inverseReal(spectrum.data(), restored.data());
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftPlanRealRoundTrip)->RangeMultiplier(4)->Range(64, 4096);
 
 void
 BM_FftBlockFilter(benchmark::State &state)
@@ -49,11 +148,30 @@ BM_FftBlockFilter(benchmark::State &state)
     const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
     const dsp::FftBlockFilter filter(dsp::PassBand::HighPass, 750.0,
                                      4000.0);
+    DspCounterScope counters(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(filter.apply(frame));
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FftBlockFilter)->RangeMultiplier(4)->Range(64, 4096);
+
+/** Block filter into a reused output frame (the hub kernel path). */
+void
+BM_FftBlockFilterInto(benchmark::State &state)
+{
+    const auto frame = toneFrame(static_cast<std::size_t>(state.range(0)));
+    const dsp::FftBlockFilter filter(dsp::PassBand::HighPass, 750.0,
+                                     4000.0);
+    std::vector<double> out;
+    filter.applyInto(frame, out); // warm plan and scratch
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        filter.applyInto(frame, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftBlockFilterInto)->RangeMultiplier(4)->Range(64, 4096);
 
 void
 BM_MovingAverage(benchmark::State &state)
@@ -102,9 +220,11 @@ BM_EngineSignificantMotion(benchmark::State &state)
                      "1,2,3 -> vectorMagnitude(id=4);\n"
                      "4 -> minThreshold(id=5, params={15});\n"
                      "5 -> OUT;\n"));
+    const std::vector<double> sample{1.0, 1.0, 9.8};
     double t = 0.0;
+    DspCounterScope counters(state);
     for (auto _ : state) {
-        engine.pushSamples({1.0, 1.0, 9.8}, t);
+        engine.pushSamples(sample, t);
         t += 0.02;
         benchmark::DoNotOptimize(engine.drainWakeEvents());
     }
@@ -134,11 +254,23 @@ BM_EngineSirenPipeline(benchmark::State &state)
                   "6,12 -> and(id=13);\n"
                   "13 -> consecutive(id=14, params={11});\n"
                   "14 -> OUT;\n"));
+    // Warm up past the first frames so node result buffers are sized,
+    // then show the steady-state allocation rate of the interpreter.
+    std::vector<double> sample(1);
     double t = 0.0;
     double phase = 0.0;
+    for (int i = 0; i < 1024; ++i) {
+        phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+        sample[0] = 0.3 * std::sin(phase);
+        engine.pushSamples(sample, t);
+        t += 0.00025;
+        engine.drainWakeEvents();
+    }
+    DspCounterScope counters(state);
     for (auto _ : state) {
         phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
-        engine.pushSamples({0.3 * std::sin(phase)}, t);
+        sample[0] = 0.3 * std::sin(phase);
+        engine.pushSamples(sample, t);
         t += 0.00025;
         benchmark::DoNotOptimize(engine.drainWakeEvents());
     }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the DSP microbenchmarks, recording the results as
+# google-benchmark JSON in BENCH_dsp.json at the repo root. The JSON
+# contains both the naive reference path (BM_FftRealNaive — the
+# pre-planned-FFT baseline) and the planned paths (BM_FftReal,
+# BM_FftPlanReal, ...), so the planned-vs-naive speedup and the
+# allocs/iter counters are tracked release over release.
+#
+# Usage: scripts/run_benches.sh [benchmark filter regex]
+#   BUILD_DIR=...   build directory (default: build)
+#   OUT=...         output JSON path (default: BENCH_dsp.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_dsp.json}"
+FILTER="${1:-.}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_dsp_micro >/dev/null
+
+"$BUILD_DIR"/bench/bench_dsp_micro \
+    --benchmark_filter="$FILTER" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "dsp/fft_plan.h"
 #include "support/error.h"
 
 namespace sidewinder::dsp {
@@ -15,7 +16,7 @@ isPowerOfTwo(std::size_t n)
 
 namespace {
 
-/** Bit-reversal permutation used by the iterative FFT. */
+/** Bit-reversal permutation used by the naive iterative FFT. */
 void
 bitReverse(std::vector<Complex> &data)
 {
@@ -31,15 +32,20 @@ bitReverse(std::vector<Complex> &data)
     }
 }
 
-/** Shared butterfly loop; @p inverse selects the conjugate twiddles. */
+/**
+ * Reference butterfly loop; @p inverse selects the conjugate twiddles.
+ * Note the w *= wlen recurrence: it accumulates rounding error across
+ * a stage, which is exactly what FftPlan's tabulated twiddles fix.
+ */
 void
-transform(std::vector<Complex> &data, bool inverse)
+naiveTransform(std::vector<Complex> &data, bool inverse)
 {
     const std::size_t n = data.size();
     if (!isPowerOfTwo(n))
         throw ConfigError("FFT size must be a power of two, got " +
                           std::to_string(n));
 
+    countNaiveTransform();
     bitReverse(data);
 
     for (std::size_t len = 2; len <= n; len <<= 1) {
@@ -71,26 +77,42 @@ transform(std::vector<Complex> &data, bool inverse)
 void
 fft(std::vector<Complex> &data)
 {
-    transform(data, false);
+    FftPlan::forSize(data.size())->forward(data);
 }
 
 void
 ifft(std::vector<Complex> &data)
 {
-    transform(data, true);
+    FftPlan::forSize(data.size())->inverse(data);
+}
+
+void
+naiveFft(std::vector<Complex> &data)
+{
+    naiveTransform(data, false);
+}
+
+void
+naiveIfft(std::vector<Complex> &data)
+{
+    naiveTransform(data, true);
 }
 
 std::vector<Complex>
 fftReal(const std::vector<double> &samples)
 {
-    std::vector<Complex> data(samples.begin(), samples.end());
-    fft(data);
+    std::vector<Complex> data(samples.size());
+    FftPlan::forSize(samples.size())->forwardReal(samples.data(),
+                                                  data.data());
     return data;
 }
 
 std::vector<double>
 ifftToReal(std::vector<Complex> spectrum)
 {
+    // A general spectrum need not be conjugate-symmetric, so this
+    // takes the real part of the full inverse rather than using the
+    // half-size real path.
     ifft(spectrum);
     std::vector<double> out;
     out.reserve(spectrum.size());

@@ -6,6 +6,12 @@
  * implementation is an iterative in-place Cooley-Tukey FFT, which is
  * what a Cortex-M4-class microcontroller (the TI LM4F120 of the
  * prototype) would realistically run.
+ *
+ * The free functions here execute through cached FftPlan instances
+ * (see fft_plan.h): precomputed bit-reversal and twiddle tables, and a
+ * half-size packed transform for real input. The original textbook
+ * implementation is kept as naiveFft()/naiveIfft() — a reference the
+ * property tests and benchmarks compare the planned path against.
  */
 
 #ifndef SIDEWINDER_DSP_FFT_H
@@ -37,6 +43,16 @@ void fft(std::vector<Complex> &data);
  * @param data Complex spectrum; size must be a power of two.
  */
 void ifft(std::vector<Complex> &data);
+
+/**
+ * Reference forward FFT: the per-call twiddle-recurrence
+ * implementation the planned path replaced. Kept for equivalence
+ * tests and planned-vs-naive benchmarks; do not use on hot paths.
+ */
+void naiveFft(std::vector<Complex> &data);
+
+/** Reference inverse FFT (see naiveFft()). */
+void naiveIfft(std::vector<Complex> &data);
 
 /** Forward FFT of a real signal (zero imaginary parts). */
 std::vector<Complex> fftReal(const std::vector<double> &samples);

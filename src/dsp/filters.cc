@@ -75,15 +75,28 @@ FftBlockFilter::FftBlockFilter(PassBand band, double cutoff_hz,
 std::vector<double>
 FftBlockFilter::apply(const std::vector<double> &frame) const
 {
-    if (!isPowerOfTwo(frame.size()))
+    std::vector<double> out;
+    applyInto(frame, out);
+    return out;
+}
+
+void
+FftBlockFilter::applyInto(const std::vector<double> &frame,
+                          std::vector<double> &out) const
+{
+    const std::size_t n = frame.size();
+    if (!isPowerOfTwo(n))
         throw ConfigError("FFT filter frame size must be a power of two");
 
-    auto spectrum = fftReal(frame);
-    const std::size_t n = spectrum.size();
+    if (!plan || plan->size() != n)
+        plan = FftPlan::forSize(n);
+    spectrum.resize(n);
+    plan->forwardReal(frame.data(), spectrum.data());
 
     // Zero the stop band. Bin i and its mirror n-i represent the same
     // frequency for a real signal, so both are zeroed together to keep
-    // the output real.
+    // the output real (and the spectrum conjugate-symmetric, which the
+    // half-size inverse relies on).
     for (std::size_t i = 0; i <= n / 2; ++i) {
         const double freq = binFrequencyHz(i, n, sampleRate);
         const bool keep = direction == PassBand::LowPass ? freq <= cutoff
@@ -95,7 +108,8 @@ FftBlockFilter::apply(const std::vector<double> &frame) const
         }
     }
 
-    return ifftToReal(std::move(spectrum));
+    out.resize(n);
+    plan->inverseReal(spectrum.data(), out.data());
 }
 
 } // namespace sidewinder::dsp

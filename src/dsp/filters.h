@@ -9,9 +9,11 @@
 #define SIDEWINDER_DSP_FILTERS_H
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "dsp/fft_plan.h"
 #include "support/ring_buffer.h"
 
 namespace sidewinder::dsp {
@@ -100,6 +102,16 @@ class FftBlockFilter
     /** Filter one frame; the input size must be a power of two. */
     std::vector<double> apply(const std::vector<double> &frame) const;
 
+    /**
+     * Filter one frame into caller-owned storage. Uses the planned
+     * real transforms and an internal spectrum scratch buffer, so the
+     * steady state (same frame size every call) performs no heap
+     * allocation. Not safe for concurrent calls on one filter
+     * instance (the scratch is shared).
+     */
+    void applyInto(const std::vector<double> &frame,
+                   std::vector<double> &out) const;
+
     /** Configured cutoff frequency in Hz. */
     double cutoffHz() const { return cutoff; }
 
@@ -110,6 +122,9 @@ class FftBlockFilter
     PassBand direction;
     double cutoff;
     double sampleRate;
+    /** Plan + scratch for the current frame size, built lazily. */
+    mutable std::shared_ptr<const FftPlan> plan;
+    mutable std::vector<Complex> spectrum;
 };
 
 } // namespace sidewinder::dsp

@@ -1,5 +1,6 @@
 #include "dsp/window.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -36,22 +37,41 @@ WindowPartitioner::WindowPartitioner(std::size_t size, WindowType type,
     if (hopSize == 0 || hopSize > frameSize)
         throw ConfigError("window hop must be in [1, size]");
     pending.reserve(frameSize);
+    if (windowType == WindowType::Hamming) {
+        coefficients.resize(frameSize);
+        for (std::size_t i = 0; i < frameSize; ++i)
+            coefficients[i] = hammingCoefficient(i, frameSize);
+    }
 }
 
 std::optional<std::vector<double>>
 WindowPartitioner::push(double sample)
 {
+    std::vector<double> frame;
+    if (!pushInto(sample, frame))
+        return std::nullopt;
+    return frame;
+}
+
+bool
+WindowPartitioner::pushInto(double sample, std::vector<double> &frame)
+{
     pending.push_back(sample);
     if (pending.size() < frameSize)
-        return std::nullopt;
+        return false;
 
-    std::vector<double> frame = pending;
-    applyWindow(frame, windowType);
+    frame.resize(frameSize);
+    if (coefficients.empty()) {
+        std::copy(pending.begin(), pending.end(), frame.begin());
+    } else {
+        for (std::size_t i = 0; i < frameSize; ++i)
+            frame[i] = pending[i] * coefficients[i];
+    }
 
     // Retain the overlap tail for the next frame.
     pending.erase(pending.begin(),
                   pending.begin() + static_cast<std::ptrdiff_t>(hopSize));
-    return frame;
+    return true;
 }
 
 void

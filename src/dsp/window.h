@@ -46,6 +46,16 @@ class WindowPartitioner
      */
     std::optional<std::vector<double>> push(double sample);
 
+    /**
+     * Feed one sample, writing a completed frame into caller-owned
+     * storage instead of allocating one. @p frame is resized to the
+     * window size when a frame is emitted, so a caller reusing the
+     * same vector allocates nothing in steady state.
+     *
+     * @return true when @p frame was filled with a completed window.
+     */
+    bool pushInto(double sample, std::vector<double> &frame);
+
     /** Discard any partially accumulated frame. */
     void reset();
 
@@ -60,6 +70,8 @@ class WindowPartitioner
     std::size_t hopSize;
     WindowType windowType;
     std::vector<double> pending;
+    /** Window shape, tabulated once (cos per sample otherwise). */
+    std::vector<double> coefficients;
 };
 
 } // namespace sidewinder::dsp

@@ -1,7 +1,7 @@
 #include "hub/engine.h"
 
 #include <cmath>
-#include <sstream>
+#include <cstdio>
 
 #include "il/algorithm_info.h"
 #include "support/error.h"
@@ -25,6 +25,32 @@ invokeCost(const il::AlgorithmInfo &info,
     return cost;
 }
 
+/**
+ * Canonical node identity for cross-condition sharing, built once at
+ * install time. Parameters are rendered with %.17g so distinct doubles
+ * never collide on a truncated rendering.
+ */
+std::string
+makeNodeKey(const il::Statement &stmt, const std::vector<int> &inputs)
+{
+    std::string key;
+    key.reserve(stmt.algorithm.size() + 16 * stmt.params.size() +
+                8 * inputs.size() + 2);
+    key += stmt.algorithm;
+    key += '(';
+    char buf[32];
+    for (double p : stmt.params) {
+        std::snprintf(buf, sizeof buf, "%.17g,", p);
+        key += buf;
+    }
+    key += ')';
+    for (int in : inputs) {
+        std::snprintf(buf, sizeof buf, "<%d", in);
+        key += buf;
+    }
+    return key;
+}
+
 } // namespace
 
 Engine::Engine(std::vector<il::ChannelInfo> channels, bool share_nodes,
@@ -34,17 +60,20 @@ Engine::Engine(std::vector<il::ChannelInfo> channels, bool share_nodes,
 {
     if (channelInfos.empty())
         throw ConfigError("engine needs at least one channel");
-    for (std::size_t i = 0; i < channelInfos.size(); ++i)
+    for (std::size_t i = 0; i < channelInfos.size(); ++i) {
         rawBuffers.emplace_back(rawBufferSize);
+        channelIndexByName.emplace(channelInfos[i].name,
+                                   static_cast<int>(i));
+    }
 }
 
 int
 Engine::channelIndexOf(const std::string &name) const
 {
-    for (std::size_t i = 0; i < channelInfos.size(); ++i)
-        if (channelInfos[i].name == name)
-            return static_cast<int>(i);
-    throw ConfigError("engine has no channel '" + name + "'");
+    auto it = channelIndexByName.find(name);
+    if (it == channelIndexByName.end())
+        throw ConfigError("engine has no channel '" + name + "'");
+    return it->second;
 }
 
 void
@@ -93,24 +122,18 @@ Engine::addCondition(int condition_id, const il::Program &program)
         }
 
         // Canonical identity for cross-condition sharing.
-        std::ostringstream key;
-        key << stmt.algorithm << "(";
-        for (double p : stmt.params)
-            key << p << ",";
-        key << ")";
-        for (int in : inputs)
-            key << "<" << in;
+        std::string key = makeNodeKey(stmt, inputs);
 
         int index = -1;
         if (shareNodes) {
-            auto it = nodeByKey.find(key.str());
+            auto it = nodeByKey.find(key);
             if (it != nodeByKey.end())
                 index = it->second;
         }
 
         if (index < 0) {
             auto node = std::make_unique<Node>();
-            node->key = key.str();
+            node->key = std::move(key);
             node->algorithm = stmt.algorithm;
             node->kernel = makeKernel(stmt, input_streams);
             node->inputs = inputs;
@@ -261,9 +284,10 @@ Engine::pushSamples(const std::vector<double> &values, double timestamp)
         }
 
         dynamicCycles += node->cyclesPerInvoke;
-        auto out = node->kernel->invoke(input_ptrs);
-        if (out) {
-            node->result = std::move(*out);
+        // Output-parameter invocation: the kernel writes into the
+        // node's persistent result slot, reusing frame storage
+        // wave after wave instead of reallocating it.
+        if (node->kernel->invokeInto(input_ptrs, node->result)) {
             node->state = WaveState::Emitted;
         } else {
             // Conditional kernels reject (observable miss); an

@@ -166,6 +166,8 @@ class Engine
     int channelIndexOf(const std::string &name) const;
 
     std::vector<il::ChannelInfo> channelInfos;
+    /** Channel name -> index, built once in the constructor. */
+    std::unordered_map<std::string, int> channelIndexByName;
     bool shareNodes;
     std::size_t rawBufferSize;
 

@@ -51,7 +51,15 @@ enum class FiringPolicy {
     ObserveBlocks,
 };
 
-/** An executable algorithm instance. */
+/**
+ * An executable algorithm instance.
+ *
+ * Subclasses implement at least one of invoke() / invokeInto(); each
+ * has a default implementation in terms of the other. Frame-producing
+ * kernels override invokeInto() and write into the output value's
+ * existing storage, so the interpreter's steady state reuses buffers
+ * instead of constructing and destroying frame vectors every sample.
+ */
 class Kernel
 {
   public:
@@ -67,7 +75,30 @@ class Kernel
      *     no result (the hasResult flag stays clear).
      */
     virtual std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) = 0;
+    invoke(const std::vector<const Value *> &inputs)
+    {
+        Value out;
+        if (!invokeInto(inputs, out))
+            return std::nullopt;
+        return out;
+    }
+
+    /**
+     * Execute one firing, writing the result into @p out — the hot
+     * interpreter path. @p out is the node's persistent result slot;
+     * kernels reuse its storage (Value::frameStorage()) across waves.
+     *
+     * @return true when a result was produced (hasResult set).
+     */
+    virtual bool
+    invokeInto(const std::vector<const Value *> &inputs, Value &out)
+    {
+        auto result = invoke(inputs);
+        if (!result)
+            return false;
+        out = std::move(*result);
+        return true;
+    }
 
     /** Discard accumulated state (window contents, counters, ...). */
     virtual void reset() {}

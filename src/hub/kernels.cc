@@ -11,6 +11,7 @@
 
 #include "dsp/features.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/filters.h"
 #include "dsp/goertzel.h"
 #include "dsp/peaks.h"
@@ -72,13 +73,12 @@ class WindowKernel : public Kernel
                       hop)
     {}
 
-    std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) override
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
     {
-        auto frame = partitioner.push(inputs[0]->scalar());
-        if (!frame)
-            return std::nullopt;
-        return Value(std::move(*frame));
+        return partitioner.pushInto(inputs[0]->scalar(),
+                                    out.frameStorage());
     }
 
     void reset() override { partitioner.reset(); }
@@ -87,42 +87,69 @@ class WindowKernel : public Kernel
     dsp::WindowPartitioner partitioner;
 };
 
-/** fft: real frame -> complex spectrum. */
+/** fft: real frame -> complex spectrum (planned real transform). */
 class FftKernel : public Kernel
 {
   public:
-    std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) override
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
     {
-        return Value(dsp::fftReal(inputs[0]->frame()));
+        const auto &frame = inputs[0]->frame();
+        if (!plan || plan->size() != frame.size())
+            plan = dsp::FftPlan::forSize(frame.size());
+        plan->forwardReal(frame, out.complexFrameStorage());
+        return true;
     }
+
+  private:
+    std::shared_ptr<const dsp::FftPlan> plan;
 };
 
 /** ifft: complex spectrum -> real frame. */
 class IfftKernel : public Kernel
 {
   public:
-    std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) override
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
     {
-        return Value(dsp::ifftToReal(inputs[0]->complexFrame()));
+        const auto &bins = inputs[0]->complexFrame();
+        if (!plan || plan->size() != bins.size())
+            plan = dsp::FftPlan::forSize(bins.size());
+        // General spectra need not be conjugate-symmetric, so run the
+        // full inverse on a per-node scratch copy and keep the real
+        // parts (same semantics as dsp::ifftToReal).
+        scratch.assign(bins.begin(), bins.end());
+        plan->inverse(scratch.data());
+        auto &frame = out.frameStorage();
+        frame.resize(scratch.size());
+        for (std::size_t i = 0; i < scratch.size(); ++i)
+            frame[i] = scratch[i].real();
+        return true;
     }
+
+  private:
+    std::shared_ptr<const dsp::FftPlan> plan;
+    std::vector<dsp::Complex> scratch;
 };
 
 /** spectrum: complex bins -> magnitudes of the non-redundant half. */
 class SpectrumKernel : public Kernel
 {
   public:
-    std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) override
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
     {
         const auto &bins = inputs[0]->complexFrame();
         const std::size_t half = bins.size() / 2;
-        std::vector<double> mags;
+        auto &mags = out.frameStorage();
+        mags.clear();
         mags.reserve(half + 1);
         for (std::size_t i = 0; i <= half && i < bins.size(); ++i)
             mags.push_back(std::abs(bins[i]));
-        return Value(std::move(mags));
+        return true;
     }
 };
 
@@ -135,10 +162,12 @@ class BlockFilterKernel : public Kernel
         : filter(band, cutoff_hz, sample_rate_hz)
     {}
 
-    std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) override
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
     {
-        return Value(filter.apply(inputs[0]->frame()));
+        filter.applyInto(inputs[0]->frame(), out.frameStorage());
+        return true;
     }
 
   private:
@@ -149,14 +178,17 @@ class BlockFilterKernel : public Kernel
 class VectorMagnitudeKernel : public Kernel
 {
   public:
-    std::optional<Value>
-    invoke(const std::vector<const Value *> &inputs) override
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
     {
-        std::vector<double> components;
-        components.reserve(inputs.size());
+        // Inline sqrt-of-squares (same math as dsp::vectorMagnitude)
+        // to avoid building a component vector per sample.
+        double sum = 0.0;
         for (const Value *v : inputs)
-            components.push_back(v->scalar());
-        return Value(dsp::vectorMagnitude(components));
+            sum += v->scalar() * v->scalar();
+        out = Value(std::sqrt(sum));
+        return true;
     }
 };
 

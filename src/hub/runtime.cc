@@ -112,9 +112,12 @@ HubRuntime::pushSamples(const std::vector<double> &values,
             message.sampleRateHz =
                 dataflow.channels()[channel].sampleRateHz;
             message.samples = std::move(stream.pending);
-            stream.pending = {};
             link.hubToPhone().sendFrame(
                 transport::encodeSensorBatch(message), timestamp);
+            // Recover the batch buffer so the steady-state streaming
+            // path stops allocating once the first batch has sized it.
+            stream.pending = std::move(message.samples);
+            stream.pending.clear();
         }
     }
 

@@ -67,6 +67,32 @@ class Value
     }
 
     /**
+     * Mutable frame storage for output-parameter kernel invocation:
+     * makes this value a Frame (preserving the existing vector, and
+     * thus its capacity, when it already is one) and returns the
+     * vector for in-place writing. Steady-state nodes keep emitting
+     * the same kind, so the buffer is reused wave after wave.
+     */
+    std::vector<double> &
+    frameStorage()
+    {
+        if (auto *v = std::get_if<std::vector<double>>(&storage))
+            return *v;
+        storage = std::vector<double>();
+        return std::get<std::vector<double>>(storage);
+    }
+
+    /** Mutable complex-frame storage; see frameStorage(). */
+    std::vector<dsp::Complex> &
+    complexFrameStorage()
+    {
+        if (auto *v = std::get_if<std::vector<dsp::Complex>>(&storage))
+            return *v;
+        storage = std::vector<dsp::Complex>();
+        return std::get<std::vector<dsp::Complex>>(storage);
+    }
+
+    /**
      * Number of cost units this value represents when consumed: 1 for
      * scalars, the element count for frames.
      */

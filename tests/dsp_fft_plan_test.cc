@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Property tests for the planned FFT path: FftPlan and the real-input
+ * transforms must match the naive reference transform to within 1e-9
+ * across random power-of-two sizes and signals, round-trip exactly,
+ * and reuse cached plans. The zero-allocation property itself is
+ * verified by the bench-mode allocation counter in bench_dsp_micro.
+ */
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
+#include "dsp/filters.h"
+#include "dsp/window.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace sidewinder::dsp {
+namespace {
+
+class FftPlanProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng{static_cast<std::uint64_t>(GetParam())};
+
+    std::size_t
+    randomPowerOfTwo(int min_log2 = 0, int max_log2 = 12)
+    {
+        return static_cast<std::size_t>(1)
+               << rng.uniformInt(min_log2, max_log2);
+    }
+
+    std::vector<double>
+    randomSamples(std::size_t n, double lo = -10.0, double hi = 10.0)
+    {
+        std::vector<double> out(n);
+        for (auto &v : out)
+            v = rng.uniform(lo, hi);
+        return out;
+    }
+
+    std::vector<Complex>
+    randomComplex(std::size_t n)
+    {
+        std::vector<Complex> out(n);
+        for (auto &v : out)
+            v = Complex(rng.uniform(-10.0, 10.0),
+                        rng.uniform(-10.0, 10.0));
+        return out;
+    }
+};
+
+TEST_P(FftPlanProperty, ForwardMatchesNaiveTransform)
+{
+    const std::size_t n = randomPowerOfTwo();
+    const auto signal = randomComplex(n);
+
+    auto planned = signal;
+    FftPlan plan(n);
+    plan.forward(planned);
+
+    auto reference = signal;
+    naiveFft(reference);
+
+    ASSERT_EQ(planned.size(), reference.size());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(std::abs(planned[i] - reference[i]), 0.0, 1e-9)
+            << "bin " << i << " of " << n;
+}
+
+TEST_P(FftPlanProperty, InverseMatchesNaiveTransform)
+{
+    const std::size_t n = randomPowerOfTwo();
+    const auto spectrum = randomComplex(n);
+
+    auto planned = spectrum;
+    FftPlan::forSize(n)->inverse(planned);
+
+    auto reference = spectrum;
+    naiveIfft(reference);
+
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(std::abs(planned[i] - reference[i]), 0.0, 1e-9);
+}
+
+TEST_P(FftPlanProperty, RealForwardMatchesNaiveTransform)
+{
+    const std::size_t n = randomPowerOfTwo();
+    const auto samples = randomSamples(n, -1.0, 1.0);
+
+    std::vector<Complex> planned;
+    FftPlan::forSize(n)->forwardReal(samples, planned);
+
+    std::vector<Complex> reference(samples.begin(), samples.end());
+    naiveFft(reference);
+
+    ASSERT_EQ(planned.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(std::abs(planned[i] - reference[i]), 0.0, 1e-9)
+            << "bin " << i << " of " << n;
+}
+
+TEST_P(FftPlanProperty, FftRealFreeFunctionMatchesNaive)
+{
+    const std::size_t n = randomPowerOfTwo(0, 10);
+    const auto samples = randomSamples(n, -5.0, 5.0);
+
+    const auto planned = fftReal(samples);
+    std::vector<Complex> reference(samples.begin(), samples.end());
+    naiveFft(reference);
+
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(std::abs(planned[i] - reference[i]), 0.0, 1e-9);
+}
+
+TEST_P(FftPlanProperty, IfftInvertsFftAfterTwiddleTableChange)
+{
+    const std::size_t n = randomPowerOfTwo();
+    const auto samples = randomSamples(n);
+
+    const auto restored = ifftToReal(fftReal(samples));
+    ASSERT_EQ(restored.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(restored[i], samples[i], 1e-9);
+}
+
+TEST_P(FftPlanProperty, RealRoundTripThroughHalfSizeTransforms)
+{
+    const std::size_t n = randomPowerOfTwo();
+    const auto samples = randomSamples(n);
+    const auto plan = FftPlan::forSize(n);
+
+    std::vector<Complex> spectrum;
+    plan->forwardReal(samples, spectrum);
+    std::vector<double> restored;
+    plan->inverseReal(spectrum, restored);
+
+    ASSERT_EQ(restored.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(restored[i], samples[i], 1e-9);
+}
+
+TEST_P(FftPlanProperty, RealSpectrumIsConjugateSymmetric)
+{
+    const std::size_t n = randomPowerOfTwo(1, 12);
+    const auto samples = randomSamples(n);
+
+    std::vector<Complex> spectrum;
+    FftPlan::forSize(n)->forwardReal(samples, spectrum);
+
+    EXPECT_NEAR(spectrum[0].imag(), 0.0, 1e-9);
+    EXPECT_NEAR(spectrum[n / 2].imag(), 0.0, 1e-9);
+    for (std::size_t k = 1; k < n / 2; ++k)
+        EXPECT_NEAR(
+            std::abs(spectrum[k] - std::conj(spectrum[n - k])), 0.0,
+            1e-9);
+}
+
+TEST_P(FftPlanProperty, BlockFilterIntoMatchesAllocatingApply)
+{
+    const std::size_t n = randomPowerOfTwo(2, 10);
+    const auto frame = randomSamples(n);
+    const double rate = 128.0;
+    FftBlockFilter filter(PassBand::LowPass, rng.uniform(5.0, 50.0),
+                          rate);
+
+    const auto reference = filter.apply(frame);
+    std::vector<double> reused;
+    filter.applyInto(frame, reused);
+    filter.applyInto(frame, reused); // second call reuses scratch
+
+    ASSERT_EQ(reused.size(), reference.size());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(reused[i], reference[i], 1e-9);
+}
+
+TEST_P(FftPlanProperty, WindowPushIntoMatchesPush)
+{
+    const std::size_t size =
+        static_cast<std::size_t>(rng.uniformInt(2, 64));
+    const std::size_t hop = static_cast<std::size_t>(
+        rng.uniformInt(1, static_cast<int>(size)));
+    const bool hamming = rng.uniformInt(0, 1) == 1;
+    const auto type = hamming ? WindowType::Hamming
+                              : WindowType::Rectangular;
+
+    WindowPartitioner reference(size, type, hop);
+    WindowPartitioner reused(size, type, hop);
+    std::vector<double> frame;
+    for (int i = 0; i < 500; ++i) {
+        const double sample = rng.uniform(-3.0, 3.0);
+        const auto expected = reference.push(sample);
+        const bool emitted = reused.pushInto(sample, frame);
+        ASSERT_EQ(emitted, expected.has_value());
+        if (!emitted)
+            continue;
+        ASSERT_EQ(frame.size(), expected->size());
+        for (std::size_t k = 0; k < frame.size(); ++k)
+            EXPECT_DOUBLE_EQ(frame[k], (*expected)[k]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FftPlanProperty,
+                         ::testing::Range(1, 17));
+
+TEST(FftPlan, CacheSharesInstances)
+{
+    const auto a = FftPlan::forSize(256);
+    const auto b = FftPlan::forSize(256);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->size(), 256u);
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwoSizes)
+{
+    EXPECT_THROW(FftPlan plan(12), ConfigError);
+    EXPECT_THROW(FftPlan::forSize(0), ConfigError);
+    EXPECT_THROW(FftPlan::forSize(100), ConfigError);
+}
+
+TEST(FftPlan, SizeCheckedOverloadsReject)
+{
+    const auto plan = FftPlan::forSize(8);
+    std::vector<Complex> wrong(4);
+    EXPECT_THROW(plan->forward(wrong), ConfigError);
+    EXPECT_THROW(plan->inverse(wrong), ConfigError);
+}
+
+TEST(FftPlan, TrivialSizes)
+{
+    std::vector<Complex> one{Complex(3.5, -1.0)};
+    FftPlan::forSize(1)->forward(one);
+    EXPECT_NEAR(std::abs(one[0] - Complex(3.5, -1.0)), 0.0, 1e-12);
+
+    std::vector<double> pair{2.0, 5.0};
+    std::vector<Complex> spectrum;
+    FftPlan::forSize(2)->forwardReal(pair, spectrum);
+    EXPECT_NEAR(spectrum[0].real(), 7.0, 1e-12);
+    EXPECT_NEAR(spectrum[1].real(), -3.0, 1e-12);
+}
+
+TEST(FftPlan, CountersTrackPlannedAndNaivePaths)
+{
+    resetFftCounters();
+    const auto plan = FftPlan::forSize(64);
+    std::vector<Complex> data(64, Complex(1.0, 0.0));
+    plan->forward(data);
+    auto naive = data;
+    naiveFft(naive);
+
+    const auto counters = fftCounters();
+    EXPECT_GE(counters.plannedTransforms, 1u);
+    EXPECT_GE(counters.naiveTransforms, 1u);
+}
+
+} // namespace
+} // namespace sidewinder::dsp
