@@ -12,13 +12,17 @@
  *
  * Sweeps both for the transitions detector — the most lookback-
  * sensitive application, since its classifier must observe the
- * posture *before* the change.
+ * posture *before* the change. The dwell x lookback grid runs on the
+ * shared thread pool via sim::runSweep.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/apps.h"
 #include "bench_common.h"
+#include "sim/sweep.h"
+#include "support/thread_pool.h"
 #include "trace/robot_gen.h"
 
 using namespace sidewinder;
@@ -28,8 +32,9 @@ main()
 {
     const double seconds = bench::robotSeconds();
     std::printf("Event dwell / lookback ablation (transitions app, "
-                "50%% idle, %.0f s)%s\n",
-                seconds, bench::fastMode() ? " [SW_FAST]" : "");
+                "50%% idle, %.0f s, %zu threads)%s\n",
+                seconds, support::ThreadPool::shared().threadCount(),
+                bench::fastMode() ? " [SW_FAST]" : "");
 
     trace::RobotRunConfig trace_config;
     trace_config.idleFraction = 0.5;
@@ -40,6 +45,19 @@ main()
 
     const double dwells[] = {0.5, 1.0, 2.0, 4.0};
     const double lookbacks[] = {0.5, 1.0, 2.0, 3.0, 5.0};
+
+    // Row-major (dwell, lookback) grid matching the print order.
+    std::vector<sim::SweepCell> cells;
+    for (double dwell : dwells) {
+        for (double lookback : lookbacks) {
+            sim::SimConfig config;
+            config.strategy = sim::Strategy::Sidewinder;
+            config.eventDwellSeconds = dwell;
+            config.lookbackSeconds = lookback;
+            cells.push_back({&trace, app.get(), config});
+        }
+    }
+    const auto results = sim::runSweep(cells);
 
     bench::rule();
     std::printf("%-12s", "dwell\\look");
@@ -53,14 +71,11 @@ main()
     std::printf("\n");
     bench::rule();
 
+    std::size_t cell = 0;
     for (double dwell : dwells) {
         std::printf("%-12.1f", dwell);
-        for (double lookback : lookbacks) {
-            sim::SimConfig config;
-            config.strategy = sim::Strategy::Sidewinder;
-            config.eventDwellSeconds = dwell;
-            config.lookbackSeconds = lookback;
-            const auto r = sim::simulate(trace, *app, config);
+        for (std::size_t l = 0; l < std::size(lookbacks); ++l) {
+            const auto &r = results[cell++];
             std::printf("  %5.1f %5.0f%% ", r.averagePowerMw,
                         100.0 * r.recall);
         }

@@ -15,6 +15,11 @@
  *    (headbutts) and 6.1x (transitions);
  *  - §5.4 short-interval duty cycling vs Always Awake, paper: 339 mW
  *    vs 323 mW, and DC/Ba consuming 2.4-7.5x Sidewinder.
+ *
+ * The (trace x strategy) grid of each application is fanned across
+ * the shared thread pool via sim::runSweep; per-group averages are
+ * accumulated from the ordered results in the exact order the old
+ * serial loops used, so every printed number is unchanged.
  */
 
 #include <cstdio>
@@ -25,6 +30,8 @@
 #include "bench_common.h"
 #include "metrics/events.h"
 #include "sim/calibrate.h"
+#include "sim/sweep.h"
+#include "support/thread_pool.h"
 #include "trace/robot_gen.h"
 
 using namespace sidewinder;
@@ -50,6 +57,16 @@ const ConfigSpec configs[] = {
     {"Sw", sim::Strategy::Sidewinder, 0.0},
 };
 
+sim::SimConfig
+cellConfig(sim::Strategy strategy, double sleep, double threshold)
+{
+    sim::SimConfig config;
+    config.strategy = strategy;
+    config.sleepIntervalSeconds = sleep;
+    config.predefinedThreshold = threshold;
+    return config;
+}
+
 } // namespace
 
 int
@@ -57,8 +74,9 @@ main()
 {
     const double seconds = bench::robotSeconds();
     std::printf("Figure 5: power relative to Oracle, robot corpus "
-                "(18 runs of %.0f s)%s\n",
-                seconds, bench::fastMode() ? " [SW_FAST]" : "");
+                "(18 runs of %.0f s, %zu threads)%s\n",
+                seconds, support::ThreadPool::shared().threadCount(),
+                bench::fastMode() ? " [SW_FAST]" : "");
 
     const auto corpus = trace::generateRobotCorpus(seconds, 20160402);
     const auto apps = apps::accelerometerApps();
@@ -91,20 +109,32 @@ main()
             std::printf(" %7s", config.label);
         std::printf(" %9s\n", "Oracle mW");
 
+        // One cell per (trace, Oracle + strategy), group by group, in
+        // the accumulation order of the old serial loop.
+        std::vector<sim::SweepCell> cells;
+        for (int group = 1; group <= 3; ++group) {
+            for (const trace::Trace *t : groups[group]) {
+                cells.push_back(
+                    {t, app.get(),
+                     cellConfig(sim::Strategy::Oracle, 0.0, 0.0)});
+                for (const auto &config : configs)
+                    cells.push_back(
+                        {t, app.get(),
+                         cellConfig(config.strategy, config.sleep,
+                                    calibration.threshold)});
+            }
+        }
+        const auto results = sim::runSweep(cells);
+
+        std::size_t cell = 0;
         for (int group = 1; group <= 3; ++group) {
             // Average each configuration over the group's runs.
             std::vector<double> power(std::size(configs), 0.0);
             double oracle_mw = 0.0;
-            for (const trace::Trace *t : groups[group]) {
-                oracle_mw += bench::runStrategy(
-                                 *t, *app, sim::Strategy::Oracle)
-                                 .averagePowerMw;
+            for (std::size_t t = 0; t < groups[group].size(); ++t) {
+                oracle_mw += results[cell++].averagePowerMw;
                 for (std::size_t c = 0; c < std::size(configs); ++c)
-                    power[c] += bench::runStrategy(
-                                    *t, *app, configs[c].strategy,
-                                    configs[c].sleep,
-                                    calibration.threshold)
-                                    .averagePowerMw;
+                    power[c] += results[cell++].averagePowerMw;
             }
             const double runs =
                 static_cast<double>(groups[group].size());

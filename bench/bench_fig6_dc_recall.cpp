@@ -7,6 +7,10 @@
  * Expected shape (paper): recall decays with the interval; at a 10 s
  * interval, headbutt and transition recall drop below ~30% while
  * steps — spread across long walking bouts — degrade more slowly.
+ *
+ * Both the 24-run trace pool and the app x interval x trace grid are
+ * generated/simulated on the shared thread pool (sim::runSweep);
+ * results are deterministic and identical to the old serial loops.
  */
 
 #include <cstdio>
@@ -14,6 +18,8 @@
 
 #include "apps/apps.h"
 #include "bench_common.h"
+#include "sim/sweep.h"
+#include "support/thread_pool.h"
 #include "trace/robot_gen.h"
 
 using namespace sidewinder;
@@ -22,29 +28,53 @@ int
 main()
 {
     const double seconds = bench::robotSeconds();
-    const double intervals[] = {2.0, 5.0, 10.0, 20.0, 30.0};
+    const std::vector<double> intervals = {2.0, 5.0, 10.0, 20.0,
+                                           30.0};
 
     // Rare events (headbutts) are sparse at 90% idle, so this figure
     // uses a larger pool of group-1-style runs than the corpus's nine
     // to keep the recall estimates stable.
     const int run_count = 24;
     std::printf("Figure 6: Duty Cycling recall at 90%% idle "
-                "(%d runs, %.0f s each)%s\n",
+                "(%d runs, %.0f s each, %zu threads)%s\n",
                 run_count, seconds,
+                support::ThreadPool::shared().threadCount(),
                 bench::fastMode() ? " [SW_FAST]" : "");
 
-    std::vector<trace::Trace> pool;
-    for (int run = 0; run < run_count; ++run) {
-        trace::RobotRunConfig config;
-        config.idleFraction = trace::robotGroupIdleFraction(1);
-        config.durationSeconds = seconds;
-        config.seed = 77000 + static_cast<std::uint64_t>(run);
-        config.name = "fig6-run" + std::to_string(run);
-        pool.push_back(generateRobotRun(config));
-    }
+    // Each run's generator is seeded independently, so the pool
+    // parallelizes without changing a single sample.
+    const std::vector<trace::Trace> pool =
+        support::ThreadPool::shared().parallelMap(
+            static_cast<std::size_t>(run_count), [&](std::size_t run) {
+                trace::RobotRunConfig config;
+                config.idleFraction = trace::robotGroupIdleFraction(1);
+                config.durationSeconds = seconds;
+                config.seed = 77000 + static_cast<std::uint64_t>(run);
+                config.name = "fig6-run" + std::to_string(run);
+                return generateRobotRun(config);
+            });
     std::vector<const trace::Trace *> group1;
     for (const auto &t : pool)
         group1.push_back(&t);
+
+    // App construction is hoisted out of the sweep: the same
+    // Application instances serve every interval and trace cell.
+    const auto apps = apps::accelerometerApps();
+    std::vector<const apps::Application *> app_ptrs;
+    for (const auto &app : apps)
+        app_ptrs.push_back(app.get());
+
+    std::vector<sim::SimConfig> configs;
+    for (double interval : intervals) {
+        sim::SimConfig config;
+        config.strategy = sim::Strategy::DutyCycling;
+        config.sleepIntervalSeconds = interval;
+        configs.push_back(config);
+    }
+
+    // Row-major grid (app, interval, trace) matching the print order.
+    const auto cells = sim::makeGrid(group1, app_ptrs, configs);
+    const auto results = sim::runSweep(cells);
 
     bench::rule();
     std::printf("%-13s", "sleep (s)");
@@ -53,15 +83,15 @@ main()
     std::printf("\n");
     bench::rule();
 
-    for (const auto &app : apps::accelerometerApps()) {
+    std::size_t cell = 0;
+    for (const auto &app : apps) {
         std::printf("%-13s", app->name().c_str());
-        for (double interval : intervals) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
             // Recall over the pooled events of all group-1 runs.
             std::size_t tp = 0;
             std::size_t fn = 0;
-            for (const trace::Trace *t : group1) {
-                const auto r = bench::runStrategy(
-                    *t, *app, sim::Strategy::DutyCycling, interval);
+            for (std::size_t t = 0; t < group1.size(); ++t) {
+                const auto &r = results[cell++];
                 tp += r.detection.truePositives;
                 fn += r.detection.falseNegatives;
             }

@@ -11,6 +11,9 @@
  * Activity condition performs poorly because subjects perform many
  * motions that are not steps (vehicle vibration, object handling,
  * fidgeting) yet wake the device.
+ *
+ * The subject x strategy grid runs on the shared thread pool via
+ * sim::runSweep with deterministic, serial-identical results.
  */
 
 #include <cstdio>
@@ -20,23 +23,63 @@
 #include "bench_common.h"
 #include "metrics/events.h"
 #include "sim/calibrate.h"
+#include "sim/sweep.h"
+#include "support/thread_pool.h"
 #include "trace/human_gen.h"
 
 using namespace sidewinder;
+
+namespace {
+
+sim::SimConfig
+cellConfig(sim::Strategy strategy, double sleep = 10.0,
+           double threshold = 0.0)
+{
+    sim::SimConfig config;
+    config.strategy = strategy;
+    config.sleepIntervalSeconds = sleep;
+    config.predefinedThreshold = threshold;
+    return config;
+}
+
+} // namespace
 
 int
 main()
 {
     const double seconds = bench::humanSeconds();
     std::printf("Figure 7: power relative to Oracle, human traces "
-                "(3 subjects, %.0f s each)%s\n",
-                seconds, bench::fastMode() ? " [SW_FAST]" : "");
+                "(3 subjects, %.0f s each, %zu threads)%s\n",
+                seconds, support::ThreadPool::shared().threadCount(),
+                bench::fastMode() ? " [SW_FAST]" : "");
 
     const auto corpus = trace::generateHumanCorpus(seconds, 20160402);
     const auto app = apps::makeStepsApp();
 
     const auto calibration = sim::calibratePredefinedThreshold(
         corpus, *app, {0.3, 0.5, 0.8, 1.2, 2.0});
+
+    // Six strategy cells per subject, consumed in cell order below.
+    std::vector<sim::SweepCell> cells;
+    for (const auto &t : corpus) {
+        cells.push_back(
+            {&t, app.get(), cellConfig(sim::Strategy::Oracle)});
+        cells.push_back(
+            {&t, app.get(), cellConfig(sim::Strategy::AlwaysAwake)});
+        cells.push_back(
+            {&t, app.get(),
+             cellConfig(sim::Strategy::DutyCycling, 10.0)});
+        cells.push_back(
+            {&t, app.get(),
+             cellConfig(sim::Strategy::Batching, 10.0)});
+        cells.push_back(
+            {&t, app.get(),
+             cellConfig(sim::Strategy::PredefinedActivity, 10.0,
+                        calibration.threshold)});
+        cells.push_back(
+            {&t, app.get(), cellConfig(sim::Strategy::Sidewinder)});
+    }
+    const auto results = sim::runSweep(cells);
 
     bench::rule();
     std::printf("%-22s %7s %7s %7s %7s %7s %10s %9s\n", "subject",
@@ -46,26 +89,14 @@ main()
 
     double min_share = 1.0;
     double dc_recall_sum = 0.0;
+    std::size_t cell = 0;
     for (const auto &t : corpus) {
-        const double oracle =
-            bench::runStrategy(t, *app, sim::Strategy::Oracle)
-                .averagePowerMw;
-        const double aa =
-            bench::runStrategy(t, *app, sim::Strategy::AlwaysAwake)
-                .averagePowerMw;
-        const auto dc = bench::runStrategy(
-            t, *app, sim::Strategy::DutyCycling, 10.0);
-        const double ba =
-            bench::runStrategy(t, *app, sim::Strategy::Batching, 10.0)
-                .averagePowerMw;
-        const double pa =
-            bench::runStrategy(t, *app,
-                               sim::Strategy::PredefinedActivity, 10.0,
-                               calibration.threshold)
-                .averagePowerMw;
-        const double sw =
-            bench::runStrategy(t, *app, sim::Strategy::Sidewinder)
-                .averagePowerMw;
+        const double oracle = results[cell++].averagePowerMw;
+        const double aa = results[cell++].averagePowerMw;
+        const auto &dc = results[cell++];
+        const double ba = results[cell++].averagePowerMw;
+        const double pa = results[cell++].averagePowerMw;
+        const double sw = results[cell++].averagePowerMw;
 
         const double share =
             metrics::savingsFraction(aa, sw, oracle);

@@ -28,6 +28,7 @@
 #include "metrics/events.h"
 #include "sim/power_model.h"
 #include "sim/timeline.h"
+#include "support/thread_pool.h"
 #include "trace/audio_gen.h"
 
 using namespace sidewinder;
@@ -61,6 +62,14 @@ struct Outcome
     std::size_t triggers = 0;
 };
 
+/** Per-trace replay numbers, combined in trace order afterwards. */
+struct TraceOutcome
+{
+    double recall = 0.0;
+    double powerMw = 0.0;
+    std::size_t triggers = 0;
+};
+
 Outcome
 evaluate(const std::vector<trace::Trace> &traces,
          const il::Program &program, const apps::Application &app)
@@ -71,31 +80,48 @@ evaluate(const std::vector<trace::Trace> &traces,
     outcome.mcu = mcu.name;
     outcome.hubMw = mcu.activePowerMw;
 
+    // Each trace replay owns its engine; fan them across the pool and
+    // reduce in trace order so the averages match the serial loop.
+    const auto per_trace =
+        support::ThreadPool::shared().parallelMap(
+            traces.size(), [&](std::size_t ti) {
+                const auto &t = traces[ti];
+                hub::Engine engine(channels);
+                engine.addCondition(1, program);
+                std::vector<double> triggers;
+                for (std::size_t i = 0; i < t.sampleCount(); ++i) {
+                    engine.pushSamples({t.channels[0][i]},
+                                       t.timeOf(i));
+                    for (const auto &event :
+                         engine.drainWakeEvents())
+                        triggers.push_back(event.timestamp);
+                }
+
+                TraceOutcome out;
+                out.triggers = triggers.size();
+                out.recall =
+                    metrics::matchEventsCoalesced(
+                        t.eventsOfType(app.eventType()), triggers,
+                        1.5)
+                        .recall();
+
+                sim::DeviceTimeline timeline(t.durationSeconds());
+                for (double trig : triggers)
+                    timeline.addAwakeInterval(trig + 1.0,
+                                              trig + 2.0);
+                out.powerMw = timeline
+                                  .summarize(sim::nexus4WithHub(
+                                      mcu.activePowerMw))
+                                  .averagePowerMw;
+                return out;
+            });
+
     double recall_sum = 0.0;
     double power_sum = 0.0;
-    for (const auto &t : traces) {
-        hub::Engine engine(channels);
-        engine.addCondition(1, program);
-        std::vector<double> triggers;
-        for (std::size_t i = 0; i < t.sampleCount(); ++i) {
-            engine.pushSamples({t.channels[0][i]}, t.timeOf(i));
-            for (const auto &event : engine.drainWakeEvents())
-                triggers.push_back(event.timestamp);
-        }
-        outcome.triggers += triggers.size();
-
-        recall_sum +=
-            metrics::matchEventsCoalesced(
-                t.eventsOfType(app.eventType()), triggers, 1.5)
-                .recall();
-
-        sim::DeviceTimeline timeline(t.durationSeconds());
-        for (double trig : triggers)
-            timeline.addAwakeInterval(trig + 1.0, trig + 2.0);
-        power_sum += timeline
-                         .summarize(sim::nexus4WithHub(
-                             mcu.activePowerMw))
-                         .averagePowerMw;
+    for (const auto &per : per_trace) {
+        outcome.triggers += per.triggers;
+        recall_sum += per.recall;
+        power_sum += per.powerMw;
     }
     outcome.recall = recall_sum / static_cast<double>(traces.size());
     outcome.powerMw = power_sum / static_cast<double>(traces.size());

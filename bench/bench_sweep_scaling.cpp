@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Wall-clock scaling of the parallel sweep engine on a Figure-6-style
+ * grid: a pool of group-1 robot runs x the three accelerometer apps x
+ * five Duty Cycling intervals, simulated serially and then on thread
+ * pools of 1 / 2 / 4 / hardware_concurrency workers.
+ *
+ * Emits a JSON record (default BENCH_sweep.json, or argv[1]) with the
+ * serial baseline, per-thread-count wall-clock and speedup, and a
+ * `deterministic` flag proving every parallel run reproduced the
+ * serial results field-for-field. scripts/run_benches.sh runs this
+ * alongside bench_dsp_micro.
+ *
+ * SW_FAST=1 shrinks the traces ~6x; the speedup ratios remain valid
+ * (every configuration simulates the identical cell grid).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "sim/sweep.h"
+#include "support/thread_pool.h"
+#include "trace/robot_gen.h"
+
+using namespace sidewinder;
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point begin)
+{
+    const auto d = std::chrono::steady_clock::now() - begin;
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/** Field-for-field equality of the results two sweeps produced. */
+bool
+identicalResults(const std::vector<sim::SimResult> &a,
+                 const std::vector<sim::SimResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto &x = a[i];
+        const auto &y = b[i];
+        if (x.configName != y.configName ||
+            x.averagePowerMw != y.averagePowerMw ||
+            x.hubTriggerCount != y.hubTriggerCount ||
+            x.recall != y.recall || x.precision != y.precision ||
+            x.detection.truePositives != y.detection.truePositives ||
+            x.detection.falsePositives !=
+                y.detection.falsePositives ||
+            x.detection.falseNegatives !=
+                y.detection.falseNegatives ||
+            x.timeline.energyMj != y.timeline.energyMj ||
+            x.timeline.wakeUps != y.timeline.wakeUps ||
+            x.meanDetectionLatencySeconds !=
+                y.meanDetectionLatencySeconds ||
+            x.mcuName != y.mcuName || x.hubMw != y.hubMw)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_sweep.json";
+    const double seconds = bench::robotSeconds();
+    const int run_count = bench::fastMode() ? 8 : 12;
+
+    const std::size_t hw = support::ThreadPool::defaultThreadCount();
+    std::printf("Sweep scaling: fig6-style grid (%d runs of %.0f s, "
+                "hw threads %zu)%s\n",
+                run_count, seconds, hw,
+                bench::fastMode() ? " [SW_FAST]" : "");
+
+    std::vector<trace::Trace> pool;
+    for (int run = 0; run < run_count; ++run) {
+        trace::RobotRunConfig config;
+        config.idleFraction = trace::robotGroupIdleFraction(1);
+        config.durationSeconds = seconds;
+        config.seed = 88000 + static_cast<std::uint64_t>(run);
+        config.name = "scaling-run" + std::to_string(run);
+        pool.push_back(generateRobotRun(config));
+    }
+    std::vector<const trace::Trace *> trace_ptrs;
+    for (const auto &t : pool)
+        trace_ptrs.push_back(&t);
+
+    const auto apps = apps::accelerometerApps();
+    std::vector<const apps::Application *> app_ptrs;
+    for (const auto &app : apps)
+        app_ptrs.push_back(app.get());
+
+    std::vector<sim::SimConfig> configs;
+    for (double interval : {2.0, 5.0, 10.0, 20.0, 30.0}) {
+        sim::SimConfig config;
+        config.strategy = sim::Strategy::DutyCycling;
+        config.sleepIntervalSeconds = interval;
+        configs.push_back(config);
+    }
+
+    const auto cells = sim::makeGrid(trace_ptrs, app_ptrs, configs);
+    std::printf("%zu cells\n", cells.size());
+    bench::rule();
+    std::printf("%-10s %12s %9s %14s\n", "threads", "wall ms",
+                "speedup", "deterministic");
+    bench::rule();
+
+    // Untimed warm-up: populate the process-wide FFT plan cache and
+    // grow the allocator pools so the serial baseline isn't charged
+    // for one-time costs the parallel runs then inherit for free.
+    (void)sim::runSweepSerial(cells);
+
+    auto begin = std::chrono::steady_clock::now();
+    const auto serial = sim::runSweepSerial(cells);
+    const double serial_ms = elapsedMs(begin);
+    std::printf("%-10s %12.1f %9s %14s\n", "serial", serial_ms, "1.00",
+                "-");
+
+    std::vector<std::size_t> counts = {1, 2, 4};
+    if (hw > 4)
+        counts.push_back(hw);
+
+    struct Row
+    {
+        std::size_t threads;
+        double ms;
+        bool identical;
+    };
+    std::vector<Row> rows;
+    bool all_identical = true;
+    for (std::size_t threads : counts) {
+        support::ThreadPool thread_pool(threads);
+        begin = std::chrono::steady_clock::now();
+        const auto parallel = sim::runSweep(cells, thread_pool);
+        const double ms = elapsedMs(begin);
+        const bool identical = identicalResults(serial, parallel);
+        all_identical = all_identical && identical;
+        rows.push_back({threads, ms, identical});
+        std::printf("%-10zu %12.1f %8.2fx %14s\n", threads, ms,
+                    serial_ms / ms, identical ? "yes" : "NO");
+    }
+    bench::rule();
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"sweep_scaling_fig6_grid\",\n"
+                 "  \"cells\": %zu,\n"
+                 "  \"runs\": %d,\n"
+                 "  \"trace_seconds\": %.1f,\n"
+                 "  \"fast_mode\": %s,\n"
+                 "  \"hardware_concurrency\": %zu,\n"
+                 "  \"serial_ms\": %.3f,\n"
+                 "  \"parallel\": [\n",
+                 cells.size(), run_count, seconds,
+                 bench::fastMode() ? "true" : "false", hw, serial_ms);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(out,
+                     "    {\"threads\": %zu, \"ms\": %.3f, "
+                     "\"speedup\": %.3f, \"deterministic\": %s}%s\n",
+                     rows[i].threads, rows[i].ms,
+                     serial_ms / rows[i].ms,
+                     rows[i].identical ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"deterministic\": %s\n"
+                 "}\n",
+                 all_identical ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return all_identical ? 0 : 1;
+}

@@ -1,12 +1,31 @@
 #!/bin/sh
 # Reproduce every result in EXPERIMENTS.md from scratch.
 #
-# Usage: scripts/reproduce.sh [fast]
+# Usage: scripts/reproduce.sh [fast] [tsan]
 #   fast  — run the experiment binaries on ~6x shorter traces.
+#   tsan  — additionally build with -DSIDEWINDER_SANITIZE=thread and
+#           run the parallel sweep engine's tests (sim_sweep_test,
+#           support_thread_pool_test) under ThreadSanitizer before
+#           the normal run. SW_TSAN=1 enables the same.
 set -e
 cd "$(dirname "$0")/.."
 
-[ "$1" = "fast" ] && export SW_FAST=1
+for arg in "$@"; do
+    [ "$arg" = "fast" ] && export SW_FAST=1
+    [ "$arg" = "tsan" ] && SW_TSAN=1
+done
+
+if [ "${SW_TSAN:-0}" = "1" ]; then
+    # TSan is incompatible with ASan, so it gets its own tree. Only
+    # the concurrency-bearing tests run here; the full (uninstrumented)
+    # suite still runs below.
+    cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
+    cmake --build build-tsan --target sim_sweep_test \
+        support_thread_pool_test
+    echo "== ThreadSanitizer: parallel sweep engine =="
+    build-tsan/tests/support_thread_pool_test
+    build-tsan/tests/sim_sweep_test
+fi
 
 cmake -B build -G Ninja
 cmake --build build

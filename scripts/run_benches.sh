@@ -1,24 +1,34 @@
 #!/usr/bin/env bash
-# Build and run the DSP microbenchmarks, recording the results as
-# google-benchmark JSON in BENCH_dsp.json at the repo root. The JSON
-# contains both the naive reference path (BM_FftRealNaive — the
-# pre-planned-FFT baseline) and the planned paths (BM_FftReal,
-# BM_FftPlanReal, ...), so the planned-vs-naive speedup and the
-# allocs/iter counters are tracked release over release.
+# Build and run the tracked benchmarks, recording results as JSON at
+# the repo root:
+#
+#  - BENCH_dsp.json   — google-benchmark output of bench_dsp_micro.
+#    Contains both the naive reference path (BM_FftRealNaive — the
+#    pre-planned-FFT baseline) and the planned paths (BM_FftReal,
+#    BM_FftPlanReal, ...), so the planned-vs-naive speedup and the
+#    allocs/iter counters are tracked release over release.
+#  - BENCH_sweep.json — bench_sweep_scaling: serial vs parallel
+#    wall-clock of a fig6-style simulation grid at 1/2/4/hw threads,
+#    the speedup per thread count, and a determinism flag asserting
+#    the parallel results matched the serial ones field-for-field.
 #
 # Usage: scripts/run_benches.sh [benchmark filter regex]
 #   BUILD_DIR=...   build directory (default: build)
-#   OUT=...         output JSON path (default: BENCH_dsp.json)
+#   OUT=...         DSP output JSON path (default: BENCH_dsp.json)
+#   OUT_SWEEP=...   sweep output JSON path (default: BENCH_sweep.json)
+#   SW_FAST=1       scale the sweep traces ~6x down (ratio unchanged)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_dsp.json}"
+OUT_SWEEP="${OUT_SWEEP:-BENCH_sweep.json}"
 FILTER="${1:-.}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_dsp_micro >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
+    bench_sweep_scaling >/dev/null
 
 "$BUILD_DIR"/bench/bench_dsp_micro \
     --benchmark_filter="$FILTER" \
@@ -26,3 +36,5 @@ cmake --build "$BUILD_DIR" -j --target bench_dsp_micro >/dev/null
     --benchmark_out_format=json
 
 echo "wrote $OUT"
+
+"$BUILD_DIR"/bench/bench_sweep_scaling "$OUT_SWEEP"

@@ -116,6 +116,18 @@ struct SimResult
 /**
  * Replay @p trace for @p app under @p config.
  *
+ * Thread-safety contract: concurrent simulate() calls are safe and
+ * deterministic as long as each call's @p trace and @p app are not
+ * mutated during the run (sharing the same instances read-only across
+ * calls is fine — simulate() only reads them). Every call owns its
+ * hub engine, kernels, and timeline; the only process-wide state
+ * touched is immutable-after-construction (the mutex-guarded
+ * dsp::FftPlan cache, static capability tables) plus relaxed atomic
+ * DSP counters. All randomness is baked into the trace at generation
+ * time, so a cell's result is a pure function of its inputs — this is
+ * what lets sim::runSweep (sim/sweep.h) fan a grid of calls across
+ * threads and return bit-identical results to a serial loop.
+ *
  * @throws ConfigError when the trace lacks a channel the application
  *     needs; CapabilityError when a Sidewinder condition fits no
  *     available MCU.

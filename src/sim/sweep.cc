@@ -1,0 +1,46 @@
+#include "sim/sweep.h"
+
+namespace sidewinder::sim {
+
+std::vector<SweepCell>
+makeGrid(const std::vector<const trace::Trace *> &traces,
+         const std::vector<const apps::Application *> &apps,
+         const std::vector<SimConfig> &configs)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(traces.size() * apps.size() * configs.size());
+    for (const apps::Application *app : apps)
+        for (const SimConfig &config : configs)
+            for (const trace::Trace *trace : traces)
+                cells.push_back({trace, app, config});
+    return cells;
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepCell> &cells,
+         support::ThreadPool &pool)
+{
+    return pool.parallelMap(cells.size(), [&](std::size_t i) {
+        const SweepCell &cell = cells[i];
+        return simulate(*cell.trace, *cell.app, cell.config);
+    });
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepCell> &cells)
+{
+    return runSweep(cells, support::ThreadPool::shared());
+}
+
+std::vector<SimResult>
+runSweepSerial(const std::vector<SweepCell> &cells)
+{
+    std::vector<SimResult> results;
+    results.reserve(cells.size());
+    for (const SweepCell &cell : cells)
+        results.push_back(
+            simulate(*cell.trace, *cell.app, cell.config));
+    return results;
+}
+
+} // namespace sidewinder::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Parallel sweep layer: the paper's whole evaluation (Sections 4-5)
+ * is a grid of independent trace-driven simulations — app x strategy
+ * x sleep-interval x trace — and every cell is a pure function of its
+ * inputs (all randomness is baked into the trace at generation time).
+ * This layer expresses such a grid as cells and fans them across a
+ * support::ThreadPool while keeping the output order, and the output
+ * bits, identical to a serial loop over the same cells.
+ */
+
+#ifndef SIDEWINDER_SIM_SWEEP_H
+#define SIDEWINDER_SIM_SWEEP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app.h"
+#include "sim/simulator.h"
+#include "support/thread_pool.h"
+#include "trace/types.h"
+
+namespace sidewinder::sim {
+
+/**
+ * One cell of a simulation grid. The pointed-to trace and application
+ * must outlive the sweep and are shared read-only across workers
+ * (both are immutable during simulate(); see the thread-safety
+ * contract on sim::simulate()).
+ */
+struct SweepCell
+{
+    const trace::Trace *trace = nullptr;
+    const apps::Application *app = nullptr;
+    SimConfig config;
+};
+
+/**
+ * Cartesian grid in deterministic row-major order: for each app, for
+ * each config, for each trace. Callers needing a different nesting
+ * build the cell vector directly — only the *order within the vector*
+ * defines the order of the results.
+ */
+std::vector<SweepCell>
+makeGrid(const std::vector<const trace::Trace *> &traces,
+         const std::vector<const apps::Application *> &apps,
+         const std::vector<SimConfig> &configs);
+
+/**
+ * Simulate every cell on @p pool, returning results[i] ==
+ * simulate(*cells[i].trace, *cells[i].app, cells[i].config).
+ *
+ * Deterministic: each cell owns its engine and timeline, every
+ * simulation is seed-driven through its trace, and results land in
+ * cell order — so the output is field-for-field identical to
+ * runSweepSerial() at any thread count (tests/sim_sweep_test.cc
+ * asserts this). The first exception thrown by any cell is rethrown.
+ */
+std::vector<SimResult> runSweep(const std::vector<SweepCell> &cells,
+                                support::ThreadPool &pool);
+
+/** Overload on the process-wide shared pool (SW_THREADS-sized). */
+std::vector<SimResult> runSweep(const std::vector<SweepCell> &cells);
+
+/** Reference serial loop over the same cells, same output order. */
+std::vector<SimResult>
+runSweepSerial(const std::vector<SweepCell> &cells);
+
+} // namespace sidewinder::sim
+
+#endif // SIDEWINDER_SIM_SWEEP_H

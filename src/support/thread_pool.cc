@@ -1,0 +1,192 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace sidewinder::support {
+
+namespace {
+
+/**
+ * True while the current thread is executing parallelFor bodies —
+ * either as a pool worker or as a submitter running its share of the
+ * chunks. A nested parallelFor from such a thread runs inline: on a
+ * worker it would starve the pool, and on the submitter it would wait
+ * behind its own unfinished outer job.
+ */
+thread_local bool t_insideParallelWork = false;
+
+} // namespace
+
+struct ThreadPool::Job
+{
+    /** Next unclaimed index (may overshoot end from racing claims). */
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)> *body = nullptr;
+    /** Indices not yet completed or abandoned; 0 means done. */
+    std::atomic<std::size_t> remaining{0};
+    /** Workers currently inside runChunks for this job. */
+    std::size_t activeWorkers = 0;
+    std::mutex failLock;
+    std::exception_ptr failure;
+};
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("SW_THREADS")) {
+        char *tail = nullptr;
+        const unsigned long parsed = std::strtoul(env, &tail, 10);
+        if (tail != env && *tail == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count)
+    : count(thread_count > 0 ? thread_count : defaultThreadCount())
+{
+    // The calling thread is part of the team, so a pool of N spawns
+    // N-1 workers; a pool of 1 is purely inline.
+    if (count > 1)
+        workers.reserve(count - 1);
+    for (std::size_t i = 0; i + 1 < count; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        shuttingDown = true;
+    }
+    wakeWorkers.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        const std::size_t start = job.next.fetch_add(job.chunk);
+        if (start >= job.end)
+            return;
+        const std::size_t stop =
+            std::min(start + job.chunk, job.end);
+        try {
+            for (std::size_t i = start; i < stop; ++i)
+                (*job.body)(i);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> guard(job.failLock);
+                if (!job.failure)
+                    job.failure = std::current_exception();
+            }
+            // Abandon every index nobody has claimed yet; in-flight
+            // chunks on other threads still finish.
+            const std::size_t prev = job.next.exchange(job.end);
+            if (prev < job.end)
+                job.remaining.fetch_sub(job.end - prev);
+        }
+        job.remaining.fetch_sub(stop - start);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_insideParallelWork = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> guard(lock);
+    for (;;) {
+        wakeWorkers.wait(guard, [&] {
+            return shuttingDown ||
+                   (current != nullptr && generation != seen);
+        });
+        if (shuttingDown)
+            return;
+        Job *job = current;
+        seen = generation;
+        // Registration happens under the pool lock, so the submitter
+        // cannot retire (and destroy) the job while we hold a claim
+        // on it.
+        ++job->activeWorkers;
+        guard.unlock();
+        runChunks(*job);
+        guard.lock();
+        --job->activeWorkers;
+        jobDone.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (end <= begin)
+        return;
+
+    const std::size_t items = end - begin;
+    // Nested calls (a body spawning its own parallelFor) and
+    // single-thread pools run inline: correct, allocation-free, and
+    // immune to worker-starvation deadlock.
+    if (t_insideParallelWork || count <= 1 || items == 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    Job job;
+    job.next.store(begin);
+    job.end = end;
+    // ~4 chunks per thread balances uneven cell costs against
+    // claim-counter contention.
+    job.chunk = std::max<std::size_t>(1, items / (count * 4));
+    job.body = &body;
+    job.remaining.store(items);
+
+    {
+        std::unique_lock<std::mutex> guard(lock);
+        // One job at a time; concurrent submitters queue here.
+        jobDone.wait(guard,
+                     [this] { return current == nullptr; });
+        current = &job;
+        ++generation;
+    }
+    wakeWorkers.notify_all();
+
+    // The submitting thread is part of the team; while it runs
+    // chunks, any parallelFor its bodies issue must go inline.
+    t_insideParallelWork = true;
+    runChunks(job);
+    t_insideParallelWork = false;
+
+    {
+        std::unique_lock<std::mutex> guard(lock);
+        jobDone.wait(guard, [&job] {
+            return job.remaining.load() == 0 &&
+                   job.activeWorkers == 0;
+        });
+        current = nullptr;
+    }
+    // Queued submitters may now install their job.
+    jobDone.notify_all();
+
+    if (job.failure)
+        std::rethrow_exception(job.failure);
+}
+
+} // namespace sidewinder::support

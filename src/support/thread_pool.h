@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fixed-size worker pool for the embarrassingly parallel sweeps that
+ * dominate the evaluation harness (one trace-driven simulation per
+ * grid cell). The pool hands out contiguous index chunks from a
+ * shared counter — work-stealing-lite: idle workers keep claiming
+ * chunks until the range is exhausted, so uneven cell costs balance
+ * without any per-item queueing.
+ *
+ * Design constraints, in order:
+ *  - determinism: parallelFor imposes no ordering of its own; callers
+ *    write results by index, so output is independent of scheduling;
+ *  - safety: the first exception thrown by any body is captured and
+ *    rethrown on the calling thread after the range drains;
+ *  - composability: a parallelFor issued from inside a worker (nested
+ *    parallelism) executes inline on that worker instead of
+ *    deadlocking on the pool's own threads.
+ */
+
+#ifndef SIDEWINDER_SUPPORT_THREAD_POOL_H
+#define SIDEWINDER_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sidewinder::support {
+
+/** A fixed set of worker threads executing chunked index ranges. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param thread_count Number of workers; 0 (the default) selects
+     *     defaultThreadCount(). A pool of 1 runs everything inline on
+     *     the calling thread and spawns no workers.
+     */
+    explicit ThreadPool(std::size_t thread_count = 0);
+
+    /** Joins all workers; outstanding work completes first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Worker count chosen when none is given: the `SW_THREADS`
+     * environment variable when set to a positive integer, otherwise
+     * the hardware concurrency (at least 1).
+     */
+    static std::size_t defaultThreadCount();
+
+    /** Process-wide pool built with defaultThreadCount() workers. */
+    static ThreadPool &shared();
+
+    /** Number of threads that can execute bodies concurrently. */
+    std::size_t threadCount() const { return count; }
+
+    /**
+     * Invoke @p body(i) for every i in [begin, end), spread across
+     * the workers (the calling thread participates). Returns when
+     * every index has completed.
+     *
+     * Bodies for distinct indices may run concurrently; the caller is
+     * responsible for making writes to shared state either disjoint
+     * (e.g. one result slot per index) or synchronized.
+     *
+     * If any body throws, the remaining unclaimed indices are
+     * abandoned, in-flight bodies finish, and the first captured
+     * exception is rethrown here.
+     *
+     * Calls from inside a pool worker run the whole range inline on
+     * that worker (no deadlock, still exception-safe).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map [0, count) through @p fn, returning results in index order
+     * regardless of execution order. The result type must be default-
+     * constructible and movable.
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t item_count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        std::vector<decltype(fn(std::size_t{}))> out(item_count);
+        parallelFor(0, item_count,
+                    [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Job;
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::size_t count;
+    std::vector<std::thread> workers;
+
+    std::mutex lock;
+    std::condition_variable wakeWorkers;
+    std::condition_variable jobDone;
+    Job *current = nullptr;
+    /** Bumped per installed job so workers never re-enter one. */
+    std::uint64_t generation = 0;
+    bool shuttingDown = false;
+};
+
+} // namespace sidewinder::support
+
+#endif // SIDEWINDER_SUPPORT_THREAD_POOL_H

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Determinism contract of the parallel sweep engine: sim::runSweep
+ * must return SimResults that are field-for-field identical to a
+ * serial loop over the same cells, at every thread count. Each cell
+ * owns its engine and timeline and all randomness is baked into the
+ * traces at generation time, so parallel replay changes nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/apps.h"
+#include "sim/sweep.h"
+#include "support/thread_pool.h"
+#include "trace/robot_gen.h"
+
+namespace sidewinder::sim {
+namespace {
+
+/** Exact (bitwise for doubles) equality of every SimResult field. */
+void
+expectIdentical(const SimResult &a, const SimResult &b,
+                std::size_t cell, std::size_t threads)
+{
+    SCOPED_TRACE("cell " + std::to_string(cell) + " at " +
+                 std::to_string(threads) + " threads");
+    EXPECT_EQ(a.configName, b.configName);
+    EXPECT_EQ(a.averagePowerMw, b.averagePowerMw);
+    EXPECT_EQ(a.hubTriggerCount, b.hubTriggerCount);
+    EXPECT_EQ(a.recall, b.recall);
+    EXPECT_EQ(a.precision, b.precision);
+    EXPECT_EQ(a.detection.truePositives, b.detection.truePositives);
+    EXPECT_EQ(a.detection.falsePositives,
+              b.detection.falsePositives);
+    EXPECT_EQ(a.detection.falseNegatives,
+              b.detection.falseNegatives);
+    EXPECT_EQ(a.timeline.totalSeconds, b.timeline.totalSeconds);
+    EXPECT_EQ(a.timeline.awakeSeconds, b.timeline.awakeSeconds);
+    EXPECT_EQ(a.timeline.asleepSeconds, b.timeline.asleepSeconds);
+    EXPECT_EQ(a.timeline.wakeUps, b.timeline.wakeUps);
+    EXPECT_EQ(a.timeline.averagePowerMw, b.timeline.averagePowerMw);
+    EXPECT_EQ(a.timeline.energyMj, b.timeline.energyMj);
+    EXPECT_EQ(a.meanDetectionLatencySeconds,
+              b.meanDetectionLatencySeconds);
+    EXPECT_EQ(a.mcuName, b.mcuName);
+    EXPECT_EQ(a.hubMw, b.hubMw);
+}
+
+class SimSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Two short seeded robot runs at different activity levels.
+        for (int run = 0; run < 2; ++run) {
+            trace::RobotRunConfig config;
+            config.idleFraction = run == 0 ? 0.9 : 0.1;
+            config.durationSeconds = 60.0;
+            config.seed = 4100 + static_cast<std::uint64_t>(run);
+            config.name = "sweep-test-" + std::to_string(run);
+            traces.push_back(generateRobotRun(config));
+        }
+        for (const auto &t : traces)
+            trace_ptrs.push_back(&t);
+
+        apps.push_back(apps::makeStepsApp());
+        apps.push_back(apps::makeTransitionsApp());
+        for (const auto &app : apps)
+            app_ptrs.push_back(app.get());
+
+        // Strategies exercising every simulator code path that runs
+        // under the sweep: hub-driven, duty-cycled, and trivial.
+        for (const Strategy strategy :
+             {Strategy::Sidewinder, Strategy::DutyCycling,
+              Strategy::Oracle, Strategy::AlwaysAwake}) {
+            SimConfig config;
+            config.strategy = strategy;
+            config.sleepIntervalSeconds = 5.0;
+            configs.push_back(config);
+        }
+
+        cells = makeGrid(trace_ptrs, app_ptrs, configs);
+    }
+
+    std::vector<trace::Trace> traces;
+    std::vector<const trace::Trace *> trace_ptrs;
+    std::vector<std::unique_ptr<apps::Application>> apps;
+    std::vector<const apps::Application *> app_ptrs;
+    std::vector<SimConfig> configs;
+    std::vector<SweepCell> cells;
+};
+
+TEST_F(SimSweepTest, GridOrderIsAppConfigTrace)
+{
+    ASSERT_EQ(cells.size(),
+              traces.size() * apps.size() * configs.size());
+    // Row-major: app outermost, then config, then trace.
+    EXPECT_EQ(cells[0].app, app_ptrs[0]);
+    EXPECT_EQ(cells[0].trace, trace_ptrs[0]);
+    EXPECT_EQ(cells[1].trace, trace_ptrs[1]);
+    EXPECT_EQ(cells[1].config.strategy, configs[0].strategy);
+    EXPECT_EQ(cells[2].config.strategy, configs[1].strategy);
+    EXPECT_EQ(cells[cells.size() - 1].app,
+              app_ptrs[app_ptrs.size() - 1]);
+}
+
+TEST_F(SimSweepTest, ParallelResultsIdenticalToSerialAtEveryCount)
+{
+    const auto serial = runSweepSerial(cells);
+    ASSERT_EQ(serial.size(), cells.size());
+
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2},
+          support::ThreadPool::defaultThreadCount()}) {
+        support::ThreadPool pool(threads);
+        const auto parallel = runSweep(cells, pool);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectIdentical(serial[i], parallel[i], i, threads);
+    }
+}
+
+TEST_F(SimSweepTest, SharedPoolOverloadMatchesSerial)
+{
+    const auto serial = runSweepSerial(cells);
+    const auto parallel = runSweep(cells);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i], i,
+                        support::ThreadPool::shared().threadCount());
+}
+
+TEST_F(SimSweepTest, RepeatedParallelRunsAreStable)
+{
+    support::ThreadPool pool(2);
+    const auto first = runSweep(cells, pool);
+    const auto second = runSweep(cells, pool);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectIdentical(first[i], second[i], i, 2);
+}
+
+TEST_F(SimSweepTest, EmptyCellListYieldsEmptyResults)
+{
+    support::ThreadPool pool(2);
+    EXPECT_TRUE(runSweep({}, pool).empty());
+    EXPECT_TRUE(runSweepSerial({}).empty());
+}
+
+TEST_F(SimSweepTest, CellExceptionPropagates)
+{
+    // An audio app over an accelerometer trace lacks the AUDIO
+    // channel; simulate() throws and the sweep must surface it.
+    const auto siren = apps::makeSirenApp();
+    std::vector<SweepCell> bad = cells;
+    SimConfig config;
+    config.strategy = Strategy::Sidewinder;
+    bad.push_back({trace_ptrs[0], siren.get(), config});
+    support::ThreadPool pool(2);
+    EXPECT_THROW(runSweep(bad, pool), std::exception);
+    EXPECT_THROW(runSweepSerial(bad), std::exception);
+}
+
+} // namespace
+} // namespace sidewinder::sim

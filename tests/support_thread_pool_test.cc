@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for support::ThreadPool: range handling, result
+ * ordering, exception propagation, nested-parallelism fallback, and
+ * the SW_THREADS sizing override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace sidewinder::support {
+namespace {
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 0, [&](std::size_t) { ++calls; });
+    pool.parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    // A reversed range is empty, not an error.
+    pool.parallelFor(7, 3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleItemRuns)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    std::size_t seen = 99;
+    pool.parallelFor(3, 4, [&](std::size_t i) {
+        ++calls;
+        seen = i;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen, 3u);
+}
+
+TEST(ThreadPool, RangeSmallerThanWorkerCount)
+{
+    ThreadPool pool(8);
+    // Each index executed exactly once (disjoint slots, no locks).
+    std::vector<int> hits(3, 0);
+    pool.parallelFor(0, hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(1000, 0);
+    pool.parallelFor(0, hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap(
+        100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, WorkerExceptionSurfacesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error(
+                                              "cell 37 failed");
+                                  }),
+                 std::runtime_error);
+    // The pool stays usable after a failed job.
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 10, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::vector<int> hits(16, 0);
+    pool.parallelFor(0, hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    // The inner parallelFor on the same pool must fall back to
+    // inline execution on whichever thread runs the outer body.
+    pool.parallelFor(0, 4, [&](std::size_t) {
+        pool.parallelFor(0, 4, [&](std::size_t) { ++calls; });
+    });
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, NestedExceptionStillPropagates)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(0, 4,
+                         [&](std::size_t) {
+                             pool.parallelFor(
+                                 0, 4, [&](std::size_t i) {
+                                     if (i == 2)
+                                         throw std::runtime_error(
+                                             "inner");
+                                 });
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, SwThreadsOverridesDefault)
+{
+    const char *old = std::getenv("SW_THREADS");
+    const std::string saved = old ? old : "";
+
+    ::setenv("SW_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    ThreadPool pool;
+    EXPECT_EQ(pool.threadCount(), 3u);
+
+    // Garbage and non-positive values fall back to hardware.
+    ::setenv("SW_THREADS", "abc", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    ::setenv("SW_THREADS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+
+    if (old)
+        ::setenv("SW_THREADS", saved.c_str(), 1);
+    else
+        ::unsetenv("SW_THREADS");
+}
+
+} // namespace
+} // namespace sidewinder::support
