@@ -13,12 +13,16 @@
 #include <benchmark/benchmark.h>
 
 #include "alloc_counter.h"
+#include "apps/apps.h"
+#include "apps/predefined.h"
+#include "core/sensors.h"
 #include "dsp/features.h"
 #include "dsp/fft.h"
 #include "dsp/fft_plan.h"
 #include "dsp/filters.h"
 #include "dsp/window.h"
 #include "hub/engine.h"
+#include "il/analyze.h"
 #include "il/parser.h"
 
 using namespace sidewinder;
@@ -277,5 +281,74 @@ BM_EngineSirenPipeline(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineSirenPipeline);
+
+// ---------------------------------------------------------------------
+// Static analyzer wall-clock: admission control runs on every push,
+// so il::analyze() must stay far under 10 ms per program.
+
+/** One analyzable program: IL plus the channels it runs on. */
+struct AnalyzeUnit
+{
+    il::Program program;
+    std::vector<il::ChannelInfo> channels;
+};
+
+std::vector<AnalyzeUnit>
+analyzeUnits()
+{
+    std::vector<AnalyzeUnit> units;
+    for (const auto &app : apps::allApps())
+        units.push_back({app->wakeCondition().compile(),
+                         app->channels()});
+    units.push_back({apps::significantMotionCondition().compile(),
+                     core::accelerometerChannels()});
+    units.push_back({apps::significantSoundCondition().compile(),
+                     core::audioChannels()});
+    return units;
+}
+
+/** Analyzer throughput over every shipped wake condition. */
+void
+BM_AnalyzeAllApps(benchmark::State &state)
+{
+    const auto units = analyzeUnits();
+    for (auto _ : state)
+        for (const auto &unit : units)
+            benchmark::DoNotOptimize(
+                il::analyze(unit.program, unit.channels));
+    state.SetItemsProcessed(
+        state.iterations() * static_cast<std::int64_t>(units.size()));
+    state.counters["programs"] =
+        static_cast<double>(units.size());
+}
+BENCHMARK(BM_AnalyzeAllApps);
+
+/** The largest shipped program (siren: 15 statements, two FFTs). */
+void
+BM_AnalyzeSiren(benchmark::State &state)
+{
+    const auto app = apps::makeSirenApp();
+    const il::Program program = app->wakeCondition().compile();
+    const auto channels = app->channels();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(il::analyze(program, channels));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzeSiren);
+
+/** Text rendering on top of analysis (what swlint does per file). */
+void
+BM_AnalyzeAndRenderSiren(benchmark::State &state)
+{
+    const auto app = apps::makeSirenApp();
+    const il::Program program = app->wakeCondition().compile();
+    const auto channels = app->channels();
+    for (auto _ : state) {
+        const auto result = il::analyze(program, channels);
+        benchmark::DoNotOptimize(il::renderText(result, "siren"));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzeAndRenderSiren);
 
 } // namespace

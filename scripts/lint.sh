@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run clang-tidy (configuration in .clang-tidy) over the library
+# sources by building a lint-enabled tree.
+#
+# Usage: scripts/lint.sh
+#
+# Exits 0 with a message when clang-tidy is not installed so CI
+# images without LLVM tooling stay green.
+set -e
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "lint: clang-tidy not found; skipping (install clang-tidy to enable)"
+    exit 0
+fi
+
+cmake -B build-lint -DSIDEWINDER_LINT=ON
+cmake --build build-lint -j
+echo "lint: clean"

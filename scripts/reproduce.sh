@@ -31,6 +31,11 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# The shipped wake conditions must pass the static analyzer under the
+# strictest setting (also registered as the swlint_all_apps ctest).
+echo "== swlint: built-in wake conditions =="
+build/tools/swlint --all-apps --Werror
+
 {
     for b in build/bench/*; do
         if [ -f "$b" ] && [ -x "$b" ]; then

@@ -6,7 +6,10 @@
 #    Contains both the naive reference path (BM_FftRealNaive — the
 #    pre-planned-FFT baseline) and the planned paths (BM_FftReal,
 #    BM_FftPlanReal, ...), so the planned-vs-naive speedup and the
-#    allocs/iter counters are tracked release over release.
+#    allocs/iter counters are tracked release over release. Also
+#    records the static analyzer's wall-clock over every shipped
+#    wake condition (BM_Analyze*): admission control runs on each
+#    push, so il::analyze() must stay far under 10 ms per program.
 #  - BENCH_sweep.json — bench_sweep_scaling: serial vs parallel
 #    wall-clock of a fig6-style simulation grid at 1/2/4/hw threads,
 #    the speedup per thread count, and a determinism flag asserting

@@ -1,5 +1,6 @@
 #include "core/sensor_manager.h"
 
+#include "il/analyze.h"
 #include "il/optimize.h"
 #include "il/writer.h"
 #include "support/error.h"
@@ -21,17 +22,31 @@ SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
     if (listener == nullptr)
         throw ConfigError("push requires a SensorEventListener");
 
-    // Validate the developer's pipeline as written, then ship the
-    // deduplicated form: branches sharing a prefix (common in
-    // multi-feature conditions) collapse to one chain on the wire.
+    // Statically analyze the developer's pipeline as written, then
+    // ship the deduplicated form: branches sharing a prefix (common
+    // in multi-feature conditions) collapse to one chain on the wire.
     const il::Program program = pipeline.compile();
-    il::validate(program, channels);
+    const il::AnalysisResult analysis = il::analyze(program, channels);
+    if (!analysis.ok())
+        throw ParseError("pipeline failed static analysis:\n" +
+                         il::renderText(analysis, "<pipeline>"));
     const il::Program optimized = il::optimize(program);
 
     const int condition_id = nextConditionId++;
     Entry entry;
     entry.listener = listener;
     entry.ilText = il::write(optimized);
+    // Surface the analyzer's warnings at push time — except SW101
+    // (duplicate subtrees), which il::optimize() just resolved.
+    for (const auto &d : analysis.diagnostics) {
+        if (d.severity == il::Severity::Error ||
+            d.code == il::SW101_DUPLICATE_SUBTREE)
+            continue;
+        entry.pushDiagnostics.push_back(d);
+        if (d.severity == il::Severity::Warning)
+            warn("push: [" + d.code + "] " + d.message +
+                 (d.hint.empty() ? "" : " (hint: " + d.hint + ")"));
+    }
     entries[condition_id] = entry;
 
     link.phoneToHub().sendFrame(
@@ -121,6 +136,12 @@ std::string
 SidewinderSensorManager::ilTextOf(int condition_id) const
 {
     return entryOf(condition_id).ilText;
+}
+
+const std::vector<il::Diagnostic> &
+SidewinderSensorManager::pushDiagnostics(int condition_id) const
+{
+    return entryOf(condition_id).pushDiagnostics;
 }
 
 } // namespace sidewinder::core

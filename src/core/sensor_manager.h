@@ -15,6 +15,7 @@
 
 #include "core/listener.h"
 #include "core/pipeline.h"
+#include "il/analyze.h"
 #include "il/validate.h"
 #include "transport/frame.h"
 #include "transport/link.h"
@@ -47,12 +48,13 @@ class SidewinderSensorManager
                             std::vector<il::ChannelInfo> channels);
 
     /**
-     * Compile, validate, and push @p pipeline; @p listener is invoked
-     * on every wake-up of this condition.
+     * Compile, statically analyze, and push @p pipeline; @p listener
+     * is invoked on every wake-up of this condition.
      *
-     * Validation happens locally first so developer errors surface
+     * Analysis happens locally first so developer errors surface
      * immediately as exceptions rather than as asynchronous hub
-     * rejections.
+     * rejections; non-fatal diagnostics are logged and kept for
+     * inspection via pushDiagnostics().
      *
      * @return the condition id assigned to this push.
      * @throws ParseError / ConfigError on invalid pipelines.
@@ -78,6 +80,13 @@ class SidewinderSensorManager
     /** IL text shipped for @p condition_id (for inspection). */
     std::string ilTextOf(int condition_id) const;
 
+    /**
+     * Non-fatal analyzer diagnostics (warnings and notes) recorded
+     * when @p condition_id was pushed.
+     */
+    const std::vector<il::Diagnostic> &
+    pushDiagnostics(int condition_id) const;
+
   private:
     struct Entry
     {
@@ -85,6 +94,7 @@ class SidewinderSensorManager
         SensorEventListener *listener = nullptr;
         std::string ilText;
         std::string reason;
+        std::vector<il::Diagnostic> pushDiagnostics;
     };
 
     const Entry &entryOf(int condition_id) const;

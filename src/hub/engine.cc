@@ -4,26 +4,16 @@
 #include <cstdio>
 
 #include "il/algorithm_info.h"
+#include "il/analyze.h"
 #include "support/error.h"
 
 namespace sidewinder::hub {
 
 namespace {
 
-/** Per-invocation cost of a node given its input stream. */
-double
-invokeCost(const il::AlgorithmInfo &info,
-           const il::NodeStream &input_stream)
-{
-    double units = 1.0;
-    if (info.inputKind != il::ValueKind::Scalar)
-        units = static_cast<double>(
-            std::max<std::size_t>(input_stream.frameSize, 1));
-    double cost = info.cyclesPerUnit * units;
-    if (info.fftFamily && input_stream.frameSize > 1)
-        cost *= std::log2(static_cast<double>(input_stream.frameSize));
-    return cost;
-}
+// Per-invocation compute cost and per-node RAM come from the static
+// analyzer (il::invokeCost / il::nodeRamBytes) so the admission
+// verdict and the runtime account identically.
 
 /**
  * Canonical node identity for cross-condition sharing, built once at
@@ -143,12 +133,15 @@ Engine::addCondition(int condition_id, const il::Program &program)
             if (!info)
                 throw InternalError("validated program with unknown "
                                     "algorithm");
-            node->cyclesPerInvoke = invokeCost(*info,
-                                               input_streams.front());
+            node->cyclesPerInvoke =
+                il::invokeCost(*info, input_streams.front());
             double rate = input_streams.front().fireRateHz;
             for (const auto &s : input_streams)
                 rate = std::min(rate, s.fireRateHz);
             node->invokeRateHz = rate;
+            node->ramBytes = il::nodeRamBytes(
+                *info, stmt.params, input_streams.front(),
+                node->stream);
 
             index = static_cast<int>(nodes.size());
             nodes.push_back(std::move(node));
@@ -364,6 +357,16 @@ Engine::estimatedCyclesPerSecond() const
     return total;
 }
 
+std::size_t
+Engine::estimatedRamBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &slot : nodes)
+        if (slot != nullptr)
+            total += slot->ramBytes;
+    return total;
+}
+
 double
 Engine::estimateProgramCycles(const il::Program &program,
                               const std::vector<il::ChannelInfo> &channels)
@@ -405,7 +408,7 @@ Engine::estimateProgramCycles(const il::Program &program,
                             : s.fireRateHz;
             rate_set = true;
         }
-        total += invokeCost(*info, first) * rate;
+        total += il::invokeCost(*info, first) * rate;
     }
     return total;
 }

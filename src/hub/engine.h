@@ -107,6 +107,15 @@ class Engine
      */
     double estimatedCyclesPerSecond() const;
 
+    /**
+     * Static estimate of the RAM held by the installed conditions'
+     * live nodes (state blocks + result storage), in bytes. Shared
+     * nodes are counted once — installing a condition whose nodes
+     * dedupe against existing ones costs less than its standalone
+     * footprint. Checked against McuModel::ramBytes at admission.
+     */
+    std::size_t estimatedRamBytes() const;
+
     /** Abstract cycles consumed by kernel invocations so far. */
     double cyclesConsumed() const { return dynamicCycles; }
 
@@ -143,6 +152,7 @@ class Engine
         il::NodeStream stream;
         double cyclesPerInvoke = 0.0;
         double invokeRateHz = 0.0;
+        std::size_t ramBytes = 0;
         int refCount = 0;
 
         // Per-wave state.

@@ -18,9 +18,11 @@
 #ifndef SIDEWINDER_HUB_MCU_H
 #define SIDEWINDER_HUB_MCU_H
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "il/analyze.h"
 #include "il/ast.h"
 #include "il/validate.h"
 
@@ -35,6 +37,12 @@ struct McuModel
     double activePowerMw = 0.0;
     /** Sustained compute budget in abstract cycle units per second. */
     double cyclesPerSecond = 0.0;
+    /**
+     * On-chip SRAM available to wake-up condition state, bytes;
+     * 0 means no RAM budget is modeled (admission checks compute
+     * only). Checked against il::ProgramCost::ramBytes.
+     */
+    std::size_t ramBytes = 0;
 };
 
 /** The TI MSP430 of the prototype: 3.6 mW, small compute budget. */
@@ -50,9 +58,21 @@ const std::vector<McuModel> &availableMcus();
 bool canRunInRealTime(const McuModel &mcu, double cycles_per_second);
 
 /**
+ * True when @p mcu satisfies both budgets of @p cost: sustained
+ * compute and (when the model declares one) RAM.
+ */
+bool fitsBudget(const McuModel &mcu, const il::ProgramCost &cost);
+
+/**
  * Pick the lowest-power MCU able to run @p program on @p channels in
  * real time ("Sizing", Section 3.8).
  *
+ * The verdict comes from the static analyzer's cost model — compute
+ * *and* RAM — applied to the deduplicated program the hub actually
+ * instantiates (il::optimize(), matching what the sensor manager
+ * ships and what the engine hash-conses at install time).
+ *
+ * @throws ParseError when the program is invalid.
  * @throws CapabilityError when no available MCU suffices.
  */
 McuModel selectMcu(const il::Program &program,
@@ -63,6 +83,21 @@ McuModel selectMcu(const il::Program &program,
  * @throws CapabilityError when no available MCU suffices.
  */
 McuModel selectMcuForLoad(double cycles_per_second);
+
+/**
+ * Lowest-power MCU whose compute and RAM budgets cover @p cost.
+ * @throws CapabilityError when no available MCU suffices.
+ */
+McuModel selectMcuForCost(const il::ProgramCost &cost);
+
+/**
+ * Admission-control diagnostics for @p cost against the platform's
+ * MCU fleet: SW017 (error) when no available MCU can run the program,
+ * SW201 (note) when the program needs more than the cheapest MCU.
+ * Empty when the cheapest MCU suffices.
+ */
+std::vector<il::Diagnostic> admissionDiagnostics(
+    const il::ProgramCost &cost);
 
 } // namespace sidewinder::hub
 

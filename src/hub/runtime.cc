@@ -1,5 +1,6 @@
 #include "hub/runtime.h"
 
+#include "il/analyze.h"
 #include "il/parser.h"
 #include "support/error.h"
 #include "support/logging.h"
@@ -32,17 +33,38 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
         try {
             const il::Program program = il::parse(message.ilText);
 
+            // Pre-instantiation check: run the static analyzer once
+            // and reject on its verdict before any kernel is built —
+            // with every error, not just the first.
+            const il::AnalysisResult analysis =
+                il::analyze(program, dataflow.channels());
+            if (!analysis.ok()) {
+                std::string reason = "static analysis rejected the "
+                                     "condition:";
+                for (const auto &d : analysis.diagnostics) {
+                    if (d.severity != il::Severity::Error)
+                        continue;
+                    reason += " [" + d.code + "] " + d.message + ";";
+                }
+                throw ParseError(reason);
+            }
+
             // Capability gate: the engine's existing load plus this
-            // program must fit the MCU's real-time budget.
-            const double extra = Engine::estimateProgramCycles(
-                program, dataflow.channels());
-            const double load =
-                dataflow.estimatedCyclesPerSecond() + extra;
+            // program must fit the MCU's real-time and RAM budgets.
+            const double load = dataflow.estimatedCyclesPerSecond() +
+                                analysis.cost.cyclesPerSecond;
             if (!canRunInRealTime(mcuModel, load))
                 throw CapabilityError(
                     "condition needs " + std::to_string(load) +
                     " cycle units/s; " + mcuModel.name + " sustains " +
                     std::to_string(mcuModel.cyclesPerSecond));
+            const std::size_t ram =
+                dataflow.estimatedRamBytes() + analysis.cost.ramBytes;
+            if (mcuModel.ramBytes > 0 && ram > mcuModel.ramBytes)
+                throw CapabilityError(
+                    "condition needs " + std::to_string(ram) +
+                    " bytes of hub RAM; " + mcuModel.name + " has " +
+                    std::to_string(mcuModel.ramBytes));
 
             dataflow.addCondition(message.conditionId, program);
             link.hubToPhone().sendFrame(

@@ -78,6 +78,17 @@ struct Statement
     NodeId id = 0;
     /** Numeric parameters; empty when the algorithm takes none. */
     std::vector<double> params;
+    /**
+     * 1-based source position of the statement's first token when it
+     * came from parse(); 0 when the statement was built
+     * programmatically. Because write() emits one statement per line,
+     * consumers fall back to "statement index + 1" for unset lines —
+     * see statementSpan(). Excluded from operator== so write/parse
+     * round trips compare equal.
+     */
+    int line = 0;
+    /** 1-based source column; 0 when built programmatically. */
+    int column = 0;
 
     bool
     operator==(const Statement &other) const
@@ -102,6 +113,20 @@ struct Program
 
 /** Highest node id used in @p program (0 when it defines no nodes). */
 NodeId maxNodeId(const Program &program);
+
+/** A resolved 1-based line:column source position. */
+struct SourceSpan
+{
+    int line = 0;
+    int column = 0;
+};
+
+/**
+ * Best-available span of statement @p index of a program: the parser's
+ * recorded position when present, otherwise the position the statement
+ * would occupy in write() output (one statement per line). Never 0:0.
+ */
+SourceSpan statementSpan(const Statement &stmt, std::size_t index);
 
 } // namespace sidewinder::il
 

@@ -108,6 +108,8 @@ class Parser
     parseStatement()
     {
         Statement stmt;
+        stmt.line = peek().line;
+        stmt.column = peek().column;
         stmt.inputs.push_back(parseSource());
         while (match(TokenType::Comma))
             stmt.inputs.push_back(parseSource());

@@ -10,10 +10,18 @@ namespace sidewinder::il {
 
 namespace {
 
+/**
+ * All validation failures carry a line:column span: the parser's
+ * recorded statement position, or the position the statement occupies
+ * in write() output when the program was built programmatically.
+ */
 [[noreturn]] void
-fail(const std::string &message)
+fail(SourceSpan span, const std::string &message)
 {
-    throw ParseError("IL validation error: " + message);
+    std::ostringstream out;
+    out << "IL validation error at " << span.line << ":" << span.column
+        << ": " << message;
+    throw ParseError(out.str());
 }
 
 bool
@@ -34,7 +42,7 @@ isPowerOfTwoValue(std::size_t n)
  */
 NodeStream
 deriveStream(const Statement &stmt, const AlgorithmInfo &info,
-             const std::vector<NodeStream> &inputs)
+             const std::vector<NodeStream> &inputs, SourceSpan span)
 {
     NodeStream out;
     out.kind = info.outputKind;
@@ -54,25 +62,25 @@ deriveStream(const Statement &stmt, const AlgorithmInfo &info,
 
     if (name == "movingAvg") {
         if (!isPositiveInteger(p[0]))
-            fail("movingAvg window must be a positive integer (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, "movingAvg window must be a positive integer "
+                       "(node " + std::to_string(stmt.id) + ")");
     } else if (name == "expMovingAvg") {
         if (!(p[0] > 0.0) || p[0] > 1.0)
-            fail("expMovingAvg alpha must be in (0,1] (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, "expMovingAvg alpha must be in (0,1] (node " +
+                       std::to_string(stmt.id) + ")");
     } else if (name == "window") {
         if (!isPositiveInteger(p[0]))
-            fail("window size must be a positive integer (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, "window size must be a positive integer (node " +
+                       std::to_string(stmt.id) + ")");
         if (p.size() >= 2 && p[1] != 0.0 && p[1] != 1.0)
-            fail("window hamming flag must be 0 or 1 (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, "window hamming flag must be 0 or 1 (node " +
+                       std::to_string(stmt.id) + ")");
         const auto size = static_cast<std::size_t>(p[0]);
         std::size_t hop = size;
         if (p.size() >= 3) {
             if (!isPositiveInteger(p[2]) || p[2] > p[0])
-                fail("window hop must be in [1, size] (node " +
-                     std::to_string(stmt.id) + ")");
+                fail(span, "window hop must be in [1, size] (node " +
+                           std::to_string(stmt.id) + ")");
             hop = static_cast<std::size_t>(p[2]);
         }
         out.frameSize = size;
@@ -82,56 +90,59 @@ deriveStream(const Statement &stmt, const AlgorithmInfo &info,
         out.fftSize = 0;
     } else if (name == "fft") {
         if (!isPowerOfTwoValue(inputs.front().frameSize))
-            fail("fft input frame size must be a power of two, got " +
-                 std::to_string(inputs.front().frameSize) + " (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span,
+                 "fft input frame size must be a power of two, got " +
+                     std::to_string(inputs.front().frameSize) +
+                     " (node " + std::to_string(stmt.id) + ")");
         out.fftSize = inputs.front().frameSize;
     } else if (name == "ifft") {
         if (!isPowerOfTwoValue(inputs.front().frameSize))
-            fail("ifft input frame size must be a power of two (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span,
+                 "ifft input frame size must be a power of two (node " +
+                     std::to_string(stmt.id) + ")");
     } else if (name == "spectrum") {
         if (inputs.front().fftSize == 0)
-            fail("spectrum requires an fft stage upstream (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, "spectrum requires an fft stage upstream (node " +
+                       std::to_string(stmt.id) + ")");
         out.frameSize = inputs.front().fftSize / 2 + 1;
     } else if (name == "lowPass" || name == "highPass") {
         if (!isPowerOfTwoValue(inputs.front().frameSize))
-            fail(name + " frame size must be a power of two (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, name + " frame size must be a power of two "
+                       "(node " + std::to_string(stmt.id) + ")");
         const double nyquist = inputs.front().baseRateHz / 2.0;
         if (!(p[0] > 0.0) || p[0] >= nyquist)
-            fail(name + " cutoff must be in (0, Nyquist=" +
-                 std::to_string(nyquist) + ") (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, name + " cutoff must be in (0, Nyquist=" +
+                       std::to_string(nyquist) + ") (node " +
+                       std::to_string(stmt.id) + ")");
     } else if (name == "goertzel" || name == "goertzelRel") {
         const double nyquist = inputs.front().baseRateHz / 2.0;
         if (!(p[0] > 0.0) || p[0] >= nyquist)
-            fail(name + " target must be in (0, Nyquist=" +
-                 std::to_string(nyquist) + ") (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, name + " target must be in (0, Nyquist=" +
+                       std::to_string(nyquist) + ") (node " +
+                       std::to_string(stmt.id) + ")");
     } else if (name == "dominantFreqHz" || name == "dominantFreqMag" ||
                name == "peakToMeanRatio") {
         if (inputs.front().fftSize == 0)
-            fail(name + " requires an fft+spectrum stage upstream "
-                 "(node " + std::to_string(stmt.id) + ")");
+            fail(span, name + " requires an fft+spectrum stage upstream "
+                       "(node " + std::to_string(stmt.id) + ")");
         out.frameSize = 0;
     } else if (name == "bandThreshold" ||
                name == "outsideBandThreshold") {
         if (p[0] > p[1])
-            fail(name + " band is inverted (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, name + " band is inverted (node " +
+                       std::to_string(stmt.id) + ")");
     } else if (name == "localMaxima" || name == "localMinima") {
         if (p[0] > p[1])
-            fail(name + " band is inverted (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span, name + " band is inverted (node " +
+                       std::to_string(stmt.id) + ")");
         if (p.size() >= 3 && (p[2] < 0.0 || p[2] != std::floor(p[2])))
-            fail(name + " refractory must be a non-negative integer "
-                 "(node " + std::to_string(stmt.id) + ")");
+            fail(span, name + " refractory must be a non-negative "
+                       "integer (node " + std::to_string(stmt.id) + ")");
     } else if (name == "consecutive") {
         if (!isPositiveInteger(p[0]))
-            fail("consecutive count must be a positive integer (node " +
-                 std::to_string(stmt.id) + ")");
+            fail(span,
+                 "consecutive count must be a positive integer (node " +
+                     std::to_string(stmt.id) + ")");
     }
 
     // Scalar streams never carry a frame size.
@@ -147,7 +158,7 @@ StreamMap
 validate(const Program &program, const std::vector<ChannelInfo> &channels)
 {
     if (program.statements.empty())
-        fail("program is empty");
+        fail(SourceSpan{1, 1}, "program is empty");
 
     std::map<std::string, const ChannelInfo *> channel_by_name;
     for (const auto &ch : channels)
@@ -155,13 +166,18 @@ validate(const Program &program, const std::vector<ChannelInfo> &channels)
 
     StreamMap streams;
     std::set<NodeId> consumed;
+    /** Defining statement span per node, for the convergence check. */
+    std::map<NodeId, SourceSpan> spans;
     bool seen_out = false;
 
-    for (const auto &stmt : program.statements) {
+    for (std::size_t index = 0; index < program.statements.size();
+         ++index) {
+        const Statement &stmt = program.statements[index];
+        const SourceSpan span = statementSpan(stmt, index);
         if (seen_out)
-            fail("statements after OUT");
+            fail(span, "statements after OUT");
         if (stmt.inputs.empty())
-            fail("statement with no inputs");
+            fail(span, "statement with no inputs");
 
         // Resolve the streams on each input.
         std::vector<NodeStream> input_streams;
@@ -169,7 +185,8 @@ validate(const Program &program, const std::vector<ChannelInfo> &channels)
             if (src.kind == SourceRef::Kind::Channel) {
                 auto it = channel_by_name.find(src.channel);
                 if (it == channel_by_name.end())
-                    fail("unknown sensor channel '" + src.channel + "'");
+                    fail(span,
+                         "unknown sensor channel '" + src.channel + "'");
                 NodeStream s;
                 s.kind = ValueKind::Scalar;
                 s.fireRateHz = it->second->sampleRateHz;
@@ -178,8 +195,8 @@ validate(const Program &program, const std::vector<ChannelInfo> &channels)
             } else {
                 auto it = streams.find(src.node);
                 if (it == streams.end())
-                    fail("node " + std::to_string(src.node) +
-                         " referenced before definition");
+                    fail(span, "node " + std::to_string(src.node) +
+                               " referenced before definition");
                 input_streams.push_back(it->second);
                 consumed.insert(src.node);
             }
@@ -188,22 +205,22 @@ validate(const Program &program, const std::vector<ChannelInfo> &channels)
         if (stmt.isOut) {
             if (stmt.inputs.size() != 1 ||
                 stmt.inputs[0].kind != SourceRef::Kind::Node)
-                fail("OUT must be fed by exactly one node");
+                fail(span, "OUT must be fed by exactly one node");
             if (input_streams[0].kind != ValueKind::Scalar)
-                fail("OUT must be fed a scalar stream");
+                fail(span, "OUT must be fed a scalar stream");
             seen_out = true;
             continue;
         }
 
         if (stmt.id <= 0)
-            fail("node ids must be positive, got " +
-                 std::to_string(stmt.id));
+            fail(span, "node ids must be positive, got " +
+                       std::to_string(stmt.id));
         if (streams.count(stmt.id))
-            fail("duplicate node id " + std::to_string(stmt.id));
+            fail(span, "duplicate node id " + std::to_string(stmt.id));
 
         auto info = findAlgorithm(stmt.algorithm);
         if (!info)
-            fail("unknown algorithm '" + stmt.algorithm + "'");
+            fail(span, "unknown algorithm '" + stmt.algorithm + "'");
 
         if (stmt.inputs.size() < info->minInputs ||
             stmt.inputs.size() > info->maxInputs) {
@@ -213,7 +230,7 @@ validate(const Program &program, const std::vector<ChannelInfo> &channels)
                 msg << ".." << info->maxInputs;
             msg << " inputs, got " << stmt.inputs.size() << " (node "
                 << stmt.id << ")";
-            fail(msg.str());
+            fail(span, msg.str());
         }
         if (stmt.params.size() < info->minParams ||
             stmt.params.size() > info->maxParams) {
@@ -223,31 +240,40 @@ validate(const Program &program, const std::vector<ChannelInfo> &channels)
                 msg << ".." << info->maxParams;
             msg << " params, got " << stmt.params.size() << " (node "
                 << stmt.id << ")";
-            fail(msg.str());
+            fail(span, msg.str());
         }
 
         for (const auto &in : input_streams) {
             if (in.kind != info->inputKind)
-                fail(stmt.algorithm + " expects " +
-                     std::string(info->inputKind == ValueKind::Scalar
-                                     ? "scalar"
-                                     : info->inputKind == ValueKind::Frame
-                                           ? "frame"
-                                           : "complex-frame") +
-                     " inputs (node " + std::to_string(stmt.id) + ")");
+                fail(span,
+                     stmt.algorithm + " expects " +
+                         std::string(
+                             info->inputKind == ValueKind::Scalar
+                                 ? "scalar"
+                                 : info->inputKind == ValueKind::Frame
+                                       ? "frame"
+                                       : "complex-frame") +
+                         " inputs (node " + std::to_string(stmt.id) +
+                         ")");
         }
 
-        streams[stmt.id] = deriveStream(stmt, *info, input_streams);
+        streams[stmt.id] =
+            deriveStream(stmt, *info, input_streams, span);
+        spans[stmt.id] = span;
     }
 
     if (!seen_out)
-        fail("program has no OUT statement");
+        fail(statementSpan(program.statements.back(),
+                           program.statements.size() - 1),
+             "program has no OUT statement");
 
     for (const auto &[id, stream] : streams) {
         (void)stream;
         if (!consumed.count(id))
-            fail("node " + std::to_string(id) +
-                 " is never consumed; pipelines must converge to OUT");
+            fail(spans.at(id),
+                 "node " + std::to_string(id) +
+                     " is never consumed; pipelines must converge to "
+                     "OUT");
     }
 
     return streams;

@@ -6,12 +6,15 @@
  *  - random byte strings never crash the lexer/parser (they either
  *    parse or throw ParseError);
  *  - every randomly generated valid program passes validation and
- *    installs on an engine.
+ *    installs on an engine;
+ *  - the static analyzer never throws on any parser-accepted program
+ *    and agrees with validate() on which programs are erroneous.
  */
 
 #include <gtest/gtest.h>
 
 #include "hub/engine.h"
+#include "il/analyze.h"
 #include "il/parser.h"
 #include "il/validate.h"
 #include "il/writer.h"
@@ -169,6 +172,89 @@ TEST_P(IlFuzz, MutatedValidProgramsNeverCrash)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IlFuzz, ::testing::Range(1, 5));
+
+/**
+ * True when validate() accepts @p program — the analyzer must agree
+ * (no error diagnostics exactly when validation passes).
+ */
+bool
+validates(const Program &program)
+{
+    try {
+        validate(program, kChannels);
+        return true;
+    } catch (const ParseError &) {
+        return false;
+    }
+}
+
+class IlAnalyzeProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(IlAnalyzeProperty, GeneratedProgramsAnalyzeClean)
+{
+    sidewinder::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+    for (int i = 0; i < 20; ++i) {
+        const Program program = randomProgram(rng);
+        const AnalysisResult result = analyze(program, kChannels);
+        EXPECT_TRUE(result.ok()) << renderText(result, "<generated>");
+        EXPECT_GT(result.cost.cyclesPerSecond, 0.0);
+        EXPECT_GT(result.cost.ramBytes, 0u);
+    }
+}
+
+TEST_P(IlAnalyzeProperty, MutatedProgramsNeverThrowAndMatchValidate)
+{
+    sidewinder::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2500);
+    for (int i = 0; i < 50; ++i) {
+        Program program = randomProgram(rng);
+        std::string text = write(program);
+        for (int m = 0; m < 3; ++m) {
+            const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<long>(text.size()) - 1));
+            text[pos] = static_cast<char>(rng.uniformInt(32, 126));
+        }
+        Program mutated;
+        try {
+            mutated = parse(text);
+        } catch (const ParseError &) {
+            continue; // Syntax errors never reach the analyzer.
+        }
+        AnalysisResult result;
+        ASSERT_NO_THROW(result = analyze(mutated, kChannels)) << text;
+        EXPECT_EQ(result.ok(), validates(mutated))
+            << text << "\n"
+            << renderText(result, "<mutated>");
+        // The renderers must cope with whatever came out.
+        EXPECT_FALSE(renderText(result, "<mutated>").empty());
+        EXPECT_FALSE(renderJson(result, "<mutated>").empty());
+    }
+}
+
+TEST_P(IlAnalyzeProperty, FuzzedTextNeverThrowsAndMatchesValidate)
+{
+    sidewinder::Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+    for (int i = 0; i < 200; ++i) {
+        std::string garbage;
+        const auto length = rng.uniformInt(0, 120);
+        for (long c = 0; c < length; ++c)
+            garbage.push_back(
+                static_cast<char>(rng.uniformInt(1, 127)));
+        Program program;
+        try {
+            program = parse(garbage);
+        } catch (const ParseError &) {
+            continue;
+        }
+        AnalysisResult result;
+        ASSERT_NO_THROW(result = analyze(program, kChannels))
+            << garbage;
+        EXPECT_EQ(result.ok(), validates(program)) << garbage;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlAnalyzeProperty,
+                         ::testing::Range(1, 9));
 
 } // namespace
 } // namespace sidewinder::il

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * swlint — static analyzer front-end for Sidewinder IL programs.
+ *
+ * Lints `.il` files (or the built-in application wake conditions with
+ * --all-apps) using il::analyze(), reporting dataflow diagnostics
+ * (SW0xx errors, SW1xx warnings) plus the hub admission verdict
+ * (SW017/SW201) from the MCU capability model.
+ *
+ * Exit status: 0 when clean, 1 when any program has errors (or
+ * warnings under --Werror), 2 on usage or I/O errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "apps/predefined.h"
+#include "core/sensors.h"
+#include "hub/mcu.h"
+#include "il/analyze.h"
+#include "il/optimize.h"
+#include "il/parser.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace sidewinder;
+
+struct Options
+{
+    bool allApps = false;
+    bool warningsAsErrors = false;
+    bool json = false;
+    std::string channelSpec = "all";
+    std::vector<std::string> files;
+};
+
+/** One program to lint: a name, its IL, and the channels it runs on. */
+struct LintUnit
+{
+    std::string name;
+    il::Program program;
+    std::vector<il::ChannelInfo> channels;
+    /** Syntax error text when the program could not be parsed. */
+    std::string parseFailure;
+};
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: swlint [options] [file.il ...]\n"
+           "\n"
+           "Statically analyze Sidewinder IL wake-up conditions.\n"
+           "\n"
+           "  --all-apps       lint the built-in application wake\n"
+           "                   conditions (hub-optimized form) instead\n"
+           "                   of files\n"
+           "  --Werror         treat warnings as errors\n"
+           "  --json           machine-readable JSON report\n"
+           "  --channels SPEC  channels for .il files: accel, audio,\n"
+           "                   baro, all (default), or a custom\n"
+           "                   NAME=RATE_HZ[,NAME=RATE_HZ...] list\n"
+           "  -h, --help       show this help\n";
+}
+
+std::vector<il::ChannelInfo>
+parseChannelSpec(const std::string &spec)
+{
+    if (spec == "all")
+        return core::allChannels();
+    if (spec == "accel")
+        return core::accelerometerChannels();
+    if (spec == "audio")
+        return core::audioChannels();
+    if (spec == "baro")
+        return core::barometerChannels();
+
+    std::vector<il::ChannelInfo> channels;
+    std::stringstream stream(spec);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw ConfigError("bad channel spec '" + item +
+                              "' (want NAME=RATE_HZ)");
+        il::ChannelInfo info;
+        info.name = item.substr(0, eq);
+        try {
+            info.sampleRateHz = std::stod(item.substr(eq + 1));
+        } catch (const std::exception &) {
+            throw ConfigError("bad channel rate in '" + item + "'");
+        }
+        if (info.sampleRateHz <= 0.0)
+            throw ConfigError("channel rate must be positive in '" +
+                              item + "'");
+        channels.push_back(std::move(info));
+    }
+    if (channels.empty())
+        throw ConfigError("channel spec '" + spec + "' names no channels");
+    return channels;
+}
+
+/** The built-in programs, in the deduplicated form the hub installs. */
+std::vector<LintUnit>
+builtinUnits()
+{
+    std::vector<LintUnit> units;
+    auto add = [&](const std::string &name,
+                   const core::ProcessingPipeline &pipeline,
+                   std::vector<il::ChannelInfo> channels) {
+        LintUnit unit;
+        unit.name = name;
+        unit.program = il::optimize(pipeline.compile());
+        unit.channels = std::move(channels);
+        units.push_back(std::move(unit));
+    };
+
+    for (const auto &app : apps::allApps())
+        add("app:" + app->name(), app->wakeCondition(), app->channels());
+    add("app:gesture", apps::makeGestureApp()->wakeCondition(),
+        apps::makeGestureApp()->channels());
+    add("app:floors", apps::makeFloorsApp()->wakeCondition(),
+        apps::makeFloorsApp()->channels());
+    add("predefined:significantMotion",
+        apps::significantMotionCondition(),
+        core::accelerometerChannels());
+    add("predefined:significantSound", apps::significantSoundCondition(),
+        core::audioChannels());
+    return units;
+}
+
+LintUnit
+fileUnit(const std::string &path,
+         const std::vector<il::ChannelInfo> &channels)
+{
+    LintUnit unit;
+    unit.name = path;
+    unit.channels = channels;
+
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    try {
+        unit.program = il::parse(text.str());
+    } catch (const ParseError &error) {
+        unit.parseFailure = error.what();
+    }
+    return unit;
+}
+
+/**
+ * Analyze one unit and fold in the hub admission verdict. The
+ * admission check costs the optimized program — the form the hub
+ * instantiates — so shared subtrees are not double-charged.
+ */
+il::AnalysisResult
+lint(const LintUnit &unit)
+{
+    il::AnalysisResult result = il::analyze(unit.program, unit.channels);
+    if (result.ok()) {
+        const il::AnalysisResult optimized =
+            il::analyze(il::optimize(unit.program), unit.channels);
+        for (auto &d : hub::admissionDiagnostics(optimized.cost))
+            result.diagnostics.push_back(std::move(d));
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--all-apps") {
+            options.allApps = true;
+        } else if (arg == "--Werror") {
+            options.warningsAsErrors = true;
+        } else if (arg == "--json") {
+            options.json = true;
+        } else if (arg == "--channels") {
+            if (i + 1 >= argc) {
+                std::cerr << "swlint: --channels needs an argument\n";
+                return 2;
+            }
+            options.channelSpec = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "swlint: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            options.files.push_back(arg);
+        }
+    }
+
+    if (!options.allApps && options.files.empty()) {
+        std::cerr << "swlint: nothing to lint (give .il files or "
+                     "--all-apps)\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    std::vector<LintUnit> units;
+    try {
+        if (options.allApps) {
+            units = builtinUnits();
+        } else {
+            const auto channels =
+                parseChannelSpec(options.channelSpec);
+            for (const auto &path : options.files)
+                units.push_back(fileUnit(path, channels));
+        }
+    } catch (const SidewinderError &error) {
+        std::cerr << "swlint: " << error.what() << "\n";
+        return 2;
+    }
+
+    bool failed = false;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::string json = "[";
+
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const LintUnit &unit = units[i];
+
+        if (!unit.parseFailure.empty()) {
+            // Syntax errors preempt analysis; surface them in the
+            // same per-file shape.
+            failed = true;
+            ++errors;
+            if (options.json) {
+                il::AnalysisResult empty;
+                il::Diagnostic d;
+                d.code = "SW000";
+                d.severity = il::Severity::Error;
+                d.line = 1;
+                d.column = 1;
+                d.message = unit.parseFailure;
+                empty.diagnostics.push_back(std::move(d));
+                json += (i ? ",\n" : "\n") +
+                        il::renderJson(empty, unit.name);
+            } else {
+                std::cout << unit.name
+                          << ": error: " << unit.parseFailure << "\n";
+            }
+            continue;
+        }
+
+        const il::AnalysisResult result = lint(unit);
+        errors += result.errorCount();
+        warnings += result.warningCount();
+        if (result.errorCount() > 0 ||
+            (options.warningsAsErrors && result.warningCount() > 0))
+            failed = true;
+
+        if (options.json)
+            json += (i ? ",\n" : "\n") + il::renderJson(result, unit.name);
+        else
+            std::cout << il::renderText(result, unit.name);
+    }
+
+    if (options.json) {
+        std::cout << json << "\n]\n";
+    } else {
+        std::cout << units.size() << " program(s): " << errors
+                  << " error(s), " << warnings << " warning(s)";
+        if (options.warningsAsErrors && warnings > 0)
+            std::cout << " (warnings are errors)";
+        std::cout << "\n";
+    }
+    return failed ? 1 : 0;
+}
