@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Robustness sweep (docs/fault-model.md): recall and power of the
+ * supervised Sidewinder stack on the Figure-5 robot workload as link
+ * corruption, frame drops, and hub brownouts grow. Each fault cell
+ * replays the full transport + supervision path; the fault-free cell
+ * runs the fast path and must stay bit-identical run over run, which
+ * pins the guarantee that the fault machinery costs nothing when no
+ * fault is planned.
+ *
+ * Emits a JSON record (default BENCH_faults.json, or argv[1]) with
+ * one row per fault cell: recall, average power, retransmits, frames
+ * lost, hub downtime, and fallback energy. scripts/run_benches.sh
+ * runs this alongside the other tracked benchmarks.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "sim/faults.h"
+#include "sim/simulator.h"
+#include "support/thread_pool.h"
+#include "trace/robot_gen.h"
+
+using namespace sidewinder;
+
+namespace {
+
+struct Cell
+{
+    std::string axis;
+    double level = 0.0;
+    sim::FaultPlan plan;
+};
+
+/** The fields the fault-free determinism check compares. */
+bool
+identical(const sim::SimResult &a, const sim::SimResult &b)
+{
+    return a.averagePowerMw == b.averagePowerMw &&
+           a.hubTriggerCount == b.hubTriggerCount &&
+           a.recall == b.recall && a.precision == b.precision &&
+           a.timeline.energyMj == b.timeline.energyMj &&
+           a.meanDetectionLatencySeconds ==
+               b.meanDetectionLatencySeconds &&
+           !a.faults.any() && !b.faults.any();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_faults.json";
+    const double seconds = bench::robotSeconds();
+
+    trace::RobotRunConfig trace_config;
+    trace_config.idleFraction = 0.5;
+    trace_config.durationSeconds = seconds;
+    trace_config.seed = 42;
+    const auto trace = generateRobotRun(trace_config);
+    const auto app = apps::makeStepsApp();
+
+    sim::SimConfig config;
+    config.strategy = sim::Strategy::Sidewinder;
+
+    std::printf("Fault sweep: supervised Sidewinder on the fig5 robot "
+                "workload (%.0f s, %zu threads)%s\n",
+                seconds, support::ThreadPool::shared().threadCount(),
+                bench::fastMode() ? " [SW_FAST]" : "");
+
+    // The fault-free fast path must be deterministic run over run —
+    // the fault machinery may not perturb it.
+    const auto baseline = sim::simulate(trace, *app, config);
+    const auto repeat = sim::simulate(trace, *app, config);
+    const bool fault_free_identical = identical(baseline, repeat);
+
+    std::vector<Cell> cells;
+    for (double rate : {1e-4, 5e-4, 1e-3, 2e-3, 5e-3}) {
+        Cell cell;
+        cell.axis = "corruption";
+        cell.level = rate;
+        cell.plan.byteCorruptionRate = rate;
+        cells.push_back(cell);
+    }
+    for (double rate : {0.01, 0.05, 0.1, 0.2}) {
+        Cell cell;
+        cell.axis = "drop";
+        cell.level = rate;
+        cell.plan.frameDropRate = rate;
+        cells.push_back(cell);
+    }
+    for (int resets : {1, 2, 4}) {
+        Cell cell;
+        cell.axis = "resets";
+        cell.level = resets;
+        // Brownouts spread evenly through the run, 10 s dark each.
+        for (int i = 1; i <= resets; ++i)
+            cell.plan.hubResetTimes.push_back(
+                seconds * i / (resets + 1));
+        cell.plan.hubResetDowntimeSeconds = 10.0;
+        cells.push_back(cell);
+    }
+
+    // Every cell's fault pattern is a pure function of its seeded
+    // plan, so the grid parallelizes without losing determinism.
+    const auto results = support::ThreadPool::shared().parallelMap(
+        cells.size(), [&](std::size_t i) {
+            sim::SimConfig cell_config = config;
+            cell_config.faults = cells[i].plan;
+            return sim::simulate(trace, *app, cell_config);
+        });
+
+    bench::rule();
+    std::printf("%-12s %8s %8s %9s %7s %6s %8s %9s\n", "axis", "level",
+                "recall", "power mW", "retx", "lost", "down s",
+                "fb mJ");
+    bench::rule();
+    std::printf("%-12s %8s %8.3f %9.1f %7s %6s %8s %9s\n",
+                "fault-free", "-", baseline.recall,
+                baseline.averagePowerMw, "-", "-", "-", "-");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("%-12s %8g %8.3f %9.1f %7zu %6zu %8.1f %9.1f\n",
+                    cells[i].axis.c_str(), cells[i].level, r.recall,
+                    r.averagePowerMw, r.faults.retransmits,
+                    r.faults.framesLost, r.faults.hubDownSeconds,
+                    r.faults.fallbackEnergyMj);
+    }
+    bench::rule();
+    std::printf("fault-free determinism: %s\n",
+                fault_free_identical ? "bit-identical" : "DIVERGED");
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"fault_sweep_fig5_robot\",\n"
+                 "  \"trace_seconds\": %.1f,\n"
+                 "  \"fast_mode\": %s,\n"
+                 "  \"fault_free\": {\"recall\": %.6f, "
+                 "\"power_mw\": %.6f, \"identical\": %s},\n"
+                 "  \"cells\": [\n",
+                 seconds, bench::fastMode() ? "true" : "false",
+                 baseline.recall, baseline.averagePowerMw,
+                 fault_free_identical ? "true" : "false");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(
+            out,
+            "    {\"axis\": \"%s\", \"level\": %g, "
+            "\"recall\": %.6f, \"power_mw\": %.6f, "
+            "\"retransmits\": %zu, \"frames_lost\": %zu, "
+            "\"hub_down_s\": %.3f, \"fallback_mj\": %.3f, "
+            "\"repushed\": %zu}%s\n",
+            cells[i].axis.c_str(), cells[i].level, r.recall,
+            r.averagePowerMw, r.faults.retransmits,
+            r.faults.framesLost, r.faults.hubDownSeconds,
+            r.faults.fallbackEnergyMj, r.faults.repushedConditions,
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ]\n"
+                 "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return fault_free_identical ? 0 : 1;
+}

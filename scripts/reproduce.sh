@@ -1,18 +1,27 @@
 #!/bin/sh
 # Reproduce every result in EXPERIMENTS.md from scratch.
 #
-# Usage: scripts/reproduce.sh [fast] [tsan]
+# Usage: scripts/reproduce.sh [fast] [tsan] [asan]
 #   fast  — run the experiment binaries on ~6x shorter traces.
 #   tsan  — additionally build with -DSIDEWINDER_SANITIZE=thread and
 #           run the parallel sweep engine's tests (sim_sweep_test,
 #           support_thread_pool_test) under ThreadSanitizer before
 #           the normal run. SW_TSAN=1 enables the same.
+#   asan  — additionally build with
+#           -DSIDEWINDER_SANITIZE=address,undefined and run the
+#           fault-tolerance tests (transport_reliable_test,
+#           hub_supervision_test, sim_faults_test) under ASan/UBSan:
+#           the fault injectors exercise the decoder's resync and the
+#           supervisor's re-push paths with deliberately mangled
+#           bytes, exactly where memory bugs would hide. SW_ASAN=1
+#           enables the same.
 set -e
 cd "$(dirname "$0")/.."
 
 for arg in "$@"; do
     [ "$arg" = "fast" ] && export SW_FAST=1
     [ "$arg" = "tsan" ] && SW_TSAN=1
+    [ "$arg" = "asan" ] && SW_ASAN=1
 done
 
 if [ "${SW_TSAN:-0}" = "1" ]; then
@@ -25,6 +34,17 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
+fi
+
+if [ "${SW_ASAN:-0}" = "1" ]; then
+    cmake -B build-asan -G Ninja \
+        -DSIDEWINDER_SANITIZE=address,undefined
+    cmake --build build-asan --target transport_reliable_test \
+        hub_supervision_test sim_faults_test
+    echo "== ASan/UBSan: fault-tolerance stack =="
+    build-asan/tests/transport_reliable_test
+    build-asan/tests/hub_supervision_test
+    build-asan/tests/sim_faults_test
 fi
 
 cmake -B build -G Ninja

@@ -14,11 +14,16 @@
 #    wall-clock of a fig6-style simulation grid at 1/2/4/hw threads,
 #    the speedup per thread count, and a determinism flag asserting
 #    the parallel results matched the serial ones field-for-field.
+#  - BENCH_faults.json — bench_fault_sweep: recall + power of the
+#    supervised Sidewinder stack vs link corruption / frame-drop /
+#    hub-reset rate (docs/fault-model.md), plus a flag asserting the
+#    fault-free cell stays bit-identical run over run.
 #
 # Usage: scripts/run_benches.sh [benchmark filter regex]
 #   BUILD_DIR=...   build directory (default: build)
 #   OUT=...         DSP output JSON path (default: BENCH_dsp.json)
 #   OUT_SWEEP=...   sweep output JSON path (default: BENCH_sweep.json)
+#   OUT_FAULTS=...  fault sweep JSON path (default: BENCH_faults.json)
 #   SW_FAST=1       scale the sweep traces ~6x down (ratio unchanged)
 set -euo pipefail
 
@@ -27,11 +32,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_dsp.json}"
 OUT_SWEEP="${OUT_SWEEP:-BENCH_sweep.json}"
+OUT_FAULTS="${OUT_FAULTS:-BENCH_faults.json}"
 FILTER="${1:-.}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
-    bench_sweep_scaling >/dev/null
+    bench_sweep_scaling bench_fault_sweep >/dev/null
 
 "$BUILD_DIR"/bench/bench_dsp_micro \
     --benchmark_filter="$FILTER" \
@@ -41,3 +47,5 @@ cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
 echo "wrote $OUT"
 
 "$BUILD_DIR"/bench/bench_sweep_scaling "$OUT_SWEEP"
+
+"$BUILD_DIR"/bench/bench_fault_sweep "$OUT_FAULTS"

@@ -15,6 +15,36 @@ SidewinderSensorManager::SidewinderSensorManager(
 {
 }
 
+void
+SidewinderSensorManager::enableReliableTransport(
+    transport::ReliableConfig config)
+{
+    reliable.emplace(link.phoneToHub(), config);
+}
+
+void
+SidewinderSensorManager::enableSupervision(SupervisionConfig config,
+                                           double now)
+{
+    if (!(config.heartbeatIntervalSeconds > 0.0))
+        throw ConfigError("heartbeat interval must be positive");
+    if (!(config.missedBeatsThreshold > 0.0))
+        throw ConfigError("missed-beat threshold must be positive");
+    supervising = true;
+    supConfig = config;
+    lastBeatTime = now;
+}
+
+void
+SidewinderSensorManager::sendToHub(const transport::Frame &frame,
+                                   double now)
+{
+    if (reliable)
+        reliable->sendFrame(frame, now);
+    else
+        link.phoneToHub().sendFrame(frame, now);
+}
+
 int
 SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
                               SensorEventListener *listener, double now)
@@ -49,8 +79,8 @@ SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
     }
     entries[condition_id] = entry;
 
-    link.phoneToHub().sendFrame(
-        transport::encodeConfigPush({condition_id, entry.ilText}), now);
+    sendToHub(transport::encodeConfigPush({condition_id, entry.ilText}),
+              now);
     return condition_id;
 }
 
@@ -62,51 +92,133 @@ SidewinderSensorManager::remove(int condition_id, double now)
         throw ConfigError("unknown condition id " +
                           std::to_string(condition_id));
     it->second.state = ConditionState::Removed;
-    link.phoneToHub().sendFrame(
-        transport::encodeConfigRemove({condition_id}), now);
+    sendToHub(transport::encodeConfigRemove({condition_id}), now);
+}
+
+void
+SidewinderSensorManager::recoverHub(double now)
+{
+    if (hubIsDown) {
+        closedDownWindows.emplace_back(downSince, now);
+        hubIsDown = false;
+    }
+    // Frames queued for the dead hub (and its stale dedup state) are
+    // worthless now; start the conversation over, then re-push every
+    // condition the application still wants from the shadow copies.
+    if (reliable)
+        reliable->reset();
+    for (auto &[id, entry] : entries) {
+        if (entry.state == ConditionState::Removed ||
+            entry.state == ConditionState::Rejected)
+            continue;
+        entry.state = ConditionState::Pending;
+        sendToHub(transport::encodeConfigPush({id, entry.ilText}), now);
+        ++supStats.repushedConditions;
+    }
+}
+
+double
+SidewinderSensorManager::hubDownSeconds(double now) const
+{
+    double total = 0.0;
+    for (const auto &[start, end] : closedDownWindows)
+        total += end - start;
+    if (hubIsDown && now > downSince)
+        total += now - downSince;
+    return total;
 }
 
 void
 SidewinderSensorManager::poll(double now)
 {
     decoder.feed(link.hubToPhone().receive(now));
+    decoder.tickStall(now);
     while (auto frame = decoder.poll()) {
-        switch (frame->type) {
-          case transport::MessageType::ConfigAck: {
-            const auto message = transport::decodeConfigAck(*frame);
-            auto it = entries.find(message.conditionId);
-            if (it != entries.end() &&
-                it->second.state == ConditionState::Pending)
-                it->second.state = ConditionState::Active;
-            break;
-          }
-          case transport::MessageType::ConfigReject: {
-            const auto message = transport::decodeConfigReject(*frame);
-            auto it = entries.find(message.conditionId);
-            if (it != entries.end()) {
-                it->second.state = ConditionState::Rejected;
-                it->second.reason = message.reason;
+        // A CRC collision can hand us a structurally valid frame with
+        // garbage inside; decoding exceptions must not wedge the app.
+        try {
+            if (reliable) {
+                if (auto inner = reliable->onFrame(*frame, now))
+                    handleFrame(*inner, now);
+            } else {
+                handleFrame(*frame, now);
             }
-            break;
-          }
-          case transport::MessageType::WakeUp: {
-            const auto message = transport::decodeWakeUp(*frame);
-            auto it = entries.find(message.conditionId);
-            if (it == entries.end() ||
-                it->second.state == ConditionState::Removed)
-                break;
-            SensorData data;
-            data.conditionId = message.conditionId;
-            data.timestamp = message.timestamp;
-            data.triggerValue = message.triggerValue;
-            data.rawData = message.rawData;
-            it->second.listener->onSensorEvent(data);
-            break;
-          }
-          default:
-            warn("manager: ignoring unexpected frame type " +
-                 std::to_string(static_cast<int>(frame->type)));
+        } catch (const TransportError &error) {
+            warn(std::string("manager: dropping undecodable frame: ") +
+                 error.what());
         }
+    }
+
+    if (reliable)
+        reliable->tick(now);
+
+    if (supervising && !hubIsDown) {
+        const double silence = now - lastBeatTime;
+        if (silence > supConfig.heartbeatIntervalSeconds *
+                          supConfig.missedBeatsThreshold) {
+            hubIsDown = true;
+            downSince = now;
+            ++supStats.hubDeathsDetected;
+        }
+    }
+}
+
+void
+SidewinderSensorManager::handleFrame(const transport::Frame &frame,
+                                     double now)
+{
+    switch (frame.type) {
+      case transport::MessageType::ConfigAck: {
+        const auto message = transport::decodeConfigAck(frame);
+        auto it = entries.find(message.conditionId);
+        if (it != entries.end() &&
+            it->second.state == ConditionState::Pending)
+            it->second.state = ConditionState::Active;
+        break;
+      }
+      case transport::MessageType::ConfigReject: {
+        const auto message = transport::decodeConfigReject(frame);
+        auto it = entries.find(message.conditionId);
+        if (it != entries.end()) {
+            it->second.state = ConditionState::Rejected;
+            it->second.reason = message.reason;
+        }
+        break;
+      }
+      case transport::MessageType::WakeUp: {
+        const auto message = transport::decodeWakeUp(frame);
+        auto it = entries.find(message.conditionId);
+        if (it == entries.end() ||
+            it->second.state == ConditionState::Removed)
+            break;
+        SensorData data;
+        data.conditionId = message.conditionId;
+        data.timestamp = message.timestamp;
+        data.triggerValue = message.triggerValue;
+        data.rawData = message.rawData;
+        it->second.listener->onSensorEvent(data);
+        break;
+      }
+      case transport::MessageType::Heartbeat: {
+        if (!supervising)
+            break;
+        const auto beat = transport::decodeHeartbeat(frame);
+        lastBeatTime = now;
+        const bool rebooted = haveBootId && beat.bootId != lastBootId;
+        lastBootId = beat.bootId;
+        haveBootId = true;
+        if (rebooted)
+            ++supStats.rebootsDetected;
+        // A new boot epoch means the hub forgot everything even if we
+        // never missed a beacon; silence followed by any beacon means
+        // the hub (or the link) came back.
+        if (rebooted || hubIsDown)
+            recoverHub(now);
+        break;
+      }
+      default:
+        warn("manager: ignoring unexpected frame type " +
+             std::to_string(static_cast<int>(frame.type)));
     }
 }
 

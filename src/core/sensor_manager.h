@@ -4,13 +4,25 @@
  * the paper): validates and compiles developer pipelines to the
  * intermediate language, pushes them to the hub over the serial link,
  * and dispatches wake-up callbacks back to the application.
+ *
+ * The manager also carries the phone half of the fault-tolerance
+ * layer (docs/fault-model.md). With supervision enabled it keeps a
+ * shadow copy of every pushed pipeline, watches the hub's heartbeat
+ * beacons, declares the hub dead after a configurable run of missed
+ * beats, and re-pushes all live conditions as soon as the hub comes
+ * back (detected by a beacon with a new boot epoch). The down windows
+ * it records let the simulator account for the Duty-Cycling fallback
+ * an app would run while the hub is blind.
  */
 
 #ifndef SIDEWINDER_CORE_SENSOR_MANAGER_H
 #define SIDEWINDER_CORE_SENSOR_MANAGER_H
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/listener.h"
@@ -19,6 +31,7 @@
 #include "il/validate.h"
 #include "transport/frame.h"
 #include "transport/link.h"
+#include "transport/reliable.h"
 
 namespace sidewinder::core {
 
@@ -32,6 +45,26 @@ enum class ConditionState {
     Rejected,
     /** Removed at the application's request. */
     Removed,
+};
+
+/** Hub-supervision tuning knobs. */
+struct SupervisionConfig
+{
+    /** Interval the hub was told to beacon at, seconds. */
+    double heartbeatIntervalSeconds = 1.0;
+    /** Consecutive missed beacons before the hub is declared dead. */
+    double missedBeatsThreshold = 3.0;
+};
+
+/** Counters the supervisor accumulates over a run. */
+struct SupervisionStats
+{
+    /** Times the hub was declared dead from beacon silence. */
+    std::size_t hubDeathsDetected = 0;
+    /** Boot-epoch changes observed (state-losing hub resets). */
+    std::size_t rebootsDetected = 0;
+    /** Conditions re-pushed across all recoveries. */
+    std::size_t repushedConditions = 0;
 };
 
 /** Phone-side manager for Sidewinder wake-up conditions. */
@@ -67,9 +100,72 @@ class SidewinderSensorManager
 
     /**
      * Process hub responses and wake-ups that arrived by @p now,
-     * dispatching listener callbacks.
+     * dispatching listener callbacks. With supervision enabled, also
+     * tracks heartbeats and triggers death detection / re-push.
      */
     void poll(double now);
+
+    /**
+     * Ship pushes and removes through a reliable-transport endpoint
+     * (and unwrap reliable frames from the hub) instead of writing
+     * the link directly. Must match the hub's configuration.
+     */
+    void enableReliableTransport(transport::ReliableConfig config = {});
+
+    /**
+     * Start supervising the hub: expect beacons every
+     * config.heartbeatIntervalSeconds (the hub must have
+     * enableHeartbeats() with the same interval), declare the hub
+     * dead after missedBeatsThreshold silent intervals, and re-push
+     * all live conditions when it recovers. @p now anchors the first
+     * silence measurement.
+     */
+    void enableSupervision(SupervisionConfig config, double now = 0.0);
+
+    /** True while the hub is presumed dead (supervision only). */
+    bool hubDown() const { return hubIsDown; }
+
+    /**
+     * Total seconds the hub has been presumed dead so far, including
+     * the currently open window up to @p now.
+     */
+    double hubDownSeconds(double now) const;
+
+    /** Closed [start, end) windows the hub was presumed dead. */
+    const std::vector<std::pair<double, double>> &
+    downWindows() const
+    {
+        return closedDownWindows;
+    }
+
+    /** Start of the still-open down window, if the hub is down now. */
+    std::optional<double>
+    openDownWindowStart() const
+    {
+        if (!hubIsDown)
+            return std::nullopt;
+        return downSince;
+    }
+
+    /** Bytes the frame decoder discarded while resynchronizing. */
+    std::size_t
+    linkDropBytes() const
+    {
+        return decoder.droppedBytes();
+    }
+
+    const SupervisionStats &
+    supervisionStats() const
+    {
+        return supStats;
+    }
+
+    /** Reliable-endpoint counters; nullptr until enabled. */
+    const transport::ReliableStats *
+    reliableStats() const
+    {
+        return reliable ? &reliable->stats() : nullptr;
+    }
 
     /** Lifecycle state of @p condition_id. */
     ConditionState state(int condition_id) const;
@@ -98,12 +194,26 @@ class SidewinderSensorManager
     };
 
     const Entry &entryOf(int condition_id) const;
+    void handleFrame(const transport::Frame &frame, double now);
+    void sendToHub(const transport::Frame &frame, double now);
+    void recoverHub(double now);
 
     transport::LinkPair &link;
     std::vector<il::ChannelInfo> channels;
     transport::FrameDecoder decoder;
     std::map<int, Entry> entries;
     int nextConditionId = 1;
+
+    std::optional<transport::ReliableEndpoint> reliable;
+    bool supervising = false;
+    SupervisionConfig supConfig;
+    SupervisionStats supStats;
+    double lastBeatTime = 0.0;
+    bool haveBootId = false;
+    std::uint32_t lastBootId = 0;
+    bool hubIsDown = false;
+    double downSince = 0.0;
+    std::vector<std::pair<double, double>> closedDownWindows;
 };
 
 } // namespace sidewinder::core

@@ -12,16 +12,101 @@ HubRuntime::HubRuntime(transport::LinkPair &link,
                        std::vector<il::ChannelInfo> channels,
                        McuModel mcu, bool share_nodes)
     : link(link), dataflow(std::move(channels), share_nodes),
-      mcuModel(std::move(mcu))
+      mcuModel(std::move(mcu)), shareNodes(share_nodes)
 {
+}
+
+void
+HubRuntime::enableHeartbeats(double interval_seconds)
+{
+    if (!(interval_seconds > 0.0))
+        throw ConfigError("heartbeat interval must be positive");
+    heartbeatInterval = interval_seconds;
+}
+
+void
+HubRuntime::enableReliableTransport(transport::ReliableConfig config)
+{
+    reliableConfig = config;
+    reliable.emplace(link.hubToPhone(), config);
+}
+
+void
+HubRuntime::setWakeCoalescing(double min_interval_seconds)
+{
+    if (min_interval_seconds < 0.0)
+        throw ConfigError("wake coalescing interval must be >= 0");
+    wakeCoalesceInterval = min_interval_seconds;
+}
+
+void
+HubRuntime::sendToPhone(const transport::Frame &frame, double now)
+{
+    if (reliable)
+        reliable->sendFrame(frame, now);
+    else
+        link.hubToPhone().sendFrame(frame, now);
+}
+
+void
+HubRuntime::reboot(double now)
+{
+    // Brownout: RAM is gone. Rebuild the engine from the channel map
+    // (which lives in ROM on a real hub) and forget every condition,
+    // stream and half-received frame.
+    dataflow = Engine(std::vector<il::ChannelInfo>(dataflow.channels()),
+                      shareNodes);
+    batchStreams.clear();
+    lastWakeSent.clear();
+    decoderDropsBeforeReboot += decoder.droppedBytes();
+    decoder = transport::FrameDecoder();
+    if (reliable)
+        // reset() flushes undelivered frames and dedup state but keeps
+        // the counters cumulative, so per-run fault metrics survive
+        // the power cycle.
+        reliable->reset();
+    ++bootEpoch;
+    bootTime = now;
+    heartbeatSent = false;
 }
 
 void
 HubRuntime::pollLink(double now)
 {
     decoder.feed(link.phoneToHub().receive(now));
-    while (auto frame = decoder.poll())
-        handleFrame(*frame, now);
+    decoder.tickStall(now);
+    while (auto frame = decoder.poll()) {
+        // A CRC collision on a noisy line can hand us a structurally
+        // valid frame with garbage inside; decoding exceptions must
+        // not wedge the hub loop.
+        try {
+            if (reliable) {
+                if (auto inner = reliable->onFrame(*frame, now))
+                    handleFrame(*inner, now);
+            } else {
+                handleFrame(*frame, now);
+            }
+        } catch (const TransportError &error) {
+            warn(std::string("hub: dropping undecodable frame: ") +
+                 error.what());
+        }
+    }
+
+    if (reliable)
+        reliable->tick(now);
+
+    if (heartbeatInterval > 0.0 &&
+        (!heartbeatSent || now >= lastHeartbeat + heartbeatInterval)) {
+        transport::HeartbeatMessage beat;
+        beat.bootId = bootEpoch;
+        beat.uptimeSeconds = now - bootTime;
+        // Directly on the wire: beacons must stay timely even when the
+        // reliable queue is backed up with retransmissions.
+        link.hubToPhone().sendFrame(transport::encodeHeartbeat(beat),
+                                    now);
+        lastHeartbeat = now;
+        heartbeatSent = true;
+    }
 }
 
 void
@@ -32,6 +117,13 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
         const auto message = transport::decodeConfigPush(frame);
         try {
             const il::Program program = il::parse(message.ilText);
+
+            // Re-pushes after a hub recovery (and retransmissions that
+            // slipped past duplicate suppression) carry ids we may
+            // already hold: replace rather than reject, so a push is
+            // idempotent.
+            if (dataflow.hasCondition(message.conditionId))
+                dataflow.removeCondition(message.conditionId);
 
             // Pre-instantiation check: run the static analyzer once
             // and reject on its verdict before any kernel is built —
@@ -67,13 +159,12 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
                     std::to_string(mcuModel.ramBytes));
 
             dataflow.addCondition(message.conditionId, program);
-            link.hubToPhone().sendFrame(
+            sendToPhone(
                 transport::encodeConfigAck({message.conditionId}), now);
         } catch (const SidewinderError &error) {
-            link.hubToPhone().sendFrame(
-                transport::encodeConfigReject(
-                    {message.conditionId, error.what()}),
-                now);
+            sendToPhone(transport::encodeConfigReject(
+                            {message.conditionId, error.what()}),
+                        now);
         }
         return;
       }
@@ -81,13 +172,12 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
         const auto message = transport::decodeConfigRemove(frame);
         try {
             dataflow.removeCondition(message.conditionId);
-            link.hubToPhone().sendFrame(
+            sendToPhone(
                 transport::encodeConfigAck({message.conditionId}), now);
         } catch (const SidewinderError &error) {
-            link.hubToPhone().sendFrame(
-                transport::encodeConfigReject(
-                    {message.conditionId, error.what()}),
-                now);
+            sendToPhone(transport::encodeConfigReject(
+                            {message.conditionId, error.what()}),
+                        now);
         }
         return;
       }
@@ -144,13 +234,21 @@ HubRuntime::pushSamples(const std::vector<double> &values,
     }
 
     for (const auto &event : dataflow.drainWakeEvents()) {
+        if (wakeCoalesceInterval > 0.0) {
+            const auto last = lastWakeSent.find(event.conditionId);
+            if (last != lastWakeSent.end() &&
+                timestamp - last->second < wakeCoalesceInterval) {
+                ++coalescedWakes;
+                continue;
+            }
+            lastWakeSent[event.conditionId] = timestamp;
+        }
         transport::WakeUpMessage message;
         message.conditionId = event.conditionId;
         message.timestamp = event.timestamp;
         message.triggerValue = event.value;
         message.rawData = dataflow.rawSnapshot(event.conditionId);
-        link.hubToPhone().sendFrame(transport::encodeWakeUp(message),
-                                    timestamp);
+        sendToPhone(transport::encodeWakeUp(message), timestamp);
     }
 }
 

@@ -8,19 +8,29 @@
  * realizes the full architecture of Figure 1 of the paper: the only
  * coupling between the two halves is the intermediate language
  * travelling over the framed UART.
+ *
+ * Beyond the paper's fault-free prototype, the runtime carries the
+ * hub half of the fault-tolerance layer (docs/fault-model.md): an
+ * optional heartbeat beacon stamped with a boot epoch, an optional
+ * reliable-transport endpoint for everything it sends, and a
+ * brownout-reset path (reboot()) that deliberately drops all engine
+ * state so supervisors can be tested against real state loss.
  */
 
 #ifndef SIDEWINDER_HUB_RUNTIME_H
 #define SIDEWINDER_HUB_RUNTIME_H
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "hub/engine.h"
 #include "hub/mcu.h"
 #include "transport/frame.h"
 #include "transport/link.h"
+#include "transport/reliable.h"
 
 namespace sidewinder::hub {
 
@@ -42,7 +52,9 @@ class HubRuntime
 
     /**
      * Process bytes that have arrived from the phone by time @p now:
-     * install / remove conditions and send acks or rejections.
+     * install / remove conditions and send acks or rejections. Also
+     * drives heartbeat emission and reliable-transport timers when
+     * those are enabled.
      */
     void pollLink(double now);
 
@@ -52,6 +64,48 @@ class HubRuntime
      */
     void pushSamples(const std::vector<double> &values, double timestamp);
 
+    /**
+     * Start emitting Heartbeat beacons every @p interval_seconds.
+     * Beacons bypass the reliable queue so their latency stays bounded
+     * even when the line is backlogged with retransmissions.
+     */
+    void enableHeartbeats(double interval_seconds);
+
+    /**
+     * Ship acks, rejects and wake-ups through a reliable-transport
+     * endpoint (and unwrap reliable frames from the phone) instead of
+     * writing the link directly.
+     */
+    void enableReliableTransport(transport::ReliableConfig config = {});
+
+    /**
+     * Suppress wake-up frames for a condition within
+     * @p min_interval_seconds of the last one sent for it. A condition
+     * that keeps firing at sample rate emits a burst of large raw-data
+     * frames; on a noisy link the retransmissions of those redundant
+     * frames overflow the bounded reliable queue and crowd out the
+     * wake-ups that matter. One frame per condition per interval keeps
+     * the stop-and-wait channel ahead of the producer while the phone
+     * still sees every distinct event. 0 disables (the default).
+     */
+    void setWakeCoalescing(double min_interval_seconds);
+
+    /** Wake-ups suppressed by coalescing so far. */
+    std::size_t wakesCoalesced() const { return coalescedWakes; }
+
+    /**
+     * Simulated brownout reset: every installed condition, all node
+     * state, the decoder, the reliable endpoint and any batch streams
+     * are lost, and the boot epoch increments so the next heartbeat
+     * tells the phone the hub is an amnesiac. The caller models the
+     * powered-off window itself (by not polling during it); reboot()
+     * is the instant power returns.
+     */
+    void reboot(double now);
+
+    /** Boot epoch: 0 at construction, +1 per reboot(). */
+    std::uint32_t bootId() const { return bootEpoch; }
+
     /** The dataflow engine (exposed for tests and benchmarks). */
     Engine &engine() { return dataflow; }
     const Engine &engine() const { return dataflow; }
@@ -59,8 +113,19 @@ class HubRuntime
     /** The hub's microcontroller model. */
     const McuModel &mcu() const { return mcuModel; }
 
-    /** Frames that failed to decode (noise on the link). */
-    std::size_t linkDropBytes() const { return decoder.droppedBytes(); }
+    /** Bytes discarded by frame decoding (noise), across reboots. */
+    std::size_t
+    linkDropBytes() const
+    {
+        return decoderDropsBeforeReboot + decoder.droppedBytes();
+    }
+
+    /** Reliable-endpoint counters; nullptr until enabled. */
+    const transport::ReliableStats *
+    reliableStats() const
+    {
+        return reliable ? &reliable->stats() : nullptr;
+    }
 
     /**
      * Start shipping channel @p channel_index to the phone in
@@ -83,12 +148,26 @@ class HubRuntime
     };
 
     void handleFrame(const transport::Frame &frame, double now);
+    void sendToPhone(const transport::Frame &frame, double now);
 
     transport::LinkPair &link;
     Engine dataflow;
     McuModel mcuModel;
+    bool shareNodes;
     transport::FrameDecoder decoder;
     std::map<std::size_t, BatchStream> batchStreams;
+
+    std::optional<transport::ReliableEndpoint> reliable;
+    transport::ReliableConfig reliableConfig;
+    double wakeCoalesceInterval = 0.0;
+    std::map<int, double> lastWakeSent;
+    std::size_t coalescedWakes = 0;
+    double heartbeatInterval = 0.0;
+    double lastHeartbeat = 0.0;
+    bool heartbeatSent = false;
+    std::uint32_t bootEpoch = 0;
+    double bootTime = 0.0;
+    std::size_t decoderDropsBeforeReboot = 0;
 };
 
 } // namespace sidewinder::hub

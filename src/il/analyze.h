@@ -99,6 +99,7 @@ inline constexpr const char *SW104_UNCONDITIONAL_WAKE = "SW104";
 inline constexpr const char *SW105_NEAR_NYQUIST = "SW105";
 inline constexpr const char *SW106_DEGENERATE_BAND = "SW106";
 inline constexpr const char *SW201_MCU_ASSIGNMENT = "SW201";
+inline constexpr const char *SW202_REPUSH_COST = "SW202";
 
 /** Static cost of one algorithm instance. */
 struct NodeCost

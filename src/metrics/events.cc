@@ -26,6 +26,35 @@ MatchResult::precision() const
            static_cast<double>(total);
 }
 
+bool
+FaultMetrics::any() const
+{
+    return retransmits != 0 || framesLost != 0 || framesDropped != 0 ||
+           bytesCorrupted != 0 || decoderDroppedBytes != 0 ||
+           hubResets != 0 || repushedConditions != 0 ||
+           wakesCoalesced != 0 ||
+           hubDownSeconds != 0.0 || fallbackAwakeSeconds != 0.0 ||
+           fallbackEnergyMj != 0.0 || linkDownDeclared;
+}
+
+FaultMetrics &
+FaultMetrics::operator+=(const FaultMetrics &other)
+{
+    retransmits += other.retransmits;
+    framesLost += other.framesLost;
+    framesDropped += other.framesDropped;
+    bytesCorrupted += other.bytesCorrupted;
+    decoderDroppedBytes += other.decoderDroppedBytes;
+    hubResets += other.hubResets;
+    repushedConditions += other.repushedConditions;
+    wakesCoalesced += other.wakesCoalesced;
+    hubDownSeconds += other.hubDownSeconds;
+    fallbackAwakeSeconds += other.fallbackAwakeSeconds;
+    fallbackEnergyMj += other.fallbackEnergyMj;
+    linkDownDeclared = linkDownDeclared || other.linkDownDeclared;
+    return *this;
+}
+
 namespace {
 
 MatchResult

@@ -32,6 +32,46 @@ struct MatchResult
 };
 
 /**
+ * Per-run fault-tolerance metrics (docs/fault-model.md): what the
+ * injected faults cost and what the recovery machinery did about
+ * them. Aggregated per simulation run by sim::simulate() and summable
+ * across runs with operator+= for sweep-level robustness curves.
+ */
+struct FaultMetrics
+{
+    /** Reliable-transport retransmissions, both directions. */
+    std::size_t retransmits = 0;
+    /** Frames the reliable layer gave up on, both directions. */
+    std::size_t framesLost = 0;
+    /** Whole frames the injected fault hooks swallowed. */
+    std::size_t framesDropped = 0;
+    /** Bytes the injected corruption hooks actually changed. */
+    std::size_t bytesCorrupted = 0;
+    /** Bytes frame decoders discarded while resynchronizing. */
+    std::size_t decoderDroppedBytes = 0;
+    /** Hub brownout resets executed. */
+    std::size_t hubResets = 0;
+    /** Conditions the phone re-pushed across all recoveries. */
+    std::size_t repushedConditions = 0;
+    /** Redundant wake-ups the hub coalesced away at the source. */
+    std::size_t wakesCoalesced = 0;
+    /** Seconds the phone presumed the hub dead. */
+    double hubDownSeconds = 0.0;
+    /** Awake seconds spent in the Duty-Cycling fallback. */
+    double fallbackAwakeSeconds = 0.0;
+    /** Extra energy of the fallback awake time, millijoules. */
+    double fallbackEnergyMj = 0.0;
+    /** True when either side latched a link-down verdict. */
+    bool linkDownDeclared = false;
+
+    /** True when any counter is nonzero. */
+    bool any() const;
+
+    /** Element-wise accumulation (sweep aggregation). */
+    FaultMetrics &operator+=(const FaultMetrics &other);
+};
+
+/**
  * Greedy one-to-one matching of detection timestamps to ground-truth
  * events: a detection at time t matches an unmatched event whose
  * padded interval [start - tolerance, end + tolerance] contains t.

@@ -1,0 +1,337 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/sensor_manager.h"
+#include "hub/mcu.h"
+#include "hub/runtime.h"
+#include "sim/replay.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace sidewinder::sim {
+
+namespace {
+
+/** Line rate of the prototype's debug UART (Section 3.4). */
+constexpr double uartBaudRate = 115200.0;
+
+/** Beacon cadence the supervised runs use. */
+constexpr double heartbeatIntervalSeconds = 1.0;
+
+/** Silent beacons before the phone declares the hub dead. */
+constexpr double missedBeatsThreshold = 3.0;
+
+/**
+ * Minimum spacing of wake-up frames per condition. A triggering
+ * condition fires at sample rate; retransmitting every redundant
+ * raw-data frame would overflow the reliable queue and crowd out
+ * fresh wake-ups on a corrupted line (docs/fault-model.md).
+ */
+constexpr double wakeCoalesceSeconds = 1.0;
+
+/** Records wake-up delivery times on the phone. */
+class CollectingListener : public core::SensorEventListener
+{
+  public:
+    explicit CollectingListener(std::vector<double> &out) : out(out) {}
+
+    void
+    onSensorEvent(const core::SensorData &data) override
+    {
+        out.push_back(data.timestamp);
+    }
+
+  private:
+    std::vector<double> &out;
+};
+
+/** One stuck-sensor window resolved against the trace. */
+struct StuckWindow
+{
+    std::size_t engineChannel = 0;
+    double start = 0.0;
+    double end = 0.0;
+    double heldValue = 0.0;
+};
+
+std::vector<StuckWindow>
+resolveStuckWindows(const FaultPlan &plan, const trace::Trace &trace,
+                    const std::vector<std::size_t> &mapping)
+{
+    std::vector<StuckWindow> windows;
+    const std::size_t n = trace.sampleCount();
+    for (const auto &interval : plan.stuckSensors) {
+        if (interval.channelIndex >= mapping.size())
+            throw ConfigError(
+                "stuck-sensor fault names channel " +
+                std::to_string(interval.channelIndex) + "; app has " +
+                std::to_string(mapping.size()));
+        if (!(interval.endSeconds > interval.startSeconds))
+            throw ConfigError("stuck-sensor window must be non-empty");
+        StuckWindow w;
+        w.engineChannel = interval.channelIndex;
+        w.start = interval.startSeconds;
+        w.end = interval.endSeconds;
+        // The sensor freezes at whatever it last reported.
+        const std::size_t at = std::min(
+            detail::sampleAt(trace, interval.startSeconds), n - 1);
+        w.heldValue = trace.channels[mapping[w.engineChannel]][at];
+        windows.push_back(w);
+    }
+    return windows;
+}
+
+} // namespace
+
+bool
+FaultPlan::any() const
+{
+    return byteCorruptionRate > 0.0 || frameDropRate > 0.0 ||
+           !hubResetTimes.empty() || !stuckSensors.empty();
+}
+
+void
+armLink(transport::LinkPair &link, const FaultPlan &plan)
+{
+    // One independent stream per hook, forked in a fixed order, so
+    // the fault pattern is a pure function of the seed regardless of
+    // traffic interleaving between the two directions.
+    Rng root(plan.seed);
+    auto p2h_corrupt = std::make_shared<Rng>(root.fork());
+    auto p2h_drop = std::make_shared<Rng>(root.fork());
+    auto h2p_corrupt = std::make_shared<Rng>(root.fork());
+    auto h2p_drop = std::make_shared<Rng>(root.fork());
+
+    const double corruption = plan.byteCorruptionRate;
+    const double drop = plan.frameDropRate;
+
+    if (corruption > 0.0) {
+        link.phoneToHub().setCorruptor(
+            [p2h_corrupt, corruption](std::uint8_t byte) {
+                if (!p2h_corrupt->chance(corruption))
+                    return byte;
+                return static_cast<std::uint8_t>(
+                    byte ^ (1u << p2h_corrupt->uniformInt(0, 7)));
+            });
+        link.hubToPhone().setCorruptor(
+            [h2p_corrupt, corruption](std::uint8_t byte) {
+                if (!h2p_corrupt->chance(corruption))
+                    return byte;
+                return static_cast<std::uint8_t>(
+                    byte ^ (1u << h2p_corrupt->uniformInt(0, 7)));
+            });
+    }
+    if (drop > 0.0) {
+        link.phoneToHub().setFrameDropper(
+            [p2h_drop, drop]() { return p2h_drop->chance(drop); });
+        link.hubToPhone().setFrameDropper(
+            [h2p_drop, drop]() { return h2p_drop->chance(drop); });
+    }
+}
+
+SimResult
+simulateSupervised(const trace::Trace &trace,
+                   const apps::Application &app, const SimConfig &config)
+{
+    trace.checkInvariants();
+    if (config.strategy != Strategy::Sidewinder)
+        throw ConfigError(
+            "fault injection requires the Sidewinder strategy");
+    if (config.hubBackend == HubBackend::Fpga)
+        throw ConfigError("fault injection supports only the "
+                          "microcontroller hub backend");
+
+    const FaultPlan &plan = config.faults;
+    const double total = trace.durationSeconds();
+    const auto truth = trace.eventsOfType(app.eventType());
+
+    PowerModel model = nexus4();
+    DeviceTimeline timeline(total);
+    SimResult result;
+    result.configName =
+        strategyName(config.strategy, config.sleepIntervalSeconds);
+
+    const double trans = model.transitionSeconds;
+    const double event_dwell =
+        config.eventDwellSeconds > 0.0
+            ? config.eventDwellSeconds
+            : app.recommendedEventDwellSeconds();
+    const double lookback = config.lookbackSeconds > 0.0
+                                ? config.lookbackSeconds
+                                : app.recommendedLookbackSeconds();
+
+    core::ProcessingPipeline pipeline = app.wakeCondition();
+    const il::Program program = pipeline.compile();
+    const auto channels = app.channels();
+    const hub::McuModel mcu = hub::selectMcu(program, channels);
+    model.hubMw = mcu.activePowerMw;
+    result.mcuName = mcu.name;
+
+    // The full transport + supervision stack the fault-free fast path
+    // skips: framed UART with injected faults, reliable channel on
+    // both sides, heartbeats, and the re-pushing supervisor.
+    transport::LinkPair link(uartBaudRate);
+    armLink(link, plan);
+
+    // A ~1.2 KB raw-data wake frame survives a 1e-3/byte line only
+    // ~30% of the time. The defaults tuned for congestion (0.8 s
+    // backoff cap, 8 attempts) are wrong for this dedicated line: one
+    // doomed frame head-of-line-blocks the stop-and-wait channel for
+    // ~9 s while fresh wake-ups pile up behind it, and the backlog is
+    // flushed wholesale at the next brownout. Retry fast (the line is
+    // idle while waiting anyway), keep the initial timeout above the
+    // ack round trip to avoid spurious retransmits, and try hard
+    // before surfacing a link-down verdict.
+    transport::ReliableConfig reliableConfig;
+    reliableConfig.ackTimeoutSeconds = 0.1;
+    reliableConfig.maxBackoffSeconds = 0.15;
+    reliableConfig.maxAttempts = 20;
+
+    hub::HubRuntime hubRuntime(link, channels, mcu,
+                               config.shareHubNodes);
+    hubRuntime.enableReliableTransport(reliableConfig);
+    hubRuntime.enableHeartbeats(heartbeatIntervalSeconds);
+    hubRuntime.setWakeCoalescing(wakeCoalesceSeconds);
+
+    core::SidewinderSensorManager manager(link, channels);
+    manager.enableReliableTransport(reliableConfig);
+    manager.enableSupervision(
+        {heartbeatIntervalSeconds, missedBeatsThreshold}, 0.0);
+
+    std::vector<double> triggerTimes;
+    CollectingListener listener(triggerTimes);
+    manager.push(pipeline, &listener, 0.0);
+
+    const auto mapping = detail::channelMapping(trace, channels);
+    const std::size_t n = trace.sampleCount();
+    if (n == 0)
+        throw ConfigError("cannot simulate an empty trace");
+    const auto stuck = resolveStuckWindows(plan, trace, mapping);
+
+    std::vector<double> resets = plan.hubResetTimes;
+    std::sort(resets.begin(), resets.end());
+    std::size_t next_reset = 0;
+    bool hub_off = false;
+    double hub_on_at = 0.0;
+
+    std::vector<double> values(channels.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = trace.timeOf(i);
+
+        if (!hub_off && next_reset < resets.size() &&
+            t >= resets[next_reset]) {
+            hub_off = true;
+            hub_on_at =
+                resets[next_reset] + plan.hubResetDowntimeSeconds;
+            ++next_reset;
+            ++result.faults.hubResets;
+        }
+        if (hub_off && t >= hub_on_at) {
+            hubRuntime.reboot(t);
+            hub_off = false;
+        }
+
+        for (std::size_t c = 0; c < mapping.size(); ++c)
+            values[c] = trace.channels[mapping[c]][i];
+        for (const auto &w : stuck)
+            if (t >= w.start && t < w.end)
+                values[w.engineChannel] = w.heldValue;
+
+        if (!hub_off) {
+            hubRuntime.pollLink(t);
+            hubRuntime.pushSamples(values, t);
+        } else {
+            // A dark hub cannot receive; bytes arriving now vanish.
+            (void)link.phoneToHub().receive(t);
+        }
+        manager.poll(t);
+    }
+
+    // Downtime accounting closes at trace end, before the drain below
+    // can move 'now' past it.
+    result.faults.hubDownSeconds = manager.hubDownSeconds(total);
+
+    // Duty-Cycling fallback (Strategy::DutyCycling semantics) inside
+    // every window the phone presumed the hub dead: blind periodic
+    // sampling keeps degraded recall instead of going blind entirely.
+    std::vector<std::pair<double, double>> down_windows =
+        manager.downWindows();
+    if (const auto open = manager.openDownWindowStart())
+        down_windows.emplace_back(*open, total);
+    const double gap = std::max(config.sleepIntervalSeconds, 2.0 * trans);
+    for (const auto &[start, end] : down_windows) {
+        const double window_end = std::min(end, total);
+        double awake_start = start + trans;
+        while (awake_start < window_end) {
+            const double awake_end = std::min(
+                awake_start + config.awakeDwellSeconds, window_end);
+            timeline.addAwakeInterval(awake_start, awake_end);
+            result.faults.fallbackAwakeSeconds +=
+                awake_end - awake_start;
+            awake_start = awake_end + gap;
+        }
+    }
+    result.faults.fallbackEnergyMj =
+        result.faults.fallbackAwakeSeconds *
+        (model.awakeMw - model.asleepMw);
+
+    // Let in-flight frames (final wake-ups, re-push acks) drain; the
+    // timeline clamps to [0, total] so this cannot distort energy.
+    for (double t = total; t <= total + 1.0; t += 0.01) {
+        if (hub_off && t >= hub_on_at) {
+            hubRuntime.reboot(t);
+            hub_off = false;
+        }
+        if (!hub_off)
+            hubRuntime.pollLink(t);
+        manager.poll(t);
+    }
+
+    result.hubTriggerCount = triggerTimes.size();
+    for (double t_e : triggerTimes)
+        timeline.addAwakeInterval(t_e + trans,
+                                  t_e + trans + event_dwell);
+
+    const auto *phone_stats = manager.reliableStats();
+    const auto *hub_stats = hubRuntime.reliableStats();
+    result.faults.retransmits =
+        phone_stats->retransmits + hub_stats->retransmits;
+    result.faults.framesLost =
+        phone_stats->framesLost + hub_stats->framesLost;
+    result.faults.linkDownDeclared =
+        phone_stats->framesLost > 0 || hub_stats->framesLost > 0;
+    result.faults.framesDropped = link.phoneToHub().droppedFrames() +
+                                  link.hubToPhone().droppedFrames();
+    result.faults.bytesCorrupted = link.phoneToHub().corruptedBytes() +
+                                   link.hubToPhone().corruptedBytes();
+    result.faults.decoderDroppedBytes =
+        hubRuntime.linkDropBytes() + manager.linkDropBytes();
+    result.faults.repushedConditions =
+        manager.supervisionStats().repushedConditions;
+    result.faults.wakesCoalesced = hubRuntime.wakesCoalesced();
+
+    const auto merged = timeline.mergedIntervals(2.0 * trans - 1e-9);
+    const auto detections =
+        detail::classifyIntervals(trace, app, merged, lookback);
+    result.meanDetectionLatencySeconds =
+        detail::meanLatency(trace, app.eventType(), merged, lookback);
+
+    result.timeline = timeline.summarize(model);
+    result.averagePowerMw = result.timeline.averagePowerMw;
+    result.hubMw = model.hubMw;
+
+    result.detection =
+        app.coalesceDetections()
+            ? metrics::matchEventsCoalesced(truth, detections,
+                                            app.matchTolerance())
+            : metrics::matchEvents(truth, detections,
+                                   app.matchTolerance());
+    result.recall = result.detection.recall();
+    result.precision = result.detection.precision();
+    return result;
+}
+
+} // namespace sidewinder::sim

@@ -7,88 +7,17 @@
 #include "hub/engine.h"
 #include "hub/fpga.h"
 #include "hub/mcu.h"
+#include "sim/replay.h"
 #include "support/error.h"
 
 namespace sidewinder::sim {
 
 namespace {
 
-/** Samples index corresponding to time @p t (clamped). */
-std::size_t
-sampleAt(const trace::Trace &trace, double t)
-{
-    if (t <= 0.0)
-        return 0;
-    const auto idx = static_cast<std::size_t>(t * trace.sampleRateHz);
-    return std::min(idx, trace.sampleCount());
-}
-
-/** Map engine channel order to trace channel indexes. */
-std::vector<std::size_t>
-channelMapping(const trace::Trace &trace,
-               const std::vector<il::ChannelInfo> &channels)
-{
-    std::vector<std::size_t> mapping;
-    mapping.reserve(channels.size());
-    for (const auto &ch : channels)
-        mapping.push_back(trace.channelIndex(ch.name));
-    return mapping;
-}
-
-/** Run the application classifier over merged awake intervals. */
-std::vector<double>
-classifyIntervals(const trace::Trace &trace,
-                  const apps::Application &app,
-                  const std::vector<Interval> &intervals,
-                  double lookback)
-{
-    std::vector<double> detections;
-    double covered_until = 0.0;
-    for (const auto &interval : intervals) {
-        // Avoid re-classifying overlapping lookback regions.
-        const double begin_t =
-            std::max(interval.start - lookback, covered_until);
-        covered_until = interval.end;
-        const auto begin = sampleAt(trace, begin_t);
-        const auto end = sampleAt(trace, interval.end);
-        if (end <= begin)
-            continue;
-        for (double t : app.classify(trace, begin, end))
-            detections.push_back(t);
-    }
-    std::sort(detections.begin(), detections.end());
-    return detections;
-}
-
-/**
- * Mean delay from event start until the device is awake with the
- * event's data available (0 when the device was already awake).
- */
-double
-meanLatency(const trace::Trace &trace, const std::string &event_type,
-            const std::vector<Interval> &intervals, double lookback)
-{
-    const auto events = trace.eventsOfType(event_type);
-    if (events.empty())
-        return 0.0;
-
-    double total = 0.0;
-    std::size_t counted = 0;
-    for (const auto &ev : events) {
-        for (const auto &interval : intervals) {
-            // The event is processable in this interval if the awake
-            // window (plus lookback) covers the event start.
-            if (interval.end < ev.startTime)
-                continue;
-            if (interval.start - lookback > ev.endTime)
-                break;
-            total += std::max(0.0, interval.start - ev.startTime);
-            ++counted;
-            break;
-        }
-    }
-    return counted > 0 ? total / static_cast<double>(counted) : 0.0;
-}
+using detail::channelMapping;
+using detail::classifyIntervals;
+using detail::meanLatency;
+using detail::sampleAt;
 
 /** Event-driven strategies: run a hub condition over the trace. */
 struct HubRun
@@ -162,6 +91,12 @@ SimResult
 simulate(const trace::Trace &trace, const apps::Application &app,
          const SimConfig &config)
 {
+    // Any injected fault routes through the full transport +
+    // supervision stack; a no-fault plan must leave this fast path —
+    // and therefore every output bit — untouched.
+    if (config.faults.any())
+        return simulateSupervised(trace, app, config);
+
     trace.checkInvariants();
     const double total = trace.durationSeconds();
     const auto truth = trace.eventsOfType(app.eventType());

@@ -14,6 +14,7 @@
 
 #include "apps/app.h"
 #include "metrics/events.h"
+#include "sim/faults.h"
 #include "sim/power_model.h"
 #include "sim/timeline.h"
 #include "trace/types.h"
@@ -84,6 +85,14 @@ struct SimConfig
     double predefinedThreshold = 0.0;
     /** Hub hardware for the Sidewinder strategy. */
     HubBackend hubBackend = HubBackend::Microcontroller;
+    /**
+     * Fault schedule to inject (sim/faults.h). The default plan
+     * injects nothing and leaves every output bit-identical to a run
+     * without the fault machinery; any active fault routes the run
+     * through the full transport + supervision stack
+     * (simulateSupervised), Sidewinder strategy only.
+     */
+    FaultPlan faults;
 };
 
 /** Outputs of one simulation. */
@@ -111,6 +120,11 @@ struct SimResult
      * seconds.
      */
     double meanDetectionLatencySeconds = 0.0;
+    /**
+     * Fault-tolerance counters; all zero unless config.faults
+     * injected something.
+     */
+    metrics::FaultMetrics faults;
 };
 
 /**

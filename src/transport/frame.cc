@@ -32,23 +32,31 @@ encodeFrame(const Frame &frame)
 }
 
 void
-FrameDecoder::restart(bool count_as_drop)
+FrameDecoder::fail()
 {
-    if (count_as_drop)
-        dropped += 4 + payload.size();
+    // The SOF that opened this candidate was presumably noise (or the
+    // header behind it was corrupted); everything that followed it may
+    // be — or contain — a real frame, so rescan instead of discarding.
+    ++dropped;
     state = State::Sync;
     payload.clear();
+    backlog.insert(backlog.begin(), raw.begin() + 1, raw.end());
+    raw.clear();
 }
 
 void
-FrameDecoder::feed(std::uint8_t byte)
+FrameDecoder::step(std::uint8_t byte)
 {
+    if (state != State::Sync)
+        raw.push_back(byte);
     switch (state) {
       case State::Sync:
         if (byte == frameSof) {
             state = State::Type;
             crcAccum = 0xFFFF;
             payload.clear();
+            raw.assign(1, byte);
+            ++candidateEpoch;
         } else {
             ++dropped;
         }
@@ -57,8 +65,8 @@ FrameDecoder::feed(std::uint8_t byte)
         type = byte;
         crcAccum = crc16Step(crcAccum, byte);
         if (type < 1 ||
-            type > static_cast<std::uint8_t>(MessageType::SensorBatch)) {
-            restart(true);
+            type > static_cast<std::uint8_t>(MessageType::Heartbeat)) {
+            fail();
             return;
         }
         state = State::LenLo;
@@ -72,7 +80,7 @@ FrameDecoder::feed(std::uint8_t byte)
         expected |= static_cast<std::size_t>(byte) << 8;
         crcAccum = crc16Step(crcAccum, byte);
         if (expected > maxPayloadBytes) {
-            restart(true);
+            fail();
             return;
         }
         state = expected == 0 ? State::CrcHi : State::Payload;
@@ -95,19 +103,71 @@ FrameDecoder::feed(std::uint8_t byte)
             frame.payload = std::move(payload);
             payload = {};
             ready.push_back(std::move(frame));
-            restart(false);
+            state = State::Sync;
+            raw.clear();
         } else {
-            restart(true);
+            fail();
         }
         return;
     }
 }
 
 void
+FrameDecoder::drain()
+{
+    // fail() pushes a candidate's bytes back onto the front of the
+    // backlog; each pass permanently consumes at least that
+    // candidate's SOF, so this terminates.
+    if (draining)
+        return;
+    draining = true;
+    while (!backlog.empty()) {
+        const std::uint8_t byte = backlog.front();
+        backlog.pop_front();
+        step(byte);
+    }
+    draining = false;
+}
+
+void
+FrameDecoder::feed(std::uint8_t byte)
+{
+    backlog.push_back(byte);
+    drain();
+}
+
+void
 FrameDecoder::feed(const std::vector<std::uint8_t> &bytes)
 {
-    for (std::uint8_t byte : bytes)
-        feed(byte);
+    backlog.insert(backlog.end(), bytes.begin(), bytes.end());
+    drain();
+}
+
+void
+FrameDecoder::resync()
+{
+    if (state == State::Sync)
+        return;
+    fail();
+    drain();
+}
+
+void
+FrameDecoder::tickStall(double now, double timeout_seconds)
+{
+    if (state == State::Sync) {
+        stallSince = -1.0;
+        return;
+    }
+    if (stallSince < 0.0 || stallObservedEpoch != candidateEpoch) {
+        stallObservedEpoch = candidateEpoch;
+        stallSince = now;
+        return;
+    }
+    if (now - stallSince > timeout_seconds) {
+        resync();
+        stallSince = -1.0;
+    }
 }
 
 std::optional<Frame>

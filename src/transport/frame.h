@@ -9,8 +9,13 @@
  *
  *     SOF(0x7E) | type(1) | length(2, LE) | payload | crc16(2, BE)
  *
- * The decoder resynchronizes by scanning for SOF after any CRC or
- * length violation, counting the bytes it had to discard.
+ * The decoder resynchronizes after any CRC or length violation by
+ * rescanning the failed candidate's bytes for embedded frames (an SOF
+ * byte inside noise or a corrupted header must not swallow the intact
+ * frame that follows), counting the bytes it had to discard. Because a
+ * corrupted length field can promise more payload than will ever
+ * arrive, receivers poll tickStall() with their clock so a wedged
+ * candidate is abandoned instead of deafening the link.
  */
 
 #ifndef SIDEWINDER_TRANSPORT_FRAME_H
@@ -41,6 +46,19 @@ enum class MessageType : std::uint8_t {
      * Section 3.8).
      */
     SensorBatch = 6,
+    /**
+     * Either direction: reliable-transport data — a 16-bit sequence
+     * number followed by the wrapped inner frame (transport/reliable.h).
+     */
+    Reliable = 7,
+    /** Either direction: acknowledgement of one Reliable sequence. */
+    LinkAck = 8,
+    /**
+     * Hub -> phone: periodic liveness beacon carrying the hub's boot
+     * epoch, so the phone can detect both silence (hub dead or link
+     * down) and a restart that lost all engine state.
+     */
+    Heartbeat = 9,
 };
 
 /** Start-of-frame marker byte. */
@@ -48,6 +66,14 @@ constexpr std::uint8_t frameSof = 0x7E;
 
 /** Largest payload a frame may carry. */
 constexpr std::size_t maxPayloadBytes = 60000;
+
+/**
+ * How long a receiver lets one frame candidate sit unfinished before
+ * tickStall() abandons it — comfortably above the transfer time of
+ * the largest frame the system actually ships at 115200 baud, far
+ * below the supervisor's death-detection threshold.
+ */
+constexpr double frameStallTimeoutSeconds = 1.0;
 
 /** One decoded (or to-be-encoded) frame. */
 struct Frame
@@ -88,10 +114,32 @@ class FrameDecoder
     /** Bytes discarded during resynchronization so far. */
     std::size_t droppedBytes() const { return dropped; }
 
+    /** True while partway through a frame candidate. */
+    bool midFrame() const { return state != State::Sync; }
+
+    /**
+     * Abandon the current frame candidate (its SOF was presumably
+     * noise) and rescan its remaining bytes for embedded frames. Safe
+     * to call any time; a no-op between frames.
+     */
+    void resync();
+
+    /**
+     * Stall watchdog: resync() a candidate that has been pending since
+     * before @p now - @p timeout_seconds. Receivers call this from
+     * their poll loop so a corrupted length field that promises more
+     * payload than will ever arrive cannot deafen the link for the
+     * rest of the run.
+     */
+    void tickStall(double now,
+                   double timeout_seconds = frameStallTimeoutSeconds);
+
   private:
     enum class State { Sync, Type, LenLo, LenHi, Payload, CrcHi, CrcLo };
 
-    void restart(bool count_as_drop);
+    void step(std::uint8_t byte);
+    void drain();
+    void fail();
 
     State state = State::Sync;
     std::uint8_t type = 0;
@@ -101,6 +149,15 @@ class FrameDecoder
     std::uint16_t crcReceived = 0;
     std::size_t dropped = 0;
     std::deque<Frame> ready;
+    /** Bytes of the current candidate, SOF included. */
+    std::vector<std::uint8_t> raw;
+    /** Bytes awaiting (re)scan; drained before feed() returns. */
+    std::deque<std::uint8_t> backlog;
+    bool draining = false;
+    /** Candidates opened so far; identifies the stalled one. */
+    std::uint64_t candidateEpoch = 0;
+    std::uint64_t stallObservedEpoch = 0;
+    double stallSince = -1.0;
 };
 
 } // namespace sidewinder::transport

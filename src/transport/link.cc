@@ -26,6 +26,8 @@ UartLink::send(const std::vector<std::uint8_t> &bytes, double now)
     for (std::uint8_t byte : bytes) {
         const double done = start + transferSeconds(1);
         const std::uint8_t delivered = corrupt ? corrupt(byte) : byte;
+        if (delivered != byte)
+            ++corruptedCount;
         inFlight.push_back(InFlight{delivered, done});
         start = done;
     }
@@ -35,6 +37,10 @@ UartLink::send(const std::vector<std::uint8_t> &bytes, double now)
 void
 UartLink::sendFrame(const Frame &frame, double now)
 {
+    if (dropFrame && dropFrame()) {
+        ++droppedFrameCount;
+        return;
+    }
     send(encodeFrame(frame), now);
 }
 

@@ -53,7 +53,9 @@ class UartLink
 
     /**
      * Install a per-byte corruption hook; it receives the byte and
-     * returns the (possibly corrupted) byte to deliver.
+     * returns the (possibly corrupted) byte to deliver. Installed by
+     * sim::armLink() from a seeded FaultPlan so every corruption
+     * pattern is reproducible (tests may also install ad-hoc hooks).
      */
     void
     setCorruptor(std::function<std::uint8_t(std::uint8_t)> corruptor)
@@ -61,8 +63,34 @@ class UartLink
         corrupt = std::move(corruptor);
     }
 
+    /**
+     * Install a per-frame loss hook consulted by sendFrame(); when it
+     * returns true the whole frame silently vanishes (models a TX
+     * overrun or a receiver asleep during the burst). Raw send() calls
+     * are not affected.
+     */
+    void
+    setFrameDropper(std::function<bool()> dropper)
+    {
+        dropFrame = std::move(dropper);
+    }
+
+    /** Bytes the corruption hook actually changed so far. */
+    std::size_t corruptedBytes() const { return corruptedCount; }
+
+    /** Whole frames the loss hook swallowed so far. */
+    std::size_t droppedFrames() const { return droppedFrameCount; }
+
     /** Bytes still in flight at time @p now. */
     std::size_t pendingBytes(double now) const;
+
+    /**
+     * Time the transmitter becomes free (i.e. when the last queued
+     * byte finishes serializing). Lets a sender compute the true
+     * delivery completion of a frame it just queued behind earlier
+     * traffic — the reliable channel bases its ack deadlines on this.
+     */
+    double busyUntil() const { return lineBusyUntil; }
 
   private:
     struct InFlight
@@ -76,6 +104,9 @@ class UartLink
     double lineBusyUntil = 0.0;
     std::deque<InFlight> inFlight;
     std::function<std::uint8_t(std::uint8_t)> corrupt;
+    std::function<bool()> dropFrame;
+    std::size_t corruptedCount = 0;
+    std::size_t droppedFrameCount = 0;
 };
 
 /**

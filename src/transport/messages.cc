@@ -195,6 +195,34 @@ encodeSensorBatch(const SensorBatchMessage &message)
     return Frame{MessageType::SensorBatch, std::move(w.bytes)};
 }
 
+Frame
+encodeHeartbeat(const HeartbeatMessage &message)
+{
+    Writer w;
+    w.u32(message.bootId);
+    w.f64(message.uptimeSeconds);
+    return Frame{MessageType::Heartbeat, std::move(w.bytes)};
+}
+
+HeartbeatMessage
+decodeHeartbeat(const Frame &frame)
+{
+    expectType(frame, MessageType::Heartbeat, "Heartbeat");
+    Reader r(frame.payload);
+    HeartbeatMessage message;
+    message.bootId = r.u32();
+    message.uptimeSeconds = r.f64();
+    r.expectEnd();
+    return message;
+}
+
+std::size_t
+configPushWireBytes(const ConfigPushMessage &message)
+{
+    // SOF+type+len+crc (6) + id (4) + text length prefix (4) + text.
+    return 6 + 4 + 4 + message.ilText.size();
+}
+
 SensorBatchMessage
 decodeSensorBatch(const Frame &frame)
 {

@@ -82,6 +82,20 @@ struct SensorBatchMessage
     std::vector<double> samples;
 };
 
+/**
+ * Hub -> phone: periodic liveness beacon (transport/reliable.h,
+ * hub/runtime.h). `bootId` increments on every hub reset, so the phone
+ * detects a brownout-induced state loss even when it never misses a
+ * beacon.
+ */
+struct HeartbeatMessage
+{
+    /** Hub boot epoch; changes whenever the hub loses its state. */
+    std::uint32_t bootId = 0;
+    /** Seconds since the current boot. */
+    double uptimeSeconds = 0.0;
+};
+
 /** @{ Frame encoding of each message. */
 Frame encodeConfigPush(const ConfigPushMessage &message);
 Frame encodeConfigAck(const ConfigAckMessage &message);
@@ -89,6 +103,7 @@ Frame encodeConfigReject(const ConfigRejectMessage &message);
 Frame encodeConfigRemove(const ConfigRemoveMessage &message);
 Frame encodeWakeUp(const WakeUpMessage &message);
 Frame encodeSensorBatch(const SensorBatchMessage &message);
+Frame encodeHeartbeat(const HeartbeatMessage &message);
 /** @} */
 
 /**
@@ -101,7 +116,15 @@ ConfigRejectMessage decodeConfigReject(const Frame &frame);
 ConfigRemoveMessage decodeConfigRemove(const Frame &frame);
 WakeUpMessage decodeWakeUp(const Frame &frame);
 SensorBatchMessage decodeSensorBatch(const Frame &frame);
+HeartbeatMessage decodeHeartbeat(const Frame &frame);
 /** @} */
+
+/**
+ * Wire bytes of @p message when framed as a plain (non-reliable)
+ * ConfigPush: framing overhead + id + length-prefixed IL text. The
+ * swlint SW202 note uses this to estimate hub-recovery re-push cost.
+ */
+std::size_t configPushWireBytes(const ConfigPushMessage &message);
 
 /**
  * Wire bytes needed to ship @p sample_count samples in SensorBatch

@@ -5,13 +5,15 @@
  * Lints `.il` files (or the built-in application wake conditions with
  * --all-apps) using il::analyze(), reporting dataflow diagnostics
  * (SW0xx errors, SW1xx warnings) plus the hub admission verdict
- * (SW017/SW201) from the MCU capability model.
+ * (SW017/SW201) from the MCU capability model and the hub-recovery
+ * re-push cost note (SW202).
  *
  * Exit status: 0 when clean, 1 when any program has errors (or
  * warnings under --Werror), 2 on usage or I/O errors.
  */
 
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -24,7 +26,11 @@
 #include "il/analyze.h"
 #include "il/optimize.h"
 #include "il/parser.h"
+#include "il/writer.h"
 #include "support/error.h"
+#include "transport/link.h"
+#include "transport/messages.h"
+#include "transport/reliable.h"
 
 namespace {
 
@@ -169,6 +175,28 @@ lint(const LintUnit &unit)
             il::analyze(il::optimize(unit.program), unit.channels);
         for (auto &d : hub::admissionDiagnostics(optimized.cost))
             result.diagnostics.push_back(std::move(d));
+
+        // Recovery-cost note (SW202): after a hub reset, the phone
+        // re-pushes this condition over the reliable channel; report
+        // the wire bytes and serialization time of one fault-free
+        // re-push so developers can see recovery latency per
+        // condition (docs/fault-model.md).
+        const transport::Frame push = transport::encodeConfigPush(
+            {0, il::write(il::optimize(unit.program))});
+        const std::size_t bytes = transport::reliableWireBytes(push);
+        const transport::UartLink uart(115200.0);
+        const double millis = uart.transferSeconds(bytes) * 1e3;
+        il::Diagnostic note;
+        note.code = il::SW202_REPUSH_COST;
+        note.severity = il::Severity::Note;
+        note.line = 1;
+        note.column = 1;
+        std::ostringstream msg;
+        msg << "hub-recovery re-push ships " << bytes
+            << " wire bytes (~" << std::fixed << std::setprecision(1)
+            << millis << " ms at 115200 baud)";
+        note.message = msg.str();
+        result.diagnostics.push_back(std::move(note));
     }
     return result;
 }
