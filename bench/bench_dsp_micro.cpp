@@ -23,7 +23,10 @@
 #include "dsp/window.h"
 #include "hub/engine.h"
 #include "il/analyze.h"
+#include "il/lower.h"
 #include "il/parser.h"
+#include "il/plan.h"
+#include "reference/legacy_engine.h"
 
 using namespace sidewinder;
 
@@ -281,6 +284,87 @@ BM_EngineSirenPipeline(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineSirenPipeline);
+
+// ---------------------------------------------------------------------
+// Lowering and plan dispatch: the multi-condition audio workload
+// (siren + phrase sharing a spectral prefix) on the plan-executing
+// engine vs the frozen AST interpreter it replaced.
+
+/** Cost of one il::lower() call on the largest shipped program. */
+void
+BM_Lower(benchmark::State &state)
+{
+    const auto app = apps::makeSirenApp();
+    const il::Program program = app->wakeCondition().compile();
+    const auto channels = app->channels();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(il::lower(program, channels));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lower);
+
+/** Install siren + phrase on @p engine and warm it up. */
+template <typename EngineT>
+void
+installSirenPhrase(EngineT &engine, double &t, double &phase)
+{
+    engine.addCondition(
+        1, apps::makeSirenApp()->wakeCondition().compile());
+    engine.addCondition(
+        2, apps::makePhraseApp()->wakeCondition().compile());
+    std::vector<double> sample(1);
+    for (int i = 0; i < 1024; ++i) {
+        phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+        sample[0] = 0.3 * std::sin(phase);
+        engine.pushSamples(sample, t);
+        t += 0.00025;
+        engine.drainWakeEvents();
+    }
+}
+
+/** Plan-dispatch throughput on the shared siren + phrase workload. */
+void
+BM_PlanDispatchSirenPhrase(benchmark::State &state)
+{
+    hub::Engine engine({{"AUDIO", 4000.0}});
+    double t = 0.0;
+    double phase = 0.0;
+    installSirenPhrase(engine, t, phase);
+    std::vector<double> sample(1);
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+        sample[0] = 0.3 * std::sin(phase);
+        engine.pushSamples(sample, t);
+        t += 0.00025;
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["nodes"] = static_cast<double>(engine.nodeCount());
+}
+BENCHMARK(BM_PlanDispatchSirenPhrase);
+
+/** Same workload on the frozen AST interpreter (src/reference/). */
+void
+BM_LegacyDispatchSirenPhrase(benchmark::State &state)
+{
+    reference::LegacyEngine engine({{"AUDIO", 4000.0}});
+    double t = 0.0;
+    double phase = 0.0;
+    installSirenPhrase(engine, t, phase);
+    std::vector<double> sample(1);
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+        sample[0] = 0.3 * std::sin(phase);
+        engine.pushSamples(sample, t);
+        t += 0.00025;
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["nodes"] = static_cast<double>(engine.nodeCount());
+}
+BENCHMARK(BM_LegacyDispatchSirenPhrase);
 
 // ---------------------------------------------------------------------
 // Static analyzer wall-clock: admission control runs on every push,

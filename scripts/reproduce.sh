@@ -5,16 +5,21 @@
 #   fast  — run the experiment binaries on ~6x shorter traces.
 #   tsan  — additionally build with -DSIDEWINDER_SANITIZE=thread and
 #           run the parallel sweep engine's tests (sim_sweep_test,
-#           support_thread_pool_test) under ThreadSanitizer before
-#           the normal run. SW_TSAN=1 enables the same.
+#           support_thread_pool_test) plus the ExecutionPlan tests
+#           (il_plan_test, hub_plan_property_test) under
+#           ThreadSanitizer before the normal run. SW_TSAN=1 enables
+#           the same.
 #   asan  — additionally build with
 #           -DSIDEWINDER_SANITIZE=address,undefined and run the
 #           fault-tolerance tests (transport_reliable_test,
-#           hub_supervision_test, sim_faults_test) under ASan/UBSan:
-#           the fault injectors exercise the decoder's resync and the
+#           hub_supervision_test, sim_faults_test) and the
+#           ExecutionPlan tests (il_plan_test,
+#           hub_plan_property_test) under ASan/UBSan: the fault
+#           injectors exercise the decoder's resync and the
 #           supervisor's re-push paths with deliberately mangled
-#           bytes, exactly where memory bugs would hide. SW_ASAN=1
-#           enables the same.
+#           bytes, and the plan tests drive the engine's cached
+#           input-pointer wave loop, exactly where memory bugs would
+#           hide. SW_ASAN=1 enables the same.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -30,21 +35,28 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     # suite still runs below.
     cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
     cmake --build build-tsan --target sim_sweep_test \
-        support_thread_pool_test
+        support_thread_pool_test il_plan_test hub_plan_property_test
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
+    echo "== ThreadSanitizer: execution plan =="
+    build-tsan/tests/il_plan_test
+    build-tsan/tests/hub_plan_property_test
 fi
 
 if [ "${SW_ASAN:-0}" = "1" ]; then
     cmake -B build-asan -G Ninja \
         -DSIDEWINDER_SANITIZE=address,undefined
     cmake --build build-asan --target transport_reliable_test \
-        hub_supervision_test sim_faults_test
+        hub_supervision_test sim_faults_test il_plan_test \
+        hub_plan_property_test
     echo "== ASan/UBSan: fault-tolerance stack =="
     build-asan/tests/transport_reliable_test
     build-asan/tests/hub_supervision_test
     build-asan/tests/sim_faults_test
+    echo "== ASan/UBSan: execution plan =="
+    build-asan/tests/il_plan_test
+    build-asan/tests/hub_plan_property_test
 fi
 
 cmake -B build -G Ninja

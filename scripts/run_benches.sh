@@ -10,6 +10,10 @@
 #    records the static analyzer's wall-clock over every shipped
 #    wake condition (BM_Analyze*): admission control runs on each
 #    push, so il::analyze() must stay far under 10 ms per program.
+#    The execution-plan benchmarks (BM_Lower, and
+#    BM_PlanDispatchSirenPhrase vs BM_LegacyDispatchSirenPhrase —
+#    docs/execution-plan.md) track the install-time compile cost and
+#    the plan-vs-legacy per-sample dispatch speedup.
 #  - BENCH_sweep.json — bench_sweep_scaling: serial vs parallel
 #    wall-clock of a fig6-style simulation grid at 1/2/4/hw threads,
 #    the speedup per thread count, and a determinism flag asserting

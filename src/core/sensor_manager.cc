@@ -1,7 +1,7 @@
 #include "core/sensor_manager.h"
 
 #include "il/analyze.h"
-#include "il/optimize.h"
+#include "il/lower.h"
 #include "il/writer.h"
 #include "support/error.h"
 #include "support/logging.h"
@@ -53,21 +53,23 @@ SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
         throw ConfigError("push requires a SensorEventListener");
 
     // Statically analyze the developer's pipeline as written, then
-    // ship the deduplicated form: branches sharing a prefix (common
-    // in multi-feature conditions) collapse to one chain on the wire.
+    // ship the lowered plan's canonical form: branches sharing a
+    // prefix (common in multi-feature conditions) collapse to one
+    // chain on the wire, with dense ids in schedule order.
     const il::Program program = pipeline.compile();
     const il::AnalysisResult analysis = il::analyze(program, channels);
     if (!analysis.ok())
         throw ParseError("pipeline failed static analysis:\n" +
                          il::renderText(analysis, "<pipeline>"));
-    const il::Program optimized = il::optimize(program);
+    const il::Program canonical =
+        il::lower(program, channels).toProgram();
 
     const int condition_id = nextConditionId++;
     Entry entry;
     entry.listener = listener;
-    entry.ilText = il::write(optimized);
+    entry.ilText = il::write(canonical);
     // Surface the analyzer's warnings at push time — except SW101
-    // (duplicate subtrees), which il::optimize() just resolved.
+    // (duplicate subtrees), which lowering just resolved.
     for (const auto &d : analysis.diagnostics) {
         if (d.severity == il::Severity::Error ||
             d.code == il::SW101_DUPLICATE_SUBTREE)

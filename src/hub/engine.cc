@@ -1,47 +1,14 @@
 #include "hub/engine.h"
 
-#include <cmath>
-#include <cstdio>
-
-#include "il/algorithm_info.h"
-#include "il/analyze.h"
+#include "il/lower.h"
 #include "support/error.h"
 
 namespace sidewinder::hub {
 
-namespace {
-
-// Per-invocation compute cost and per-node RAM come from the static
-// analyzer (il::invokeCost / il::nodeRamBytes) so the admission
-// verdict and the runtime account identically.
-
-/**
- * Canonical node identity for cross-condition sharing, built once at
- * install time. Parameters are rendered with %.17g so distinct doubles
- * never collide on a truncated rendering.
- */
-std::string
-makeNodeKey(const il::Statement &stmt, const std::vector<int> &inputs)
-{
-    std::string key;
-    key.reserve(stmt.algorithm.size() + 16 * stmt.params.size() +
-                8 * inputs.size() + 2);
-    key += stmt.algorithm;
-    key += '(';
-    char buf[32];
-    for (double p : stmt.params) {
-        std::snprintf(buf, sizeof buf, "%.17g,", p);
-        key += buf;
-    }
-    key += ')';
-    for (int in : inputs) {
-        std::snprintf(buf, sizeof buf, "<%d", in);
-        key += buf;
-    }
-    return key;
-}
-
-} // namespace
+// Install-time costs come precomputed on the ExecutionPlan
+// (il::invokeCost / il::nodeRamBytes via il::lower), so the admission
+// verdict and the runtime account identically — the engine never
+// re-derives a cost from the AST.
 
 Engine::Engine(std::vector<il::ChannelInfo> channels, bool share_nodes,
                std::size_t raw_buffer_size)
@@ -55,6 +22,9 @@ Engine::Engine(std::vector<il::ChannelInfo> channels, bool share_nodes,
         channelIndexByName.emplace(channelInfos[i].name,
                                    static_cast<int>(i));
     }
+    // Sized once and never reallocated: install-time cached input
+    // pointers reference these slots.
+    channelValues.assign(channelInfos.size(), Value());
 }
 
 int
@@ -69,97 +39,114 @@ Engine::channelIndexOf(const std::string &name) const
 void
 Engine::addCondition(int condition_id, const il::Program &program)
 {
+    // Re-validate and lower on the hub side: a condition that arrives
+    // over the link is untrusted input. A non-sharing hub preserves
+    // every statement as its own node, duplicates included.
+    addCondition(condition_id,
+                 il::lower(program, channelInfos,
+                           il::LowerOptions{shareNodes}));
+}
+
+void
+Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
+{
     if (conditions.count(condition_id))
         throw ConfigError("condition id " + std::to_string(condition_id) +
                           " already installed");
 
-    // Re-validate on the hub side: a condition that arrives over the
-    // link is untrusted input.
-    const il::StreamMap streams = il::validate(program, channelInfos);
+    // The plan carries channel *indices*; remap them into this
+    // engine's channel space by name (identity when the plan was
+    // lowered against our channels, which the runtime guarantees).
+    std::vector<int> channel_map;
+    channel_map.reserve(plan.channels.size());
+    for (const auto &ch : plan.channels) {
+        const int index = channelIndexOf(ch.name);
+        if (channelInfos[static_cast<std::size_t>(index)].sampleRateHz !=
+            ch.sampleRateHz)
+            throw ConfigError("plan was lowered against channel '" +
+                              ch.name + "' at a different sample rate");
+        channel_map.push_back(index);
+    }
 
     Condition cond;
     cond.id = condition_id;
-    cond.primaryChannel = -1;
+    cond.primaryChannel =
+        channel_map[static_cast<std::size_t>(plan.primaryChannel)];
 
-    // Map from the program's node ids to global node indexes.
-    std::map<il::NodeId, int> local_to_global;
+    /** Plan node index -> global node index. */
+    std::vector<int> local_to_global(plan.nodeCount(), -1);
 
-    for (const auto &stmt : program.statements) {
-        // Resolve inputs to global encoding.
-        std::vector<int> inputs;
-        std::vector<il::NodeStream> input_streams;
-        for (const auto &src : stmt.inputs) {
-            if (src.kind == il::SourceRef::Kind::Channel) {
-                const int ch = channelIndexOf(src.channel);
-                inputs.push_back(-(ch + 1));
-                il::NodeStream s;
-                s.kind = il::ValueKind::Scalar;
-                s.fireRateHz = channelInfos[ch].sampleRateHz;
-                s.baseRateHz = channelInfos[ch].sampleRateHz;
-                input_streams.push_back(s);
-                if (cond.primaryChannel < 0)
-                    cond.primaryChannel = ch;
-            } else {
-                const int global = local_to_global.at(src.node);
-                inputs.push_back(global);
-                input_streams.push_back(nodes[global]->stream);
-            }
-        }
-
-        if (stmt.isOut) {
-            cond.outNode = inputs.front();
-            continue;
-        }
-
-        // Canonical identity for cross-condition sharing.
-        std::string key = makeNodeKey(stmt, inputs);
+    for (std::size_t local = 0; local < plan.nodeCount(); ++local) {
+        const std::int32_t *refs = plan.inputsOf(local);
+        const std::uint32_t arity = plan.inputCounts[local];
 
         int index = -1;
         if (shareNodes) {
-            auto it = nodeByKey.find(key);
+            auto it = nodeByKey.find(plan.shareKeys[local]);
             if (it != nodeByKey.end())
                 index = it->second;
         }
 
         if (index < 0) {
             auto node = std::make_unique<Node>();
-            node->key = std::move(key);
-            node->algorithm = stmt.algorithm;
-            node->kernel = makeKernel(stmt, input_streams);
-            node->inputs = inputs;
-            node->stream = streams.at(stmt.id);
+            node->key = plan.shareKeys[local];
+            node->algorithm = plan.algorithms[local];
 
-            const auto info = il::findAlgorithm(stmt.algorithm);
-            if (!info)
-                throw InternalError("validated program with unknown "
-                                    "algorithm");
-            node->cyclesPerInvoke =
-                il::invokeCost(*info, input_streams.front());
-            double rate = input_streams.front().fireRateHz;
-            for (const auto &s : input_streams)
-                rate = std::min(rate, s.fireRateHz);
-            node->invokeRateHz = rate;
-            node->ramBytes = il::nodeRamBytes(
-                *info, stmt.params, input_streams.front(),
-                node->stream);
+            std::vector<il::NodeStream> input_streams;
+            input_streams.reserve(arity);
+            node->inputs.reserve(arity);
+            node->producers.reserve(arity);
+            node->cachedInputs.reserve(arity);
+            for (std::uint32_t k = 0; k < arity; ++k) {
+                input_streams.push_back(plan.inputStream(local, k));
+                if (refs[k] >= 0) {
+                    const int global = local_to_global
+                        [static_cast<std::size_t>(refs[k])];
+                    Node *producer =
+                        nodes[static_cast<std::size_t>(global)].get();
+                    node->inputs.push_back(global);
+                    node->producers.push_back(producer);
+                    node->nodeProducers.push_back(producer);
+                    node->cachedInputs.push_back(&producer->result);
+                } else {
+                    const int ch = channel_map
+                        [static_cast<std::size_t>(-refs[k] - 1)];
+                    node->inputs.push_back(-(ch + 1));
+                    node->producers.push_back(nullptr);
+                    node->hasChannelInput = true;
+                    node->cachedInputs.push_back(
+                        &channelValues[static_cast<std::size_t>(ch)]);
+                }
+            }
+
+            node->kernel = makeKernel(plan.algorithms[local],
+                                      plan.params[local], input_streams);
+            node->policy = node->kernel->firingPolicy();
+            node->rejects = node->kernel->conditional();
+            node->stream = plan.streams[local];
+            node->cyclesPerInvoke = plan.cyclesPerInvoke[local];
+            node->invokeRateHz = plan.invokeRateHz[local];
+            node->ramBytes = plan.ramBytes[local];
 
             index = static_cast<int>(nodes.size());
             nodes.push_back(std::move(node));
             if (shareNodes)
-                nodeByKey[nodes[index]->key] = index;
+                nodeByKey[nodes[static_cast<std::size_t>(index)]->key] =
+                    index;
         }
 
-        nodes[index]->refCount += 1;
+        nodes[static_cast<std::size_t>(index)]->refCount += 1;
         cond.ownedNodes.push_back(index);
-        local_to_global[stmt.id] = index;
+        local_to_global[local] = index;
     }
 
-    if (cond.outNode < 0)
-        throw InternalError("validated program without OUT node");
-    if (cond.primaryChannel < 0)
-        cond.primaryChannel = 0;
+    if (plan.outNode < 0)
+        throw InternalError("plan without OUT routing");
+    cond.outNode =
+        local_to_global[static_cast<std::size_t>(plan.outNode)];
 
     conditions[condition_id] = std::move(cond);
+    rebuildSchedule();
 }
 
 void
@@ -181,6 +168,17 @@ Engine::removeCondition(int condition_id)
         }
     }
     conditions.erase(it);
+    rebuildSchedule();
+}
+
+void
+Engine::rebuildSchedule()
+{
+    schedule.clear();
+    schedule.reserve(nodes.size());
+    for (auto &slot : nodes)
+        if (slot != nullptr)
+            schedule.push_back(slot.get());
 }
 
 bool
@@ -213,50 +211,29 @@ Engine::pushSamples(const std::vector<double> &values, double timestamp)
     for (std::size_t ch = 0; ch < values.size(); ++ch)
         rawBuffers[ch].push(values[ch]);
 
-    // Evaluation wave: nodes are stored in topological (installation)
-    // order, so a single forward pass settles the whole graph.
-    channelValues.resize(values.size());
+    // Evaluation wave: the schedule holds the live nodes in
+    // topological (installation) order, so a single forward pass
+    // settles the whole graph. Firing policies and input value
+    // pointers were resolved at install time — per node the loop only
+    // reads producer states, channels always count as Emitted.
     for (std::size_t ch = 0; ch < values.size(); ++ch)
         channelValues[ch] = Value(values[ch]);
-    const std::vector<Value> &channel_values = channelValues;
 
-    for (auto &slot : nodes) {
-        Node *node = slot.get();
-        if (node == nullptr)
-            continue;
-
+    for (Node *node : schedule) {
         bool all_emitted = true;
-        bool any_emitted = false;
+        bool any_emitted = node->hasChannelInput;
         bool any_blocked = false;
-        std::vector<const Value *> &input_ptrs = node->scratch;
-        input_ptrs.clear();
-
-        for (int in : node->inputs) {
-            const Value *value = nullptr;
-            WaveState in_state;
-            if (in < 0) {
-                // Channel inputs emit every wave.
-                in_state = WaveState::Emitted;
-                value = &channel_values[static_cast<std::size_t>(
-                    -in - 1)];
-            } else {
-                const Node *producer =
-                    nodes[static_cast<std::size_t>(in)].get();
-                in_state = producer->state;
-                if (in_state == WaveState::Emitted)
-                    value = &producer->result;
-            }
-            all_emitted =
-                all_emitted && in_state == WaveState::Emitted;
-            any_emitted =
-                any_emitted || in_state == WaveState::Emitted;
-            any_blocked =
-                any_blocked || in_state == WaveState::Blocked;
-            input_ptrs.push_back(value);
+        for (const Node *producer : node->nodeProducers) {
+            all_emitted = all_emitted &&
+                          producer->state == WaveState::Emitted;
+            any_emitted = any_emitted ||
+                          producer->state == WaveState::Emitted;
+            any_blocked = any_blocked ||
+                          producer->state == WaveState::Blocked;
         }
 
         bool run = false;
-        switch (node->kernel->firingPolicy()) {
+        switch (node->policy) {
           case FiringPolicy::AllInputs:
             run = all_emitted;
             break;
@@ -276,18 +253,33 @@ Engine::pushSamples(const std::vector<double> &values, double timestamp)
             continue;
         }
 
+        const std::vector<const Value *> *inputs = &node->cachedInputs;
+        if (!all_emitted) {
+            // AnyInput/ObserveBlocks firing with non-emitting inputs:
+            // those positions must read as null.
+            node->scratch.resize(node->cachedInputs.size());
+            for (std::size_t k = 0; k < node->scratch.size(); ++k) {
+                const Node *producer = node->producers[k];
+                node->scratch[k] =
+                    (producer == nullptr ||
+                     producer->state == WaveState::Emitted)
+                        ? node->cachedInputs[k]
+                        : nullptr;
+            }
+            inputs = &node->scratch;
+        }
+
         dynamicCycles += node->cyclesPerInvoke;
         // Output-parameter invocation: the kernel writes into the
         // node's persistent result slot, reusing frame storage
         // wave after wave instead of reallocating it.
-        if (node->kernel->invokeInto(input_ptrs, node->result)) {
+        if (node->kernel->invokeInto(*inputs, node->result)) {
             node->state = WaveState::Emitted;
         } else {
             // Conditional kernels reject (observable miss); an
             // accumulator is merely not ready yet.
-            node->state = node->kernel->conditional()
-                              ? WaveState::Blocked
-                              : WaveState::Idle;
+            node->state = node->rejects ? WaveState::Blocked
+                                        : WaveState::Idle;
         }
     }
 
@@ -305,11 +297,9 @@ Engine::pushSamples(const std::vector<double> &values, double timestamp)
 void
 Engine::resetState()
 {
-    for (auto &slot : nodes) {
-        if (slot == nullptr)
-            continue;
-        slot->kernel->reset();
-        slot->state = WaveState::Idle;
+    for (Node *node : schedule) {
+        node->kernel->reset();
+        node->state = WaveState::Idle;
     }
     for (auto &buffer : rawBuffers)
         buffer.clear();
@@ -340,20 +330,15 @@ Engine::rawSnapshot(int condition_id) const
 std::size_t
 Engine::nodeCount() const
 {
-    std::size_t count = 0;
-    for (const auto &slot : nodes)
-        if (slot != nullptr)
-            ++count;
-    return count;
+    return schedule.size();
 }
 
 double
 Engine::estimatedCyclesPerSecond() const
 {
     double total = 0.0;
-    for (const auto &slot : nodes)
-        if (slot != nullptr)
-            total += slot->cyclesPerInvoke * slot->invokeRateHz;
+    for (const Node *node : schedule)
+        total += node->cyclesPerInvoke * node->invokeRateHz;
     return total;
 }
 
@@ -361,56 +346,37 @@ std::size_t
 Engine::estimatedRamBytes() const
 {
     std::size_t total = 0;
-    for (const auto &slot : nodes)
-        if (slot != nullptr)
-            total += slot->ramBytes;
+    for (const Node *node : schedule)
+        total += node->ramBytes;
     return total;
+}
+
+il::ProgramCost
+Engine::marginalCost(const il::ExecutionPlan &plan) const
+{
+    il::ProgramCost cost;
+    cost.wakeRateBoundHz = plan.wakeRateBoundHz;
+    cost.planNodeCount = plan.nodeCount();
+    for (std::size_t i = 0; i < plan.nodeCount(); ++i) {
+        // Nodes the engine already holds (same sharing key) are free.
+        if (shareNodes && nodeByKey.count(plan.shareKeys[i]))
+            continue;
+        cost.cyclesPerSecond +=
+            plan.cyclesPerInvoke[i] * plan.invokeRateHz[i];
+        cost.ramBytes += plan.ramBytes[i];
+    }
+    return cost;
 }
 
 double
 Engine::estimateProgramCycles(const il::Program &program,
                               const std::vector<il::ChannelInfo> &channels)
 {
-    const il::StreamMap streams = il::validate(program, channels);
-
-    auto channel_rate = [&](const std::string &name) {
-        for (const auto &ch : channels)
-            if (ch.name == name)
-                return ch.sampleRateHz;
-        throw ConfigError("unknown channel '" + name + "'");
-    };
-
-    double total = 0.0;
-    for (const auto &stmt : program.statements) {
-        if (stmt.isOut)
-            continue;
-        const auto info = il::findAlgorithm(stmt.algorithm);
-        if (!info)
-            continue;
-
-        // First input determines the per-invoke unit count; the
-        // slowest input the invocation rate.
-        il::NodeStream first;
-        double rate = 0.0;
-        bool rate_set = false;
-        for (std::size_t i = 0; i < stmt.inputs.size(); ++i) {
-            il::NodeStream s;
-            if (stmt.inputs[i].kind == il::SourceRef::Kind::Channel) {
-                s.kind = il::ValueKind::Scalar;
-                s.fireRateHz = channel_rate(stmt.inputs[i].channel);
-                s.baseRateHz = s.fireRateHz;
-            } else {
-                s = streams.at(stmt.inputs[i].node);
-            }
-            if (i == 0)
-                first = s;
-            rate = rate_set ? std::min(rate, s.fireRateHz)
-                            : s.fireRateHz;
-            rate_set = true;
-        }
-        total += il::invokeCost(*info, first) * rate;
-    }
-    return total;
+    // dedupe=false: charge the program as written (the historical
+    // unshared upper bound this estimate has always reported).
+    return il::lower(program, channels, il::LowerOptions{false})
+        .cost()
+        .cyclesPerSecond;
 }
 
 } // namespace sidewinder::hub

@@ -11,12 +11,20 @@
  * flag. The interpreter checks the flag and if necessary sends the
  * result to the next algorithm."
  *
+ * Unlike the paper's interpreter, the engine does not re-discover the
+ * graph per install or per sample: conditions arrive as (or are
+ * lowered to) an il::ExecutionPlan — indices resolved, costs
+ * precomputed, canonical sharing keys assigned — and the wave loop
+ * runs over a dense schedule of live nodes with firing policies
+ * cached at install time (no per-wave virtual dispatch just to ask a
+ * kernel how it fires).
+ *
  * The engine additionally implements the paper's future-work
  * optimization (Section 7): "When receiving multiple wake-up
  * conditions, the sensor manager can attempt to improve performance by
  * combining the pipelines that use common algorithms." Structurally
- * identical nodes (same algorithm, parameters, and inputs) are shared
- * across conditions when sharing is enabled.
+ * identical nodes (equal plan sharing keys) are shared across
+ * conditions when sharing is enabled.
  */
 
 #ifndef SIDEWINDER_HUB_ENGINE_H
@@ -30,6 +38,7 @@
 
 #include "hub/kernel.h"
 #include "il/ast.h"
+#include "il/plan.h"
 #include "il/validate.h"
 #include "support/ring_buffer.h"
 
@@ -67,11 +76,19 @@ class Engine
                     std::size_t raw_buffer_size = 200);
 
     /**
-     * Validate and install a wake-up condition.
+     * Validate, lower, and install a wake-up condition.
      * @throws ParseError on invalid programs, ConfigError on duplicate
      *     condition ids.
      */
     void addCondition(int condition_id, const il::Program &program);
+
+    /**
+     * Install a pre-lowered wake-up condition (the hub runtime lowers
+     * once at admission and installs the same plan). The plan must
+     * have been lowered against this engine's channels.
+     * @throws ConfigError on duplicate ids or unknown channels.
+     */
+    void addCondition(int condition_id, const il::ExecutionPlan &plan);
 
     /** Remove a condition, freeing nodes no other condition uses. */
     void removeCondition(int condition_id);
@@ -102,7 +119,8 @@ class Engine
 
     /**
      * Static estimate of the sustained compute demand of the installed
-     * conditions, in abstract MCU cycle units per second. Used by the
+     * conditions, in abstract MCU cycle units per second. Summed from
+     * the installed plans' precomputed per-node costs. Used by the
      * capability model to size the microcontroller.
      */
     double estimatedCyclesPerSecond() const;
@@ -115,6 +133,14 @@ class Engine
      * footprint. Checked against McuModel::ramBytes at admission.
      */
     std::size_t estimatedRamBytes() const;
+
+    /**
+     * The *additional* cost of installing @p plan on this engine:
+     * nodes whose sharing key is already instantiated (when sharing
+     * is enabled) are free, everything else is charged its plan cost.
+     * Admission control gates on current load + this marginal cost.
+     */
+    il::ProgramCost marginalCost(const il::ExecutionPlan &plan) const;
 
     /** Abstract cycles consumed by kernel invocations so far. */
     double cyclesConsumed() const { return dynamicCycles; }
@@ -136,6 +162,8 @@ class Engine
     /**
      * Static compute-demand estimate for @p program on @p channels
      * without building an engine (used for MCU selection on push).
+     * Charges every statement — the unshared upper bound, matching a
+     * hub that instantiates the program as written.
      */
     static double estimateProgramCycles(
         const il::Program &program,
@@ -149,6 +177,25 @@ class Engine
         std::unique_ptr<Kernel> kernel;
         /** Inputs: node index (>= 0) or channel as -(index + 1). */
         std::vector<int> inputs;
+        /** Producer per input; nullptr for channel inputs. */
+        std::vector<const Node *> producers;
+        /**
+         * Input value pointer per input, resolved at install time:
+         * channel slots and producer result slots are address-stable,
+         * so the wave loop reuses these instead of rebuilding an
+         * input array per wave. Entries are patched to null through
+         * `scratch` only for AnyInput/ObserveBlocks firings with
+         * non-emitting inputs.
+         */
+        std::vector<const Value *> cachedInputs;
+        /** The non-channel producers, for per-wave state checks. */
+        std::vector<const Node *> nodeProducers;
+        /** True when any input is a channel (emits every wave). */
+        bool hasChannelInput = false;
+        /** Firing policy, cached at install (kernels are immutable). */
+        FiringPolicy policy = FiringPolicy::AllInputs;
+        /** Kernel::conditional(), cached at install. */
+        bool rejects = false;
         il::NodeStream stream;
         double cyclesPerInvoke = 0.0;
         double invokeRateHz = 0.0;
@@ -174,6 +221,8 @@ class Engine
     };
 
     int channelIndexOf(const std::string &name) const;
+    /** Rebuild the dense wave schedule after any add/remove. */
+    void rebuildSchedule();
 
     std::vector<il::ChannelInfo> channelInfos;
     /** Channel name -> index, built once in the constructor. */
@@ -182,6 +231,8 @@ class Engine
     std::size_t rawBufferSize;
 
     std::vector<std::unique_ptr<Node>> nodes;
+    /** Live nodes in topological order — the wave loop's worklist. */
+    std::vector<Node *> schedule;
     std::unordered_map<std::string, int> nodeByKey;
     std::map<int, Condition> conditions;
     std::vector<RingBuffer<double>> rawBuffers;

@@ -1,11 +1,8 @@
 #include "hub/fpga.h"
 
 #include <algorithm>
-#include <cmath>
-#include <set>
-#include <sstream>
 
-#include "il/algorithm_info.h"
+#include "il/lower.h"
 #include "support/error.h"
 
 namespace sidewinder::hub {
@@ -79,91 +76,35 @@ planFpgaPlacement(const il::Program &program,
                   const std::vector<il::ChannelInfo> &channels,
                   const FpgaModel &fpga)
 {
-    const il::StreamMap streams = il::validate(program, channels);
-
-    auto channel_rate = [&](const std::string &name) {
-        for (const auto &ch : channels)
-            if (ch.name == name)
-                return ch.sampleRateHz;
-        throw ConfigError("unknown channel '" + name + "'");
-    };
+    // Lowering hash-conses structurally identical nodes, so each
+    // datapath is placed once — the same sharing the Engine applies
+    // (a reconfigurable fabric has even more reason to instantiate
+    // each block once). lower() re-validates the program.
+    const il::ExecutionPlan plan = il::lower(program, channels);
 
     FpgaPlacement placement;
     double dynamic_mw = 0.0;
 
-    // Structurally identical nodes map to one physical block, the
-    // same hash-consing the Engine applies (a reconfigurable fabric
-    // has even more reason to instantiate each datapath once).
-    std::map<std::string, std::string> canonical_key;
-    std::set<std::string> placed;
-
-    for (const auto &stmt : program.statements) {
-        if (stmt.isOut)
-            continue;
-        const auto info = il::findAlgorithm(stmt.algorithm);
-        if (!info)
-            throw InternalError("validated program with unknown "
-                                "algorithm");
-
-        std::ostringstream key;
-        key << stmt.algorithm << "(";
-        for (double p : stmt.params)
-            key << p << ",";
-        key << ")";
-        for (const auto &src : stmt.inputs) {
-            if (src.kind == il::SourceRef::Kind::Channel)
-                key << "<ch:" << src.channel;
-            else
-                key << "<"
-                    << canonical_key.at(std::to_string(src.node));
-        }
-        canonical_key[std::to_string(stmt.id)] = key.str();
-        const bool is_new = placed.insert(key.str()).second;
-        if (!is_new)
-            continue;
-
-        // Input stream of the first operand: unit count and rate.
-        il::NodeStream first;
-        double rate = 0.0;
-        bool rate_set = false;
-        for (std::size_t i = 0; i < stmt.inputs.size(); ++i) {
-            il::NodeStream s;
-            if (stmt.inputs[i].kind == il::SourceRef::Kind::Channel) {
-                s.kind = il::ValueKind::Scalar;
-                s.fireRateHz = channel_rate(stmt.inputs[i].channel);
-                s.baseRateHz = s.fireRateHz;
-            } else {
-                s = streams.at(stmt.inputs[i].node);
-            }
-            if (i == 0)
-                first = s;
-            rate = rate_set ? std::min(rate, s.fireRateHz)
-                            : s.fireRateHz;
-            rate_set = true;
-        }
-
+    for (std::size_t i = 0; i < plan.nodeCount(); ++i) {
         // Buffer-bearing blocks size with the larger of their input
         // and output frames (a window's cells hold its output frame).
-        const std::size_t sizing_frame = std::max(
-            first.frameSize, streams.at(stmt.id).frameSize);
+        const std::size_t input_frame =
+            plan.inputCounts[i] > 0 ? plan.inputStream(i, 0).frameSize
+                                    : 0;
+        const std::size_t sizing_frame =
+            std::max(input_frame, plan.streams[i].frameSize);
 
         FpgaPlacementEntry entry;
-        entry.node = stmt.id;
-        entry.algorithm = stmt.algorithm;
-        entry.cells = fpgaCellCost(stmt.algorithm, sizing_frame);
+        entry.node = plan.sourceIds[i];
+        entry.algorithm = plan.algorithms[i];
+        entry.cells = fpgaCellCost(plan.algorithms[i], sizing_frame);
         placement.entries.push_back(entry);
         placement.cellsUsed += entry.cells;
 
-        // Dynamic power: cycle-unit demand priced at the fabric's
-        // energy per unit. mW = (units/s) * nJ/unit * 1e-6.
-        double units = 1.0;
-        if (info->inputKind != il::ValueKind::Scalar)
-            units = static_cast<double>(
-                std::max<std::size_t>(first.frameSize, 1));
-        double cost = info->cyclesPerUnit * units;
-        if (info->fftFamily && first.frameSize > 1)
-            cost *= std::log2(static_cast<double>(first.frameSize));
-        dynamic_mw += cost * rate * fpga.nanojoulesPerCycleUnit * 1e-6;
+        // Dynamic power: the plan's cycle-unit demand priced at the
+        // fabric's energy per unit. mW = (units/s) * nJ/unit * 1e-6.
+        dynamic_mw += plan.cyclesPerInvoke[i] * plan.invokeRateHz[i] *
+                      fpga.nanojoulesPerCycleUnit * 1e-6;
     }
 
     placement.dynamicPowerMw = dynamic_mw;

@@ -120,15 +120,22 @@ class Kernel
 };
 
 /**
- * Instantiate the kernel for @p stmt.
+ * Instantiate the kernel for one plan node.
  *
- * @param stmt Validated IL statement naming a standard algorithm.
- * @param inputStreams Stream properties of each input, as produced by
- *     il::validate() — filters and spectral features need the base
+ * @param algorithm Standardized algorithm name (the plan opcode).
+ * @param params Validated numeric parameters.
+ * @param inputStreams Stream properties of each input, as carried by
+ *     the ExecutionPlan — filters and spectral features need the base
  *     sample rate and FFT size from here.
  * @throws ConfigError for unknown algorithms (cannot happen for
  *     validated programs).
  */
+std::unique_ptr<Kernel>
+makeKernel(const std::string &algorithm,
+           const std::vector<double> &params,
+           const std::vector<il::NodeStream> &inputStreams);
+
+/** Convenience overload for AST statements. */
 std::unique_ptr<Kernel>
 makeKernel(const il::Statement &stmt,
            const std::vector<il::NodeStream> &inputStreams);

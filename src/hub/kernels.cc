@@ -395,8 +395,13 @@ std::unique_ptr<Kernel>
 makeKernel(const il::Statement &stmt,
            const std::vector<il::NodeStream> &inputStreams)
 {
-    const auto &name = stmt.algorithm;
-    const auto &p = stmt.params;
+    return makeKernel(stmt.algorithm, stmt.params, inputStreams);
+}
+
+std::unique_ptr<Kernel>
+makeKernel(const std::string &name, const std::vector<double> &p,
+           const std::vector<il::NodeStream> &inputStreams)
+{
     const auto &in = inputStreams.front();
 
     if (name == "movingAvg")

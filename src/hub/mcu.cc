@@ -2,8 +2,7 @@
 
 #include <sstream>
 
-#include "hub/engine.h"
-#include "il/optimize.h"
+#include "il/lower.h"
 #include "support/error.h"
 
 namespace sidewinder::hub {
@@ -72,12 +71,10 @@ McuModel
 selectMcu(const il::Program &program,
           const std::vector<il::ChannelInfo> &channels)
 {
-    // Surface invalid programs with validate()'s exact error first;
-    // cost the deduplicated form the hub actually instantiates.
-    il::validate(program, channels);
-    const il::AnalysisResult analysis =
-        il::analyze(il::optimize(program), channels);
-    return selectMcuForCost(analysis.cost);
+    // Cost the lowered plan — the deduplicated node set the hub
+    // actually instantiates. lower() re-validates, surfacing invalid
+    // programs with validate()'s exact error.
+    return selectMcuForCost(il::lower(program, channels).cost());
 }
 
 std::vector<il::Diagnostic>

@@ -1,6 +1,7 @@
 #include "hub/runtime.h"
 
 #include "il/analyze.h"
+#include "il/lower.h"
 #include "il/parser.h"
 #include "support/error.h"
 #include "support/logging.h"
@@ -141,24 +142,33 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
                 throw ParseError(reason);
             }
 
+            // Lower once; the same plan prices admission and gets
+            // installed, so the gate's verdict and the runtime's
+            // account can never diverge.
+            const il::ExecutionPlan plan = il::lower(
+                program, dataflow.channels(),
+                il::LowerOptions{shareNodes});
+
             // Capability gate: the engine's existing load plus this
-            // program must fit the MCU's real-time and RAM budgets.
+            // plan's *marginal* cost (nodes the engine already shares
+            // are free) must fit the MCU's real-time and RAM budgets.
+            const il::ProgramCost marginal = dataflow.marginalCost(plan);
             const double load = dataflow.estimatedCyclesPerSecond() +
-                                analysis.cost.cyclesPerSecond;
+                                marginal.cyclesPerSecond;
             if (!canRunInRealTime(mcuModel, load))
                 throw CapabilityError(
                     "condition needs " + std::to_string(load) +
                     " cycle units/s; " + mcuModel.name + " sustains " +
                     std::to_string(mcuModel.cyclesPerSecond));
             const std::size_t ram =
-                dataflow.estimatedRamBytes() + analysis.cost.ramBytes;
+                dataflow.estimatedRamBytes() + marginal.ramBytes;
             if (mcuModel.ramBytes > 0 && ram > mcuModel.ramBytes)
                 throw CapabilityError(
                     "condition needs " + std::to_string(ram) +
                     " bytes of hub RAM; " + mcuModel.name + " has " +
                     std::to_string(mcuModel.ramBytes));
 
-            dataflow.addCondition(message.conditionId, program);
+            dataflow.addCondition(message.conditionId, plan);
             sendToPhone(
                 transport::encodeConfigAck({message.conditionId}), now);
         } catch (const SidewinderError &error) {

@@ -6,6 +6,9 @@
 #include <set>
 #include <sstream>
 
+#include "il/lower.h"
+#include "il/plan.h"
+
 namespace sidewinder::il {
 
 namespace {
@@ -342,32 +345,29 @@ deriveStreamChecked(const Statement &stmt, const AlgorithmInfo &info,
     return out;
 }
 
-/** Canonical sharing key, mirroring il::optimize()'s notion. */
+/**
+ * Canonical sharing key via the plan-level builder: duplicates of a
+ * node inherit its key, so structurally identical subtrees compare
+ * equal exactly when il::lower() would merge them.
+ */
 std::string
 subtreeKey(const Statement &stmt,
-           const std::map<NodeId, NodeId> &representative)
+           const std::map<NodeId, std::string> &node_keys)
 {
-    std::string key = stmt.algorithm;
-    key += '(';
-    char buf[40];
-    for (double p : stmt.params) {
-        std::snprintf(buf, sizeof buf, "%.17g,", p);
-        key += buf;
-    }
-    key += ')';
+    std::vector<std::string> input_keys;
+    input_keys.reserve(stmt.inputs.size());
     for (const auto &src : stmt.inputs) {
         if (src.kind == SourceRef::Kind::Channel) {
-            key += "<C:";
-            key += src.channel;
+            input_keys.push_back(canonicalChannelKey(src.channel));
         } else {
-            auto it = representative.find(src.node);
-            const NodeId rep =
-                it != representative.end() ? it->second : src.node;
-            key += "<N:";
-            key += std::to_string(rep);
+            auto it = node_keys.find(src.node);
+            input_keys.push_back(it != node_keys.end()
+                                     ? it->second
+                                     : "node:" +
+                                           std::to_string(src.node));
         }
     }
-    return key;
+    return canonicalNodeKey(stmt.algorithm, stmt.params, input_keys);
 }
 
 } // namespace
@@ -521,7 +521,7 @@ analyze(const Program &program,
     SourceSpan out_span{0, 0};
     /** Duplicate-subtree detection state. */
     std::map<std::string, NodeId> subtree_owner;
-    std::map<NodeId, NodeId> representative;
+    std::map<NodeId, std::string> node_keys;
 
     for (std::size_t index = 0; index < program.statements.size();
          ++index) {
@@ -717,12 +717,12 @@ analyze(const Program &program,
             result.cost.cyclesPerSecond += cost.cyclesPerSecond;
             result.cost.ramBytes += cost.ramBytes;
 
-            // Duplicate-subtree detection (what il::optimize() would
-            // share): canonicalize inputs through representatives.
-            const std::string key = subtreeKey(stmt, representative);
+            // Duplicate-subtree detection (what il::optimize() and
+            // il::lower() share): duplicates inherit the owner's key.
+            const std::string key = subtreeKey(stmt, node_keys);
+            node_keys[stmt.id] = key;
             auto owner = subtree_owner.find(key);
             if (owner != subtree_owner.end()) {
-                representative[stmt.id] = owner->second;
                 diags.emit(SW101_DUPLICATE_SUBTREE, Severity::Warning,
                            span, stmt.id,
                            "node " + std::to_string(stmt.id) +
@@ -735,7 +735,6 @@ analyze(const Program &program,
                                " directly to shrink the program");
             } else {
                 subtree_owner[key] = stmt.id;
-                representative[stmt.id] = stmt.id;
             }
 
             // Subsumed threshold chains: a threshold directly feeding
@@ -819,6 +818,20 @@ analyze(const Program &program,
         }
     }
 
+    // Single source of truth for the totals: a legal program is
+    // lowered and charged the plan's precomputed costs, so the
+    // analyzer, admission control, and the engine can never disagree
+    // (shared subtrees are counted once — the form the hub
+    // instantiates). The per-node breakdown above keeps every
+    // statement, duplicates included, for diagnostics.
+    if (result.ok()) {
+        const ProgramCost lowered = lower(program, channels).cost();
+        result.cost.cyclesPerSecond = lowered.cyclesPerSecond;
+        result.cost.ramBytes = lowered.ramBytes;
+        result.cost.wakeRateBoundHz = lowered.wakeRateBoundHz;
+        result.cost.planNodeCount = lowered.planNodeCount;
+    }
+
     return result;
 }
 
@@ -869,6 +882,7 @@ renderJson(const AnalysisResult &result, const std::string &source_name)
         << ",\"ramBytes\":" << result.cost.ramBytes
         << ",\"wakeRateBoundHz\":"
         << formatJsonNumber(result.cost.wakeRateBoundHz)
+        << ",\"planNodeCount\":" << result.cost.planNodeCount
         << ",\"nodes\":[";
     bool first = true;
     for (const auto &[id, cost] : result.cost.nodes) {

@@ -126,6 +126,12 @@ struct ProgramCost
      * of the node feeding OUT; conditionals bound it from above).
      */
     double wakeRateBoundHz = 0.0;
+    /**
+     * Nodes in the lowered ExecutionPlan — what the hub actually
+     * instantiates after sharing. 0 when the program has errors and
+     * could not be lowered.
+     */
+    std::size_t planNodeCount = 0;
     /** Per-node breakdown, keyed by node id. */
     std::map<NodeId, NodeCost> nodes;
 };

@@ -1,7 +1,9 @@
 #include "il/dot.h"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "il/writer.h"
 
@@ -61,6 +63,56 @@ toDot(const Program &program, const std::string &name)
             out << " -> " << target << ";\n";
         }
     }
+
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+toDot(const ExecutionPlan &plan, const std::string &name)
+{
+    std::ostringstream out;
+    out << "digraph " << name << " {\n";
+    out << "    rankdir=TB;\n";
+
+    // Only channels the plan actually reads get boxes.
+    std::vector<bool> channel_used(plan.channels.size(), false);
+    for (std::int32_t ref : plan.inputRefs)
+        if (ref < 0)
+            channel_used[static_cast<std::size_t>(-ref - 1)] = true;
+    for (std::size_t i = 0; i < plan.channels.size(); ++i)
+        if (channel_used[i])
+            out << "    ch" << i << " [shape=box, label=\""
+                << plan.channels[i].name << "\"];\n";
+
+    for (std::size_t i = 0; i < plan.nodeCount(); ++i) {
+        out << "    n" << i << " [label=\"" << plan.algorithms[i];
+        if (!plan.params[i].empty()) {
+            out << "(";
+            for (std::size_t p = 0; p < plan.params[i].size(); ++p) {
+                if (p > 0)
+                    out << ",";
+                out << writeParam(plan.params[i][p]);
+            }
+            out << ")";
+        }
+        char rate[40];
+        std::snprintf(rate, sizeof rate, "%g", plan.invokeRateHz[i]);
+        out << "\\n@ " << rate << " Hz\"];\n";
+    }
+    out << "    OUT [shape=doublecircle];\n";
+
+    for (std::size_t i = 0; i < plan.nodeCount(); ++i) {
+        const std::int32_t *refs = plan.inputsOf(i);
+        for (std::uint32_t k = 0; k < plan.inputCounts[i]; ++k) {
+            if (refs[k] >= 0)
+                out << "    n" << refs[k];
+            else
+                out << "    ch" << (-refs[k] - 1);
+            out << " -> n" << i << ";\n";
+        }
+    }
+    out << "    n" << plan.outNode << " -> OUT;\n";
 
     out << "}\n";
     return out.str();

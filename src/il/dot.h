@@ -11,6 +11,7 @@
 #include <string>
 
 #include "il/ast.h"
+#include "il/plan.h"
 
 namespace sidewinder::il {
 
@@ -23,6 +24,14 @@ namespace sidewinder::il {
  */
 std::string toDot(const Program &program,
                   const std::string &name = "pipeline");
+
+/**
+ * Render a lowered @p plan as a Graphviz digraph. Nodes the lowering
+ * pass merged appear once with a fan-out of edges, so sharing is
+ * visible; labels carry the per-node invoke rate from the plan.
+ */
+std::string toDot(const ExecutionPlan &plan,
+                  const std::string &name = "plan");
 
 } // namespace sidewinder::il
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lowering: compile a validated IL program to an ExecutionPlan.
+ *
+ * lower() is the single place names become indices and static costs
+ * are computed. Everything downstream — the engine, admission
+ * control, MCU selection, FPGA placement, tooling — consumes the
+ * plan; nothing re-walks the AST.
+ */
+
+#ifndef SIDEWINDER_IL_LOWER_H
+#define SIDEWINDER_IL_LOWER_H
+
+#include <vector>
+
+#include "il/ast.h"
+#include "il/plan.h"
+#include "il/validate.h"
+
+namespace sidewinder::il {
+
+/** Knobs for lower(). */
+struct LowerOptions
+{
+    /**
+     * Merge structurally identical nodes (same canonical key) into
+     * one plan node — the form a sharing hub instantiates. false
+     * preserves every statement as its own node, matching an engine
+     * built with node sharing disabled (the sharing-ablation
+     * baseline duplicates nodes even within one condition).
+     */
+    bool dedupe = true;
+};
+
+/**
+ * Validate @p program against @p channels and lower it to a flat,
+ * topologically scheduled ExecutionPlan with resolved indices,
+ * canonical sharing keys, and precomputed per-node costs.
+ *
+ * @throws ParseError when the program is invalid (validate()'s
+ *     verdict; lowering adds no rules of its own).
+ */
+ExecutionPlan lower(const Program &program,
+                    const std::vector<ChannelInfo> &channels,
+                    const LowerOptions &options = {});
+
+} // namespace sidewinder::il
+
+#endif // SIDEWINDER_IL_LOWER_H

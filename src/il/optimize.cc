@@ -1,30 +1,36 @@
 #include "il/optimize.h"
 
 #include <map>
-#include <sstream>
 #include <string>
+#include <vector>
+
+#include "il/plan.h"
 
 namespace sidewinder::il {
 
 namespace {
 
-/** Canonical structural key of a statement's computation. */
+/**
+ * Canonical structural key of a statement's computation — the shared
+ * plan-level builder, so optimize-time CSE, the analyzer's duplicate
+ * detection, and engine-time hash-consing can never disagree on
+ * parameter formatting (the old local key rendered doubles at the
+ * default 6-digit precision and could merge distinct parameters the
+ * engine keeps apart).
+ */
 std::string
 keyOf(const Statement &stmt,
       const std::map<NodeId, std::string> &node_keys)
 {
-    std::ostringstream key;
-    key << stmt.algorithm << "(";
-    for (double p : stmt.params)
-        key << p << ",";
-    key << ")";
+    std::vector<std::string> input_keys;
+    input_keys.reserve(stmt.inputs.size());
     for (const auto &src : stmt.inputs) {
         if (src.kind == SourceRef::Kind::Channel)
-            key << "<ch:" << src.channel;
+            input_keys.push_back(canonicalChannelKey(src.channel));
         else
-            key << "<" << node_keys.at(src.node);
+            input_keys.push_back(node_keys.at(src.node));
     }
-    return key.str();
+    return canonicalNodeKey(stmt.algorithm, stmt.params, input_keys);
 }
 
 } // namespace

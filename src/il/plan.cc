@@ -1,0 +1,194 @@
+#include "il/plan.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "il/writer.h"
+#include "support/error.h"
+
+namespace sidewinder::il {
+
+namespace {
+
+/** Compact %g rendering for the plan dump (display, not identity). */
+std::string
+formatRate(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+std::string
+describeStream(const NodeStream &stream)
+{
+    std::string out;
+    switch (stream.kind) {
+      case ValueKind::Scalar:
+        out = "scalar";
+        break;
+      case ValueKind::Frame:
+        out = "frame[" + std::to_string(stream.frameSize) + "]";
+        break;
+      case ValueKind::ComplexFrame:
+        out = "complex[" + std::to_string(stream.frameSize) + "]";
+        break;
+    }
+    out += " @ " + formatRate(stream.fireRateHz) + " Hz";
+    return out;
+}
+
+} // namespace
+
+std::string
+canonicalNodeKey(const std::string &algorithm,
+                 const std::vector<double> &params,
+                 const std::vector<std::string> &input_keys)
+{
+    std::size_t inputs_size = 0;
+    for (const auto &k : input_keys)
+        inputs_size += k.size() + 1;
+    std::string key;
+    key.reserve(algorithm.size() + 18 * params.size() + inputs_size + 2);
+    key += algorithm;
+    key += '(';
+    char buf[32];
+    for (double p : params) {
+        // %.17g: distinct doubles never collide on a truncated
+        // rendering (the old optimize-time key used the default
+        // 6-digit precision and could disagree with the engine).
+        std::snprintf(buf, sizeof buf, "%.17g,", p);
+        key += buf;
+    }
+    key += ')';
+    for (const auto &in : input_keys) {
+        key += '<';
+        key += in;
+    }
+    return key;
+}
+
+std::string
+canonicalChannelKey(const std::string &channel)
+{
+    return "ch:" + channel;
+}
+
+NodeStream
+ExecutionPlan::inputStream(std::size_t node, std::size_t input) const
+{
+    const std::int32_t ref = inputRefs[inputOffsets[node] + input];
+    if (ref >= 0)
+        return streams[static_cast<std::size_t>(ref)];
+    const auto &channel = channels[static_cast<std::size_t>(-ref - 1)];
+    NodeStream s;
+    s.kind = ValueKind::Scalar;
+    s.fireRateHz = channel.sampleRateHz;
+    s.baseRateHz = channel.sampleRateHz;
+    return s;
+}
+
+ProgramCost
+ExecutionPlan::cost() const
+{
+    ProgramCost total;
+    for (std::size_t i = 0; i < nodeCount(); ++i) {
+        NodeCost node;
+        node.cyclesPerInvoke = cyclesPerInvoke[i];
+        node.invokeRateHz = invokeRateHz[i];
+        node.cyclesPerSecond = cyclesPerInvoke[i] * invokeRateHz[i];
+        node.ramBytes = ramBytes[i];
+        total.cyclesPerSecond += node.cyclesPerSecond;
+        total.ramBytes += node.ramBytes;
+        total.nodes[sourceIds[i]] = node;
+    }
+    total.wakeRateBoundHz = wakeRateBoundHz;
+    total.planNodeCount = nodeCount();
+    return total;
+}
+
+Program
+ExecutionPlan::toProgram() const
+{
+    Program program;
+    for (std::size_t i = 0; i < nodeCount(); ++i) {
+        Statement stmt;
+        stmt.algorithm = algorithms[i];
+        stmt.id = static_cast<NodeId>(i + 1);
+        stmt.params = params[i];
+        const std::int32_t *refs = inputsOf(i);
+        for (std::uint32_t k = 0; k < inputCounts[i]; ++k) {
+            SourceRef src;
+            if (refs[k] >= 0) {
+                src.kind = SourceRef::Kind::Node;
+                src.node = static_cast<NodeId>(refs[k] + 1);
+            } else {
+                src.kind = SourceRef::Kind::Channel;
+                src.channel =
+                    channels[static_cast<std::size_t>(-refs[k] - 1)]
+                        .name;
+            }
+            stmt.inputs.push_back(std::move(src));
+        }
+        program.statements.push_back(std::move(stmt));
+    }
+
+    if (outNode < 0)
+        throw InternalError("execution plan has no OUT routing");
+    Statement out;
+    out.isOut = true;
+    SourceRef src;
+    src.kind = SourceRef::Kind::Node;
+    src.node = static_cast<NodeId>(outNode + 1);
+    out.inputs.push_back(std::move(src));
+    program.statements.push_back(std::move(out));
+    return program;
+}
+
+std::string
+renderPlan(const ExecutionPlan &plan)
+{
+    std::ostringstream out;
+    out << "plan: " << plan.channels.size() << " channel(s), "
+        << plan.nodeCount() << " node(s)\n";
+    for (std::size_t i = 0; i < plan.channels.size(); ++i)
+        out << "  ch" << i << ": " << plan.channels[i].name << " @ "
+            << formatRate(plan.channels[i].sampleRateHz) << " Hz\n";
+
+    for (std::size_t i = 0; i < plan.nodeCount(); ++i) {
+        out << "  n" << i << ": " << plan.algorithms[i];
+        if (!plan.params[i].empty()) {
+            out << "(";
+            for (std::size_t p = 0; p < plan.params[i].size(); ++p) {
+                if (p)
+                    out << ",";
+                out << writeParam(plan.params[i][p]);
+            }
+            out << ")";
+        }
+        out << " <-";
+        const std::int32_t *refs = plan.inputsOf(i);
+        for (std::uint32_t k = 0; k < plan.inputCounts[i]; ++k) {
+            out << (k ? "," : "") << " ";
+            if (refs[k] >= 0)
+                out << "n" << refs[k];
+            else
+                out << "ch" << (-refs[k] - 1);
+        }
+        out << " | " << describeStream(plan.streams[i])
+            << " | cycles/invoke " << formatRate(plan.cyclesPerInvoke[i])
+            << " @ " << formatRate(plan.invokeRateHz[i]) << " Hz | ram "
+            << plan.ramBytes[i] << " B\n";
+    }
+
+    out << "  out: n" << plan.outNode << "\n";
+    out << "  primary channel: ch" << plan.primaryChannel << "\n";
+    out << "  wake-rate bound: " << formatRate(plan.wakeRateBoundHz)
+        << " Hz\n";
+    const ProgramCost cost = plan.cost();
+    out << "  total: " << formatRate(cost.cyclesPerSecond)
+        << " cycle units/s, " << cost.ramBytes << " bytes\n";
+    return out.str();
+}
+
+} // namespace sidewinder::il

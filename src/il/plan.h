@@ -1,0 +1,131 @@
+/**
+ * @file
+ * ExecutionPlan: the lowered, index-addressed form of an IL program.
+ *
+ * parse/validate/optimize operate on the AST; everything downstream —
+ * the hub engine's wave loop, admission control, MCU selection, FPGA
+ * placement, and the swlint/dot tooling — consumes this flat
+ * structure-of-arrays plan instead of re-walking statements. One
+ * lowering pass (il::lower) resolves every name to an index, computes
+ * every static cost once, and assigns each node the canonical sharing
+ * key that optimize-time CSE, engine-time hash-consing, and the
+ * analyzer's duplicate detection all agree on.
+ *
+ * This is the compile-don't-interpret move of Reflex-style
+ * heterogeneous runtimes: the paper's interpreter (Section 3.5)
+ * re-discovers the graph on every install; the plan discovers it once.
+ */
+
+#ifndef SIDEWINDER_IL_PLAN_H
+#define SIDEWINDER_IL_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "il/analyze.h"
+#include "il/ast.h"
+#include "il/validate.h"
+
+namespace sidewinder::il {
+
+/**
+ * A lowered wake-up condition: nodes in topological order, stored as
+ * parallel arrays indexed by dense node index (0-based). Input
+ * references use the engine's encoding: a value >= 0 is a node index,
+ * a value < 0 is a channel as -(channel_index + 1).
+ */
+struct ExecutionPlan
+{
+    /** Channels the plan was lowered against (index space of refs). */
+    std::vector<ChannelInfo> channels;
+
+    // ----- parallel per-node arrays (all size nodeCount()) -----
+
+    /** Standardized algorithm name (the kernel opcode). */
+    std::vector<std::string> algorithms;
+    /** Numeric parameters. */
+    std::vector<std::vector<double>> params;
+    /** Offset of the node's first input in inputRefs. */
+    std::vector<std::uint32_t> inputOffsets;
+    /** Number of inputs. */
+    std::vector<std::uint32_t> inputCounts;
+    /** Canonical structural sharing key (see canonicalNodeKey()). */
+    std::vector<std::string> shareKeys;
+    /** Output stream properties. */
+    std::vector<NodeStream> streams;
+    /** Abstract cycle units per invocation (il::invokeCost). */
+    std::vector<double> cyclesPerInvoke;
+    /** Nominal invocations per second (slowest input's rate). */
+    std::vector<double> invokeRateHz;
+    /** Static RAM footprint in bytes (il::nodeRamBytes). */
+    std::vector<std::size_t> ramBytes;
+    /** AST node id of the (first) statement lowered to this node. */
+    std::vector<NodeId> sourceIds;
+
+    /** Flat input pool: node index >= 0, channel -(index + 1). */
+    std::vector<std::int32_t> inputRefs;
+
+    /** Dense index of the node feeding OUT. */
+    int outNode = -1;
+    /** Index of the first channel the program reads (raw snapshots). */
+    int primaryChannel = 0;
+    /** Worst-case wake-ups per second at OUT. */
+    double wakeRateBoundHz = 0.0;
+
+    /** Number of lowered nodes. */
+    std::size_t nodeCount() const { return algorithms.size(); }
+
+    /** Input refs of node @p node (pointer + count into the pool). */
+    const std::int32_t *
+    inputsOf(std::size_t node) const
+    {
+        return inputRefs.data() + inputOffsets[node];
+    }
+
+    /**
+     * Stream properties of input @p input of node @p node: the
+     * producing node's stream, or a scalar stream at the channel's
+     * sample rate for channel refs.
+     */
+    NodeStream inputStream(std::size_t node, std::size_t input) const;
+
+    /**
+     * Aggregate static cost: totals plus the per-node breakdown keyed
+     * by each node's source id. Shared nodes are counted once — this
+     * is the number admission control charges.
+     */
+    ProgramCost cost() const;
+
+    /**
+     * The plan as canonical IL: dense ids (index + 1), statements in
+     * schedule order, terminated by OUT. write(plan.toProgram()) is
+     * the canonical wire form the sensor manager ships.
+     */
+    Program toProgram() const;
+};
+
+/**
+ * Canonical structural key of a node: algorithm, %.17g-rendered
+ * parameters, and the canonical keys of its inputs. The single source
+ * of truth for optimize-time CSE, engine hash-consing, analyzer
+ * duplicate detection, and FPGA block sharing — two nodes share
+ * exactly when their keys compare equal.
+ */
+std::string canonicalNodeKey(const std::string &algorithm,
+                             const std::vector<double> &params,
+                             const std::vector<std::string> &input_keys);
+
+/** Canonical key of a raw sensor channel input. */
+std::string canonicalChannelKey(const std::string &channel);
+
+/**
+ * Deterministic human-readable dump of @p plan (swlint --dump-plan
+ * and the golden corpus under tests/data/plans/).
+ */
+std::string renderPlan(const ExecutionPlan &plan);
+
+} // namespace sidewinder::il
+
+#endif // SIDEWINDER_IL_PLAN_H

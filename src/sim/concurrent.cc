@@ -6,6 +6,7 @@
 
 #include "hub/engine.h"
 #include "hub/mcu.h"
+#include "il/lower.h"
 #include "support/error.h"
 
 namespace sidewinder::sim {
@@ -32,11 +33,14 @@ simulateConcurrent(
                     "concurrent apps must share channels");
     }
 
-    // Install every condition on one engine.
+    // Lower every condition once, then install the plans on one
+    // engine (the install path the hub runtime uses at admission).
     hub::Engine engine(channels, config.shareHubNodes);
     for (std::size_t a = 0; a < apps.size(); ++a)
-        engine.addCondition(static_cast<int>(a + 1),
-                            apps[a]->wakeCondition().compile());
+        engine.addCondition(
+            static_cast<int>(a + 1),
+            il::lower(apps[a]->wakeCondition().compile(), channels,
+                      il::LowerOptions{config.shareHubNodes}));
 
     ConcurrentResult result;
     result.hubNodeCount = engine.nodeCount();
@@ -170,8 +174,10 @@ simulateDevice(const std::vector<DeviceDomain> &domains,
 
         hub::Engine engine(channels, config.shareHubNodes);
         for (std::size_t a = 0; a < apps.size(); ++a)
-            engine.addCondition(static_cast<int>(a + 1),
-                                apps[a]->wakeCondition().compile());
+            engine.addCondition(
+                static_cast<int>(a + 1),
+                il::lower(apps[a]->wakeCondition().compile(), channels,
+                          il::LowerOptions{config.shareHubNodes}));
 
         DeviceDomainResult domain_result;
         domain_result.hubNodeCount = engine.nodeCount();

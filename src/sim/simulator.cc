@@ -7,6 +7,7 @@
 #include "hub/engine.h"
 #include "hub/fpga.h"
 #include "hub/mcu.h"
+#include "il/lower.h"
 #include "sim/replay.h"
 #include "support/error.h"
 
@@ -31,7 +32,8 @@ runHubCondition(const trace::Trace &trace,
                 const il::Program &program, bool share_nodes)
 {
     hub::Engine engine(channels, share_nodes);
-    engine.addCondition(1, program);
+    engine.addCondition(
+        1, il::lower(program, channels, il::LowerOptions{share_nodes}));
 
     const auto mapping = channelMapping(trace, channels);
     const std::size_t n = trace.sampleCount();

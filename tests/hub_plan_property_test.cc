@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Differential properties of the plan-executing hub::Engine against
+ * the frozen reference::LegacyEngine (the pre-ExecutionPlan AST
+ * interpreter): bit-identical wake events, values, and raw buffers
+ * over every predefined application and over fuzzed IL, in both
+ * sharing modes. Also pins the plan/analyzer node-count agreement on
+ * fuzzed programs and the remove/reinstall RAM accounting of shared
+ * nodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "apps/predefined.h"
+#include "core/sensors.h"
+#include "hub/engine.h"
+#include "il/analyze.h"
+#include "il/lower.h"
+#include "il/optimize.h"
+#include "il/parser.h"
+#include "il/plan.h"
+#include "reference/legacy_engine.h"
+#include "support/rng.h"
+
+namespace sidewinder {
+namespace {
+
+const std::vector<il::ChannelInfo> kChannels = {{"ACC_X", 50.0},
+                                                {"ACC_Y", 50.0},
+                                                {"ACC_Z", 50.0},
+                                                {"AUDIO", 4000.0},
+                                                {"BARO", 20.0}};
+
+/**
+ * Drive both engines with an identical deterministic sample stream
+ * and require bit-identical wake events (id, timestamp, value) and
+ * raw snapshots for every installed condition.
+ */
+void
+expectBitIdentical(hub::Engine &engine,
+                   reference::LegacyEngine &legacy,
+                   const std::vector<il::ChannelInfo> &channels,
+                   const std::vector<int> &condition_ids,
+                   std::uint64_t seed, int waves)
+{
+    Rng rng(seed);
+    std::vector<double> values(channels.size());
+    std::size_t wake_count = 0;
+
+    for (int i = 0; i < waves; ++i) {
+        const double t = i * 0.01;
+        for (std::size_t c = 0; c < channels.size(); ++c)
+            values[c] = std::sin(0.07 * i * (static_cast<double>(c) +
+                                             1.0)) +
+                        rng.gaussian(0.0, 0.3);
+        engine.pushSamples(values, t);
+        legacy.pushSamples(values, t);
+
+        const auto got = engine.drainWakeEvents();
+        const auto want = legacy.drainWakeEvents();
+        ASSERT_EQ(got.size(), want.size()) << "wave " << i;
+        for (std::size_t e = 0; e < got.size(); ++e) {
+            EXPECT_EQ(got[e].conditionId, want[e].conditionId);
+            EXPECT_EQ(got[e].timestamp, want[e].timestamp);
+            EXPECT_EQ(got[e].value, want[e].value) << "wave " << i;
+        }
+        wake_count += got.size();
+    }
+
+    for (int id : condition_ids)
+        EXPECT_EQ(engine.rawSnapshot(id), legacy.rawSnapshot(id))
+            << "condition " << id;
+    EXPECT_EQ(engine.nodeCount(), legacy.nodeCount());
+    (void)wake_count;
+}
+
+TEST(PlanProperty, PredefinedAppsAreBitIdenticalToLegacy)
+{
+    for (bool share : {true, false}) {
+        for (const auto &app : apps::allApps()) {
+            const il::Program p = app->wakeCondition().compile();
+            hub::Engine engine(app->channels(), share);
+            reference::LegacyEngine legacy(app->channels(), share);
+            engine.addCondition(1, p);
+            legacy.addCondition(1, p);
+            expectBitIdentical(engine, legacy, app->channels(), {1},
+                               7, 4000);
+        }
+    }
+}
+
+TEST(PlanProperty, ExtendedAppsAreBitIdenticalToLegacy)
+{
+    const std::unique_ptr<apps::Application> extended[] = {
+        apps::makeGestureApp(), apps::makeFloorsApp()};
+    for (bool share : {true, false}) {
+        for (const auto &app : extended) {
+            const il::Program p = app->wakeCondition().compile();
+            hub::Engine engine(app->channels(), share);
+            reference::LegacyEngine legacy(app->channels(), share);
+            engine.addCondition(1, p);
+            legacy.addCondition(1, p);
+            expectBitIdentical(engine, legacy, app->channels(), {1},
+                               11, 4000);
+        }
+    }
+}
+
+TEST(PlanProperty, ConcurrentAudioConditionsShareAndStayIdentical)
+{
+    // Multi-condition install on one engine: the cross-condition
+    // sharing path (plan keys vs the legacy index keys) must agree.
+    const auto channels = core::audioChannels();
+    std::vector<il::Program> programs;
+    for (const auto &app : apps::allApps())
+        if (app->channels().size() == channels.size() &&
+            app->channels().front().name == channels.front().name)
+            programs.push_back(app->wakeCondition().compile());
+    ASSERT_GE(programs.size(), 2u);
+
+    for (bool share : {true, false}) {
+        hub::Engine engine(channels, share);
+        reference::LegacyEngine legacy(channels, share);
+        std::vector<int> ids;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            const int id = static_cast<int>(i) + 1;
+            engine.addCondition(id, programs[i]);
+            legacy.addCondition(id, programs[i]);
+            ids.push_back(id);
+        }
+        expectBitIdentical(engine, legacy, channels, ids, 13, 6000);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzzed IL: random threshold pipelines over the prototype channels,
+// with a duplicated branch half of the time to exercise dedupe.
+
+/** One randomly parameterized chain: channel -> smooth -> threshold. */
+struct ChainSpec
+{
+    int channel = 0;
+    bool window = false;
+    int avgLen = 5;
+    bool minThr = true;
+    double thrValue = 0.0;
+};
+
+ChainSpec
+randomChain(Rng &rng)
+{
+    ChainSpec spec;
+    spec.channel = static_cast<int>(rng.uniformInt(0, 4));
+    spec.window = rng.uniform(0.0, 1.0) < 0.3;
+    spec.avgLen = static_cast<int>(rng.uniformInt(2, 12));
+    spec.minThr = rng.uniform(0.0, 1.0) < 0.5;
+    spec.thrValue = rng.uniform(-0.8, 0.8);
+    return spec;
+}
+
+int
+emitChain(std::ostringstream &out, const ChainSpec &spec, int &next_id)
+{
+    static const char *const kNames[5] = {"ACC_X", "ACC_Y", "ACC_Z",
+                                          "AUDIO", "BARO"};
+    std::string input = kNames[spec.channel];
+    if (spec.window) {
+        const int w = next_id++;
+        out << input << " -> window(id=" << w << ", params={32});\n";
+        const int r = next_id++;
+        out << w << " -> rms(id=" << r << ");\n";
+        input = std::to_string(r);
+    } else {
+        const int m = next_id++;
+        out << input << " -> movingAvg(id=" << m << ", params={"
+            << spec.avgLen << "});\n";
+        input = std::to_string(m);
+    }
+    const int t = next_id++;
+    out << input << " -> "
+        << (spec.minThr ? "minThreshold" : "maxThreshold") << "(id=" << t
+        << ", params={" << spec.thrValue << "});\n";
+    return t;
+}
+
+std::string
+fuzzProgram(Rng &rng)
+{
+    std::ostringstream out;
+    int next_id = 1;
+    std::vector<int> heads;
+
+    const int chains = static_cast<int>(rng.uniformInt(1, 3));
+    for (int c = 0; c < chains; ++c) {
+        const ChainSpec spec = randomChain(rng);
+        heads.push_back(emitChain(out, spec, next_id));
+        // Half the time, duplicate the chain verbatim: the lowered
+        // plan must collapse it while the raw install must not.
+        if (rng.uniform(0.0, 1.0) < 0.5)
+            heads.push_back(emitChain(out, spec, next_id));
+    }
+
+    while (heads.size() > 1) {
+        const int a = heads.back();
+        heads.pop_back();
+        const int b = heads.back();
+        heads.pop_back();
+        const int o = next_id++;
+        out << a << "," << b << " -> "
+            << (rng.uniform(0.0, 1.0) < 0.5 ? "or" : "and")
+            << "(id=" << o << ");\n";
+        heads.push_back(o);
+    }
+
+    int head = heads.front();
+    if (rng.uniform(0.0, 1.0) < 0.4) {
+        const int k = next_id++;
+        out << head << " -> consecutive(id=" << k << ", params={"
+            << rng.uniformInt(1, 4) << "});\n";
+        head = k;
+    }
+    out << head << " -> OUT;\n";
+    return out.str();
+}
+
+TEST(PlanProperty, FuzzedProgramsAreBitIdenticalToLegacy)
+{
+    Rng gen(42);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::string text = fuzzProgram(gen);
+        il::Program program;
+        ASSERT_NO_THROW(program = il::parse(text)) << text;
+
+        for (bool share : {true, false}) {
+            hub::Engine engine(kChannels, share);
+            reference::LegacyEngine legacy(kChannels, share);
+            engine.addCondition(1, program);
+            legacy.addCondition(1, program);
+            expectBitIdentical(engine, legacy, kChannels, {1},
+                               100 + static_cast<std::uint64_t>(trial),
+                               1500);
+        }
+    }
+}
+
+TEST(PlanProperty, FuzzedPlanNodeCountMatchesAnalyzer)
+{
+    Rng gen(43);
+    for (int trial = 0; trial < 25; ++trial) {
+        const il::Program program = il::parse(fuzzProgram(gen));
+        const il::AnalysisResult analysis =
+            il::analyze(program, kChannels);
+        ASSERT_TRUE(analysis.ok());
+        EXPECT_EQ(
+            il::lower(il::optimize(program), kChannels).nodeCount(),
+            analysis.cost.planNodeCount);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remove/reinstall accounting: freeing a condition must release
+// exactly the unshared nodes, measured through the plan RAM numbers.
+
+TEST(PlanProperty, RemoveReinstallFreesExactlyUnsharedNodes)
+{
+    const il::Program a =
+        il::parse("ACC_X -> movingAvg(id=1, params={5});\n"
+                  "1 -> minThreshold(id=2, params={2});\n"
+                  "2 -> OUT;\n");
+    const il::Program b =
+        il::parse("ACC_X -> movingAvg(id=1, params={5});\n"
+                  "1 -> maxThreshold(id=2, params={-2});\n"
+                  "2 -> OUT;\n");
+
+    hub::Engine engine(kChannels, true);
+    const il::ExecutionPlan plan_a =
+        il::lower(a, kChannels, il::LowerOptions{true});
+    const il::ExecutionPlan plan_b =
+        il::lower(b, kChannels, il::LowerOptions{true});
+
+    engine.addCondition(1, plan_a);
+    const std::size_t ram_a = engine.estimatedRamBytes();
+    const std::size_t nodes_a = engine.nodeCount();
+    EXPECT_EQ(nodes_a, 2u);
+    EXPECT_EQ(ram_a, plan_a.cost().ramBytes);
+
+    // B shares the movingAvg prefix, so its marginal footprint is
+    // exactly its threshold node.
+    const il::ProgramCost marginal_b = engine.marginalCost(plan_b);
+    EXPECT_LT(marginal_b.ramBytes, plan_b.cost().ramBytes);
+
+    engine.addCondition(2, plan_b);
+    const std::size_t ram_ab = engine.estimatedRamBytes();
+    EXPECT_EQ(ram_ab, ram_a + marginal_b.ramBytes);
+    EXPECT_EQ(engine.nodeCount(), 3u);
+
+    // Removing B frees exactly the unshared threshold node.
+    engine.removeCondition(2);
+    EXPECT_EQ(engine.estimatedRamBytes(), ram_a);
+    EXPECT_EQ(engine.nodeCount(), nodes_a);
+
+    // Reinstalling lands on the same accounting.
+    engine.addCondition(2, plan_b);
+    EXPECT_EQ(engine.estimatedRamBytes(), ram_ab);
+    EXPECT_EQ(engine.nodeCount(), 3u);
+
+    // Dropping A leaves B owning the shared prefix: B's standalone
+    // footprint, not B's marginal one.
+    engine.removeCondition(1);
+    EXPECT_EQ(engine.estimatedRamBytes(), plan_b.cost().ramBytes);
+    EXPECT_EQ(engine.nodeCount(), 2u);
+
+    // The survivor still wakes.
+    Rng rng(5);
+    std::vector<double> values(kChannels.size());
+    std::size_t wakes = 0;
+    for (int i = 0; i < 500; ++i) {
+        for (std::size_t c = 0; c < values.size(); ++c)
+            values[c] = -3.0 + rng.gaussian(0.0, 0.1);
+        engine.pushSamples(values, i * 0.02);
+        wakes += engine.drainWakeEvents().size();
+    }
+    EXPECT_GT(wakes, 0u);
+}
+
+} // namespace
+} // namespace sidewinder

@@ -8,6 +8,10 @@
  * (SW017/SW201) from the MCU capability model and the hub-recovery
  * re-push cost note (SW202).
  *
+ * --dump-plan renders each program's lowered il::ExecutionPlan — the
+ * exact node set, costs, and sharing keys the hub engine installs —
+ * instead of linting (docs/execution-plan.md).
+ *
  * Exit status: 0 when clean, 1 when any program has errors (or
  * warnings under --Werror), 2 on usage or I/O errors.
  */
@@ -24,8 +28,10 @@
 #include "core/sensors.h"
 #include "hub/mcu.h"
 #include "il/analyze.h"
+#include "il/lower.h"
 #include "il/optimize.h"
 #include "il/parser.h"
+#include "il/plan.h"
 #include "il/writer.h"
 #include "support/error.h"
 #include "transport/link.h"
@@ -41,6 +47,7 @@ struct Options
     bool allApps = false;
     bool warningsAsErrors = false;
     bool json = false;
+    bool dumpPlan = false;
     std::string channelSpec = "all";
     std::vector<std::string> files;
 };
@@ -67,6 +74,8 @@ usage(std::ostream &out)
            "                   of files\n"
            "  --Werror         treat warnings as errors\n"
            "  --json           machine-readable JSON report\n"
+           "  --dump-plan      render each program's lowered\n"
+           "                   ExecutionPlan instead of linting\n"
            "  --channels SPEC  channels for .il files: accel, audio,\n"
            "                   baro, all (default), or a custom\n"
            "                   NAME=RATE_HZ[,NAME=RATE_HZ...] list\n"
@@ -163,26 +172,27 @@ fileUnit(const std::string &path,
 
 /**
  * Analyze one unit and fold in the hub admission verdict. The
- * admission check costs the optimized program — the form the hub
- * instantiates — so shared subtrees are not double-charged.
+ * analyzer's cost block already prices the lowered ExecutionPlan —
+ * the node set the hub instantiates — so shared subtrees are not
+ * double-charged and no second analysis pass is needed.
  */
 il::AnalysisResult
 lint(const LintUnit &unit)
 {
     il::AnalysisResult result = il::analyze(unit.program, unit.channels);
     if (result.ok()) {
-        const il::AnalysisResult optimized =
-            il::analyze(il::optimize(unit.program), unit.channels);
-        for (auto &d : hub::admissionDiagnostics(optimized.cost))
+        for (auto &d : hub::admissionDiagnostics(result.cost))
             result.diagnostics.push_back(std::move(d));
 
         // Recovery-cost note (SW202): after a hub reset, the phone
         // re-pushes this condition over the reliable channel; report
         // the wire bytes and serialization time of one fault-free
         // re-push so developers can see recovery latency per
-        // condition (docs/fault-model.md).
+        // condition (docs/fault-model.md). The wire form is the
+        // lowered plan's canonical IL — what the manager ships.
         const transport::Frame push = transport::encodeConfigPush(
-            {0, il::write(il::optimize(unit.program))});
+            {0, il::write(il::lower(unit.program, unit.channels)
+                              .toProgram())});
         const std::size_t bytes = transport::reliableWireBytes(push);
         const transport::UartLink uart(115200.0);
         const double millis = uart.transferSeconds(bytes) * 1e3;
@@ -215,6 +225,8 @@ main(int argc, char **argv)
             options.warningsAsErrors = true;
         } else if (arg == "--json") {
             options.json = true;
+        } else if (arg == "--dump-plan") {
+            options.dumpPlan = true;
         } else if (arg == "--channels") {
             if (i + 1 >= argc) {
                 std::cerr << "swlint: --channels needs an argument\n";
@@ -253,6 +265,30 @@ main(int argc, char **argv)
     } catch (const SidewinderError &error) {
         std::cerr << "swlint: " << error.what() << "\n";
         return 2;
+    }
+
+    if (options.dumpPlan) {
+        // Render the lowered ExecutionPlan for each unit — the node
+        // set, costs, and sharing keys the hub engine installs. The
+        // output is golden-tested (tests/data/plans/), so its format
+        // is stable: see il::renderPlan.
+        bool any_errors = false;
+        for (const auto &unit : units) {
+            std::cout << "== " << unit.name << " ==\n";
+            if (!unit.parseFailure.empty()) {
+                std::cout << "error: " << unit.parseFailure << "\n";
+                any_errors = true;
+                continue;
+            }
+            try {
+                std::cout << il::renderPlan(
+                    il::lower(unit.program, unit.channels));
+            } catch (const SidewinderError &error) {
+                std::cout << "error: " << error.what() << "\n";
+                any_errors = true;
+            }
+        }
+        return any_errors ? 1 : 0;
     }
 
     bool failed = false;
