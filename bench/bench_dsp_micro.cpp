@@ -239,6 +239,114 @@ BM_EngineSignificantMotion(benchmark::State &state)
 }
 BENCHMARK(BM_EngineSignificantMotion);
 
+/**
+ * Block execution on the same scalar significant-motion graph. This
+ * workload has no FFT to bound it, so ns/sample here against
+ * BM_EngineSignificantMotion isolates the pure dispatch win of the
+ * block wave loop (virtual calls, firing decisions, wake scan) from
+ * the math-bound audio pipelines.
+ */
+void
+BM_BlockDispatchSignificantMotion(benchmark::State &state)
+{
+    const auto block = static_cast<std::size_t>(state.range(0));
+    hub::Engine engine(
+        {{"ACC_X", 50.0}, {"ACC_Y", 50.0}, {"ACC_Z", 50.0}});
+    engine.addCondition(
+        1, il::parse("ACC_X -> movingAvg(id=1, params={10});\n"
+                     "ACC_Y -> movingAvg(id=2, params={10});\n"
+                     "ACC_Z -> movingAvg(id=3, params={10});\n"
+                     "1,2,3 -> vectorMagnitude(id=4);\n"
+                     "4 -> minThreshold(id=5, params={15});\n"
+                     "5 -> OUT;\n"));
+    // Channel-major lanes, same constant stimulus as the per-sample
+    // benchmark.
+    std::vector<double> samples(3 * block);
+    for (std::size_t w = 0; w < block; ++w) {
+        samples[w] = 1.0;
+        samples[block + w] = 1.0;
+        samples[2 * block + w] = 9.8;
+    }
+    double t = 0.0;
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        engine.pushBlock(samples.data(), block, t, 0.02);
+        t += 0.02 * static_cast<double>(block);
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_BlockDispatchSignificantMotion)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+/**
+ * An 8-deep admission chain of stateless thresholds: each node is one
+ * compare, so per-sample time here is almost pure wave-loop dispatch
+ * — the overhead the block loop exists to amortize. The first seven
+ * stages pass every sample; the last blocks, so no wake-event
+ * traffic pollutes the dispatch measurement.
+ */
+const char *kScalarChainIl =
+    "AUDIO -> minThreshold(id=1, params={-1000});\n"
+    "1 -> minThreshold(id=2, params={-1000});\n"
+    "2 -> minThreshold(id=3, params={-1000});\n"
+    "3 -> minThreshold(id=4, params={-1000});\n"
+    "4 -> minThreshold(id=5, params={-1000});\n"
+    "5 -> minThreshold(id=6, params={-1000});\n"
+    "6 -> minThreshold(id=7, params={-1000});\n"
+    "7 -> maxThreshold(id=8, params={-1000});\n"
+    "8 -> OUT;\n";
+
+/** Per-sample dispatch cost of the scalar chain. */
+void
+BM_PlanDispatchScalarChain(benchmark::State &state)
+{
+    hub::Engine engine({{"AUDIO", 4000.0}});
+    engine.addCondition(1, il::parse(kScalarChainIl));
+    std::vector<double> sample{0.25};
+    double t = 0.0;
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        engine.pushSamples(sample, t);
+        t += 0.00025;
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanDispatchScalarChain);
+
+/**
+ * Block execution of the scalar chain: the dispatch-bound speedup.
+ * ns/sample here vs BM_PlanDispatchScalarChain isolates what block
+ * dispatch saves when kernels are cheap (no FFT floor in the way).
+ */
+void
+BM_BlockDispatchScalarChain(benchmark::State &state)
+{
+    const auto block = static_cast<std::size_t>(state.range(0));
+    hub::Engine engine({{"AUDIO", 4000.0}});
+    engine.addCondition(1, il::parse(kScalarChainIl));
+    std::vector<double> samples(block, 0.25);
+    double t = 0.0;
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        engine.pushBlock(samples.data(), block, t, 0.00025);
+        t += 0.00025 * static_cast<double>(block);
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(block));
+}
+BENCHMARK(BM_BlockDispatchScalarChain)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
 /** Interpreter throughput on the audio-rate siren graph. */
 void
 BM_EngineSirenPipeline(benchmark::State &state)
@@ -344,6 +452,72 @@ BM_PlanDispatchSirenPhrase(benchmark::State &state)
 }
 BENCHMARK(BM_PlanDispatchSirenPhrase);
 
+/**
+ * Block-execution throughput on the same workload: K waves per
+ * pushBlock(), so each node runs a tight loop over contiguous lanes
+ * instead of K virtual calls through the per-sample wave loop. The
+ * K sweep is the tentpole acceptance measurement — ns/sample here vs
+ * BM_PlanDispatchSirenPhrase is the block-dispatch speedup.
+ */
+void
+BM_BlockDispatchSirenPhrase(benchmark::State &state)
+{
+    const auto block = static_cast<std::size_t>(state.range(0));
+    hub::Engine engine({{"AUDIO", 4000.0}});
+    double t = 0.0;
+    double phase = 0.0;
+    installSirenPhrase(engine, t, phase);
+    std::vector<double> samples(block);
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < block; ++i) {
+            phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+            samples[i] = 0.3 * std::sin(phase);
+        }
+        engine.pushBlock(samples.data(), block, t, 0.00025);
+        t += 0.00025 * static_cast<double>(block);
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(block));
+    state.counters["nodes"] = static_cast<double>(engine.nodeCount());
+}
+BENCHMARK(BM_BlockDispatchSirenPhrase)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+/**
+ * The same block workload in fixed-point mode: Q15 kernels (the
+ * 2-bytes-per-sample firmware arithmetic) under block dispatch.
+ */
+void
+BM_BlockDispatchSirenPhraseQ15(benchmark::State &state)
+{
+    const auto block = static_cast<std::size_t>(state.range(0));
+    hub::Engine engine({{"AUDIO", 4000.0}}, true, 200,
+                       hub::KernelMode::FixedQ15);
+    double t = 0.0;
+    double phase = 0.0;
+    installSirenPhrase(engine, t, phase);
+    std::vector<double> samples(block);
+    DspCounterScope counters(state);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < block; ++i) {
+            phase += 2.0 * std::numbers::pi * 1200.0 / 4000.0;
+            samples[i] = 0.3 * std::sin(phase);
+        }
+        engine.pushBlock(samples.data(), block, t, 0.00025);
+        t += 0.00025 * static_cast<double>(block);
+        benchmark::DoNotOptimize(engine.drainWakeEvents());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(block));
+    state.counters["nodes"] = static_cast<double>(engine.nodeCount());
+}
+BENCHMARK(BM_BlockDispatchSirenPhraseQ15)->Arg(64)->Arg(256);
+
 /** Same workload on the frozen AST interpreter (src/reference/). */
 void
 BM_LegacyDispatchSirenPhrase(benchmark::State &state)
@@ -436,3 +610,25 @@ BM_AnalyzeAndRenderSiren(benchmark::State &state)
 BENCHMARK(BM_AnalyzeAndRenderSiren);
 
 } // namespace
+
+/**
+ * Custom main instead of benchmark_main: stamps the *sidewinder*
+ * build type into the JSON context so scripts/run_benches.sh can
+ * refuse debug numbers. (The library's own library_build_type field
+ * describes how the distro built google-benchmark, not us.)
+ */
+int
+main(int argc, char **argv)
+{
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+    benchmark::AddCustomContext("sidewinder_build_type", "release");
+#else
+    benchmark::AddCustomContext("sidewinder_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

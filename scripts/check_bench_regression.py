@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against checked-in budgets.
+
+Reads a google-benchmark JSON file (as written by scripts/run_benches.sh)
+and scripts/bench_budgets.json, and fails when:
+
+ - a budgeted benchmark regressed by more than the tolerance (default
+   20%) over its recorded baseline real_time, or
+ - a tracked speedup ratio (e.g. per-sample dispatch vs block dispatch
+   of the same program) fell below its floor.
+
+Absolute budgets are machine-dependent, so they only fire on large
+regressions (the tolerance) and can be re-baselined by re-running
+scripts/run_benches.sh on the reference machine and passing
+--rebaseline. Ratio floors compare two numbers from the *same* run on
+the *same* machine, so they are robust to host speed and encode the
+claims the docs make (block dispatch >= 3x on dispatch-bound chains,
+planned FFT faster than naive, ...).
+
+Usage: scripts/check_bench_regression.py [BENCH_dsp.json]
+  --budgets PATH     budget file (default: scripts/bench_budgets.json)
+  --tolerance FRAC   allowed fractional regression (default: 0.20)
+  --rebaseline       rewrite the budget baselines from this run
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_results(path):
+    """Map benchmark name -> per-item real_time in ns."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        time_ns = float(b["real_time"])
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[name] = time_ns * scale
+    return out
+
+
+def per_item(results, name):
+    """real_time per processed item: Foo/64 divides by 64."""
+    t = results[name]
+    if "/" in name:
+        try:
+            return t / float(name.rsplit("/", 1)[1])
+        except ValueError:
+            pass
+    return t
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("results", nargs="?", default="BENCH_dsp.json")
+    ap.add_argument("--budgets",
+                    default=str(Path(__file__).parent / "bench_budgets.json"))
+    ap.add_argument("--tolerance", type=float, default=0.20)
+    ap.add_argument("--rebaseline", action="store_true")
+    args = ap.parse_args()
+
+    results = load_results(args.results)
+    with open(args.budgets) as fh:
+        budgets = json.load(fh)
+
+    failures = []
+    missing = []
+
+    for name, entry in sorted(budgets.get("baselines_ns", {}).items()):
+        if name not in results:
+            missing.append(name)
+            continue
+        baseline = float(entry)
+        current = results[name]
+        if args.rebaseline:
+            budgets["baselines_ns"][name] = round(current, 2)
+            continue
+        limit = baseline * (1.0 + args.tolerance)
+        status = "ok" if current <= limit else "REGRESSED"
+        print(f"{status:>9}  {name}: {current:.1f} ns "
+              f"(baseline {baseline:.1f}, limit {limit:.1f})")
+        if current > limit:
+            failures.append(name)
+
+    for name, spec in sorted(budgets.get("ratio_floors", {}).items()):
+        num, den = spec["numerator"], spec["denominator"]
+        if num not in results or den not in results:
+            missing.append(f"{name} ({num} / {den})")
+            continue
+        ratio = per_item(results, num) / per_item(results, den)
+        floor = float(spec["min_ratio"])
+        status = "ok" if ratio >= floor else "REGRESSED"
+        print(f"{status:>9}  {name}: {ratio:.2f}x (floor {floor:.2f}x)")
+        if ratio < floor:
+            failures.append(name)
+
+    if args.rebaseline:
+        with open(args.budgets, "w") as fh:
+            json.dump(budgets, fh, indent=2)
+            fh.write("\n")
+        print(f"rebaselined {args.budgets} from {args.results}")
+
+    if missing:
+        print("missing from results (run with the default filter?): "
+              + ", ".join(missing), file=sys.stderr)
+        failures.extend(missing)
+    if failures:
+        print(f"check_bench_regression: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("check_bench_regression: all budgets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,11 @@
 #   tsan  — additionally build with -DSIDEWINDER_SANITIZE=thread and
 #           run the parallel sweep engine's tests (sim_sweep_test,
 #           support_thread_pool_test) plus the ExecutionPlan tests
-#           (il_plan_test, hub_plan_property_test) under
-#           ThreadSanitizer before the normal run. SW_TSAN=1 enables
-#           the same.
+#           (il_plan_test, hub_plan_property_test) and the
+#           block-execution tests (hub_block_test — pushBlock runs
+#           under the same engine mutex the per-sample path takes)
+#           under ThreadSanitizer before the normal run. SW_TSAN=1
+#           enables the same.
 #   asan  — additionally build with
 #           -DSIDEWINDER_SANITIZE=address,undefined and run the
 #           fault-tolerance tests (transport_reliable_test,
@@ -19,7 +21,12 @@
 #           supervisor's re-push paths with deliberately mangled
 #           bytes, and the plan tests drive the engine's cached
 #           input-pointer wave loop, exactly where memory bugs would
-#           hide. SW_ASAN=1 enables the same.
+#           hide. The block-execution tests (hub_block_test) and the
+#           Q15 fixed-point primitive tests (dsp_q15_test) also run
+#           here: the block path writes through raw lane pointers
+#           with per-node strides, and the Q15 kernels are exactly
+#           where integer overflow UB would hide. SW_ASAN=1 enables
+#           the same.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -35,13 +42,16 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     # suite still runs below.
     cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
     cmake --build build-tsan --target sim_sweep_test \
-        support_thread_pool_test il_plan_test hub_plan_property_test
+        support_thread_pool_test il_plan_test hub_plan_property_test \
+        hub_block_test
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
     echo "== ThreadSanitizer: execution plan =="
     build-tsan/tests/il_plan_test
     build-tsan/tests/hub_plan_property_test
+    echo "== ThreadSanitizer: block execution =="
+    build-tsan/tests/hub_block_test
 fi
 
 if [ "${SW_ASAN:-0}" = "1" ]; then
@@ -49,7 +59,7 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
         -DSIDEWINDER_SANITIZE=address,undefined
     cmake --build build-asan --target transport_reliable_test \
         hub_supervision_test sim_faults_test il_plan_test \
-        hub_plan_property_test
+        hub_plan_property_test hub_block_test dsp_q15_test
     echo "== ASan/UBSan: fault-tolerance stack =="
     build-asan/tests/transport_reliable_test
     build-asan/tests/hub_supervision_test
@@ -57,6 +67,9 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     echo "== ASan/UBSan: execution plan =="
     build-asan/tests/il_plan_test
     build-asan/tests/hub_plan_property_test
+    echo "== ASan/UBSan: block execution + Q15 =="
+    build-asan/tests/hub_block_test
+    build-asan/tests/dsp_q15_test
 fi
 
 cmake -B build -G Ninja
@@ -75,7 +88,23 @@ build/tools/swlint --all-apps --Werror
             echo "============================================================"
             echo "== $(basename "$b")"
             echo "============================================================"
-            "$b"
+            case "$(basename "$b")" in
+            bench_dsp_micro)
+                # Also capture JSON so the budget gate below can
+                # compare this run against scripts/bench_budgets.json.
+                "$b" --benchmark_out=bench_check.json \
+                    --benchmark_out_format=json
+                ;;
+            *)
+                "$b"
+                ;;
+            esac
         fi
     done
 } 2>&1 | tee bench_output.txt
+
+# Fail the reproduction if a tracked benchmark regressed >20% against
+# its recorded baseline or a documented speedup ratio fell below its
+# floor (docs/performance.md).
+echo "== benchmark regression gate =="
+python3 scripts/check_bench_regression.py bench_check.json

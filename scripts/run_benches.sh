@@ -43,10 +43,33 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
     bench_sweep_scaling bench_fault_sweep >/dev/null
 
+# Refuse to record numbers from an unoptimized tree: a Debug build is
+# 5-20x slower and would poison the checked-in baselines that
+# check_bench_regression.py compares against.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)
+case "$build_type" in
+*[Dd]ebug*)
+    echo "run_benches.sh: refusing to benchmark a $build_type build" \
+        "($BUILD_DIR); reconfigure with -DCMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+    ;;
+esac
+
 "$BUILD_DIR"/bench/bench_dsp_micro \
     --benchmark_filter="$FILTER" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json
+
+# Belt and braces: the bench binary records whether *it* was compiled
+# with optimization (the cache can be empty when the default applies),
+# so reject output that self-reports as a debug compile.
+if ! grep -q '"sidewinder_build_type": *"release"' "$OUT"; then
+    echo "run_benches.sh: $OUT reports a debug compile of" \
+        "bench_dsp_micro; refusing to keep it" >&2
+    rm -f "$OUT"
+    exit 1
+fi
 
 echo "wrote $OUT"
 

@@ -99,6 +99,19 @@ class FftPlan
      */
     static std::shared_ptr<const FftPlan> forSize(std::size_t n);
 
+    /**
+     * The precomputed bit-reversal permutation (bitrev[i] =
+     * bit-reversed i). Shared with the fixed-point Q15FftPlan so the
+     * two transforms are table-identical.
+     */
+    const std::vector<std::uint32_t> &bitReversal() const
+    {
+        return bitrev;
+    }
+
+    /** The precomputed twiddles, exp(-2*pi*i*j/size()), j < size()/2. */
+    const std::vector<Complex> &twiddleTable() const { return twiddles; }
+
   private:
     FftPlan(std::size_t n, std::shared_ptr<const FftPlan> half_plan);
 

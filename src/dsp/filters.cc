@@ -14,19 +14,6 @@ MovingAverage::MovingAverage(std::size_t window_size)
         throw ConfigError("moving average window must be positive");
 }
 
-std::optional<double>
-MovingAverage::push(double sample)
-{
-    if (history.full())
-        runningSum -= history.front();
-    history.push(sample);
-    runningSum += sample;
-
-    if (!history.full())
-        return std::nullopt;
-    return runningSum / static_cast<double>(history.capacity());
-}
-
 void
 MovingAverage::reset()
 {
@@ -39,18 +26,6 @@ ExponentialMovingAverage::ExponentialMovingAverage(double alpha)
 {
     if (!(alpha > 0.0) || alpha > 1.0)
         throw ConfigError("EMA alpha must be in (0, 1]");
-}
-
-double
-ExponentialMovingAverage::push(double sample)
-{
-    if (!seeded) {
-        state = sample;
-        seeded = true;
-    } else {
-        state = smoothing * sample + (1.0 - smoothing) * state;
-    }
-    return state;
 }
 
 void

@@ -35,8 +35,23 @@ class MovingAverage
      * Feed one sample.
      * @return the window mean once at least window_size samples have
      *     been seen, otherwise nullopt.
+     *
+     * Defined inline: this is the inner loop of every smoothing node
+     * on the hub, and the block-execution path relies on it
+     * pipelining inside the kernels' tight wave loops.
      */
-    std::optional<double> push(double sample);
+    std::optional<double>
+    push(double sample)
+    {
+        if (history.full())
+            runningSum -= history.front();
+        history.push(sample);
+        runningSum += sample;
+
+        if (!history.full())
+            return std::nullopt;
+        return runningSum / static_cast<double>(history.capacity());
+    }
 
     /** Forget all accumulated samples. */
     void reset();
@@ -62,8 +77,19 @@ class ExponentialMovingAverage
     /** @param alpha Smoothing factor in (0, 1]. */
     explicit ExponentialMovingAverage(double alpha);
 
-    /** Feed one sample and return the updated average. */
-    double push(double sample);
+    /** Feed one sample and return the updated average (inline for
+     * the same block-loop pipelining reason as MovingAverage). */
+    double
+    push(double sample)
+    {
+        if (!seeded) {
+            state = sample;
+            seeded = true;
+        } else {
+            state = smoothing * sample + (1.0 - smoothing) * state;
+        }
+        return state;
+    }
 
     /** Forget the accumulated state. */
     void reset();

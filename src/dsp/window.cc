@@ -75,6 +75,14 @@ WindowPartitioner::pushInto(double sample, std::vector<double> &frame)
 }
 
 void
+WindowPartitioner::appendPartial(const double *samples, std::size_t n)
+{
+    if (n >= remainingToFrame())
+        throw ConfigError("appendPartial would complete a frame");
+    pending.insert(pending.end(), samples, samples + n);
+}
+
+void
 WindowPartitioner::reset()
 {
     pending.clear();

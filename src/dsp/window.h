@@ -56,6 +56,24 @@ class WindowPartitioner
      */
     bool pushInto(double sample, std::vector<double> &frame);
 
+    /**
+     * Samples still needed before the next push completes a frame
+     * (always >= 1). Block-mode callers use this to bulk-append the
+     * quiet stretch between emissions.
+     */
+    std::size_t
+    remainingToFrame() const
+    {
+        return frameSize - pending.size();
+    }
+
+    /**
+     * Bulk-append @p n samples known not to complete a frame
+     * (@p n < remainingToFrame()): one contiguous insert instead of
+     * @p n pushes, with identical resulting state.
+     */
+    void appendPartial(const double *samples, std::size_t n);
+
     /** Discard any partially accumulated frame. */
     void reset();
 

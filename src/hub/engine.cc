@@ -1,5 +1,8 @@
 #include "hub/engine.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "il/lower.h"
 #include "support/error.h"
 
@@ -10,10 +13,21 @@ namespace sidewinder::hub {
 // verdict and the runtime account identically — the engine never
 // re-derives a cost from the AST.
 
+namespace {
+
+constexpr std::uint8_t kWaveIdle =
+    static_cast<std::uint8_t>(WaveState::Idle);
+constexpr std::uint8_t kWaveBlocked =
+    static_cast<std::uint8_t>(WaveState::Blocked);
+constexpr std::uint8_t kWaveEmitted =
+    static_cast<std::uint8_t>(WaveState::Emitted);
+
+} // namespace
+
 Engine::Engine(std::vector<il::ChannelInfo> channels, bool share_nodes,
-               std::size_t raw_buffer_size)
+               std::size_t raw_buffer_size, KernelMode kernel_mode)
     : channelInfos(std::move(channels)), shareNodes(share_nodes),
-      rawBufferSize(raw_buffer_size)
+      rawBufferSize(raw_buffer_size), numericMode(kernel_mode)
 {
     if (channelInfos.empty())
         throw ConfigError("engine needs at least one channel");
@@ -119,8 +133,9 @@ Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
                 }
             }
 
-            node->kernel = makeKernel(plan.algorithms[local],
-                                      plan.params[local], input_streams);
+            node->kernel =
+                makeKernel(plan.algorithms[local], plan.params[local],
+                           input_streams, numericMode);
             node->policy = node->kernel->firingPolicy();
             node->rejects = node->kernel->conditional();
             node->stream = plan.streams[local];
@@ -292,6 +307,305 @@ Engine::pushSamples(const std::vector<double> &values, double timestamp)
                 WakeEvent{id, timestamp, out_node->result.scalar()});
         }
     }
+}
+
+void
+Engine::prepareNodeBlock(Node *node, const double *samples,
+                         std::size_t count)
+{
+    node->blockStates.resize(count);
+    if (node->stream.kind == il::ValueKind::Scalar)
+        node->blockScalars.resize(count);
+    else if (node->blockBoxed.size() < count)
+        // Persistent Values: each wave slot keeps its frame storage
+        // across blocks, so steady-state frame emission allocates
+        // nothing once capacities have grown.
+        node->blockBoxed.resize(count);
+
+    node->blockInputs.resize(node->inputs.size());
+    for (std::size_t k = 0; k < node->inputs.size(); ++k) {
+        BlockInput view;
+        const Node *producer = node->producers[k];
+        if (producer == nullptr) {
+            // Channel input: read the caller's channel-major lane
+            // directly — no copy, and channels emit on every wave.
+            const auto ch =
+                static_cast<std::size_t>(-node->inputs[k] - 1);
+            view.scalars = samples + ch * count;
+        } else {
+            view.states = producer->blockStates.data();
+            if (producer->stream.kind == il::ValueKind::Scalar)
+                view.scalars = producer->blockScalars.data();
+            else
+                view.boxed = producer->blockBoxed.data();
+        }
+        node->blockInputs[k] = view;
+    }
+}
+
+void
+Engine::invokeNodeWave(Node *node, const BlockOutput &out, std::size_t w)
+{
+    sliceInputs.resize(node->blockInputs.size());
+    for (std::size_t k = 0; k < node->blockInputs.size(); ++k) {
+        BlockInput view = node->blockInputs[k];
+        if (view.states != nullptr)
+            view.states += w;
+        if (view.scalars != nullptr)
+            view.scalars += w;
+        if (view.boxed != nullptr)
+            view.boxed += w;
+        sliceInputs[k] = view;
+    }
+    BlockOutput slice;
+    slice.states = out.states + w;
+    slice.scalars = out.scalars != nullptr ? out.scalars + w : nullptr;
+    slice.boxed = out.boxed != nullptr ? out.boxed + w : nullptr;
+    node->kernel->invokeBlock(sliceInputs, nullptr, 1, slice);
+}
+
+void
+Engine::pushBlock(const double *samples, std::size_t count,
+                  const double *timestamps)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        // Degenerate block: the per-sample path is both simpler and
+        // exactly equivalent.
+        std::vector<double> values(channelInfos.size());
+        for (std::size_t ch = 0; ch < channelInfos.size(); ++ch)
+            values[ch] = samples[ch];
+        pushSamples(values, timestamps[0]);
+        return;
+    }
+
+    for (std::size_t ch = 0; ch < channelInfos.size(); ++ch) {
+        const double *lane = samples + ch * count;
+        for (std::size_t w = 0; w < count; ++w)
+            rawBuffers[ch].push(lane[w]);
+    }
+
+    // Node-major block loop: for each node, settle all waves at once.
+    // Valid because cross-wave state lives only inside kernel objects
+    // and a node's firing decisions depend only on producers that
+    // precede it in the (topological) schedule — so running node n
+    // over waves 0..K-1 before node n+1 sees any wave produces the
+    // same stream of states and results as the wave-major loop.
+    for (Node *node : schedule) {
+        prepareNodeBlock(node, samples, count);
+
+        BlockOutput out;
+        out.states = node->blockStates.data();
+        if (node->stream.kind == il::ValueKind::Scalar)
+            out.scalars = node->blockScalars.data();
+        else
+            out.boxed = node->blockBoxed.data();
+
+        if (node->nodeProducers.empty()) {
+            // All inputs are channels: every wave fires with every
+            // input present — the dense fast path, no per-wave
+            // decision work at all.
+            dynamicCycles +=
+                node->cyclesPerInvoke * static_cast<double>(count);
+            node->kernel->invokeBlock(node->blockInputs, nullptr,
+                                      count, out);
+            continue;
+        }
+
+        if (node->policy == FiringPolicy::AllInputs &&
+            node->nodeProducers.size() == 1) {
+            // Single-producer AllInputs node — the overwhelmingly
+            // common shape. The firing decision per wave is a pure
+            // function of the producer's state byte, and WaveState
+            // and BlockFire share their numeric encoding (Idle = 0 =
+            // SkipIdle, Blocked = 1 = SkipBlocked, Emitted = 2 =
+            // RunAll; single-input AllInputs firings are never
+            // partial), so the producer's state lane *is* the fire
+            // lane. Everything below is byte scans the compiler
+            // vectorizes, not per-wave control flow.
+            const std::uint8_t *in =
+                node->nodeProducers.front()->blockStates.data();
+            const std::size_t runs = static_cast<std::size_t>(
+                std::count(in, in + count, kWaveEmitted));
+            dynamicCycles +=
+                node->cyclesPerInvoke * static_cast<double>(runs);
+            if (runs == count) {
+                node->kernel->invokeBlock(node->blockInputs, nullptr,
+                                          count, out);
+            } else if (runs * 8 <= count) {
+                // Sparse firing (decimating producer upstream, e.g. a
+                // window): prefill the miss states — Blocked
+                // propagates, Idle stays invisible, exactly
+                // `state & 1` on the {0,1,2} encoding — then run the
+                // kernel only on the firing waves, located by memchr.
+                for (std::size_t w = 0; w < count; ++w)
+                    node->blockStates[w] = in[w] & kWaveBlocked;
+                if (runs != 0) {
+                    const std::uint8_t *pos = in;
+                    const std::uint8_t *end = in + count;
+                    while ((pos = static_cast<const std::uint8_t *>(
+                                std::memchr(pos, kWaveEmitted,
+                                            static_cast<std::size_t>(
+                                                end - pos)))) !=
+                           nullptr) {
+                        invokeNodeWave(
+                            node, out,
+                            static_cast<std::size_t>(pos - in));
+                        ++pos;
+                    }
+                }
+            } else {
+                // Dense-ish partial firing: hand the producer's state
+                // lane to the kernel as the fire lane (one byte copy;
+                // the kernel makes a single pass).
+                static_assert(sizeof(BlockFire) == 1,
+                              "fire lanes copy from state lanes");
+                fireDecisions.resize(count);
+                std::memcpy(fireDecisions.data(), in, count);
+                node->kernel->invokeBlock(node->blockInputs,
+                                          fireDecisions.data(), count,
+                                          out);
+            }
+            continue;
+        }
+
+        // General path (multi-input nodes, AnyInput, ObserveBlocks):
+        // combine the producers' state lanes into per-wave
+        // all-emitted / any-emitted / any-blocked lanes — one
+        // vectorizable pass per producer — then derive the fire lane
+        // arithmetically: run ? (RunAll + !all_emitted) : any_blocked.
+        blockAllEmitted.assign(count, 1);
+        blockAnyEmitted.assign(count,
+                               node->hasChannelInput ? 1 : 0);
+        blockAnyBlocked.assign(count, 0);
+        for (const Node *producer : node->nodeProducers) {
+            const std::uint8_t *s = producer->blockStates.data();
+            std::uint8_t *all = blockAllEmitted.data();
+            std::uint8_t *any = blockAnyEmitted.data();
+            std::uint8_t *blk = blockAnyBlocked.data();
+            for (std::size_t w = 0; w < count; ++w) {
+                const std::uint8_t emitted = s[w] == kWaveEmitted;
+                all[w] &= emitted;
+                any[w] |= emitted;
+                blk[w] |= s[w] == kWaveBlocked;
+            }
+        }
+
+        const std::uint8_t *run_lane = blockAnyEmitted.data();
+        if (node->policy == FiringPolicy::AllInputs) {
+            run_lane = blockAllEmitted.data();
+        } else if (node->policy == FiringPolicy::ObserveBlocks) {
+            std::uint8_t *any = blockAnyEmitted.data();
+            const std::uint8_t *blk = blockAnyBlocked.data();
+            for (std::size_t w = 0; w < count; ++w)
+                any[w] |= blk[w];
+        }
+
+        fireDecisions.resize(count);
+        std::size_t runs = 0;
+        std::size_t run_alls = 0;
+        {
+            const std::uint8_t *all = blockAllEmitted.data();
+            const std::uint8_t *blk = blockAnyBlocked.data();
+            BlockFire *fire = fireDecisions.data();
+            for (std::size_t w = 0; w < count; ++w) {
+                // run: RunAll (2) when all inputs emitted, else
+                // RunPartial (3). skip: SkipBlocked (1) when a miss
+                // propagates, else SkipIdle (0) — numerically the
+                // any_blocked byte.
+                fire[w] = static_cast<BlockFire>(
+                    run_lane[w]
+                        ? static_cast<std::uint8_t>(3 - all[w])
+                        : blk[w]);
+                runs += run_lane[w];
+                run_alls += run_lane[w] & all[w];
+            }
+        }
+
+        dynamicCycles +=
+            node->cyclesPerInvoke * static_cast<double>(runs);
+
+        if (runs == 0) {
+            // Nothing fires: the skip decisions are the states
+            // (SkipBlocked = Blocked, SkipIdle = Idle).
+            std::memcpy(node->blockStates.data(), fireDecisions.data(),
+                        count);
+            continue;
+        }
+
+        node->kernel->invokeBlock(node->blockInputs,
+                                  runs == count && run_alls == count
+                                      ? nullptr
+                                      : fireDecisions.data(),
+                                  count, out);
+    }
+
+    // Post-block sync so single waves can interleave with blocks: the
+    // per-sample loop reads producer->state / producer->result, which
+    // must reflect the last wave of this block. Only Emitted results
+    // are ever read downstream, so copying the last emitted wave's
+    // value suffices.
+    for (Node *node : schedule) {
+        node->state =
+            static_cast<WaveState>(node->blockStates[count - 1]);
+        if (node->state == WaveState::Emitted) {
+            if (node->stream.kind == il::ValueKind::Scalar)
+                node->result = Value(node->blockScalars[count - 1]);
+            else
+                node->result = node->blockBoxed[count - 1];
+        }
+    }
+
+    // Wave-major wake scan in condition order: the exact event order
+    // the per-sample loop produces. Waking is rare, so first OR the
+    // out-node emitted lanes into one any-condition-fired lane
+    // (vectorizable), then visit only the waves memchr finds set.
+    wakeScan.assign(count, 0);
+    for (const auto &[id, cond] : conditions) {
+        (void)id;
+        const Node *out_node =
+            nodes[static_cast<std::size_t>(cond.outNode)].get();
+        if (out_node == nullptr)
+            continue;
+        const std::uint8_t *s = out_node->blockStates.data();
+        std::uint8_t *scan = wakeScan.data();
+        for (std::size_t w = 0; w < count; ++w)
+            scan[w] |= s[w] == kWaveEmitted;
+    }
+    const std::uint8_t *scan_pos = wakeScan.data();
+    const std::uint8_t *scan_end = scan_pos + count;
+    while ((scan_pos = static_cast<const std::uint8_t *>(std::memchr(
+                scan_pos, 1,
+                static_cast<std::size_t>(scan_end - scan_pos)))) !=
+           nullptr) {
+        const std::size_t w =
+            static_cast<std::size_t>(scan_pos - wakeScan.data());
+        for (const auto &[id, cond] : conditions) {
+            const Node *out_node =
+                nodes[static_cast<std::size_t>(cond.outNode)].get();
+            if (out_node == nullptr ||
+                out_node->blockStates[w] != kWaveEmitted)
+                continue;
+            const double value =
+                out_node->stream.kind == il::ValueKind::Scalar
+                    ? out_node->blockScalars[w]
+                    : out_node->blockBoxed[w].scalar();
+            pendingWakeEvents.push_back(
+                WakeEvent{id, timestamps[w], value});
+        }
+        ++scan_pos;
+    }
+}
+
+void
+Engine::pushBlock(const double *samples, std::size_t count, double t0,
+                  double dt)
+{
+    blockTimestamps.resize(count);
+    for (std::size_t w = 0; w < count; ++w)
+        blockTimestamps[w] = t0 + static_cast<double>(w) * dt;
+    pushBlock(samples, count, blockTimestamps.data());
 }
 
 void

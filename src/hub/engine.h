@@ -70,10 +70,14 @@ class Engine
      * @param share_nodes Enable cross-condition node sharing.
      * @param raw_buffer_size Per-channel raw history handed to the
      *     application on wake-up.
+     * @param kernel_mode Numeric mode for every kernel this engine
+     *     instantiates: Float64 (reference) or FixedQ15 (bit-accurate
+     *     16-bit fixed point, the firmware sample format).
      */
     explicit Engine(std::vector<il::ChannelInfo> channels,
                     bool share_nodes = true,
-                    std::size_t raw_buffer_size = 200);
+                    std::size_t raw_buffer_size = 200,
+                    KernelMode kernel_mode = KernelMode::Float64);
 
     /**
      * Validate, lower, and install a wake-up condition.
@@ -104,6 +108,38 @@ class Engine
      * given at construction) and run one evaluation wave.
      */
     void pushSamples(const std::vector<double> &values, double timestamp);
+
+    /**
+     * Block execution: feed @p count consecutive waves at once.
+     *
+     * @p samples is channel-major — samples[ch * count + w] is
+     * channel ch's sample on wave w — so each kernel's block loop
+     * reads a contiguous lane, and channel inputs are consumed
+     * directly from the caller's buffer with no per-sample copying.
+     * @p timestamps holds one timestamp per wave.
+     *
+     * Semantically identical to calling pushSamples() once per wave
+     * (same wake events in the same order, same raw history, same
+     * node state afterward — blocks and single waves interleave
+     * freely), but each node runs one Kernel::invokeBlock() over the
+     * whole block instead of @p count virtual calls: node-major
+     * iteration over SoA lanes is valid because all cross-wave state
+     * lives inside kernel objects, and a node's per-wave firing
+     * decisions depend only on producers that precede it in the
+     * schedule.
+     */
+    void pushBlock(const double *samples, std::size_t count,
+                   const double *timestamps);
+
+    /**
+     * Convenience overload for evenly spaced waves: wave w carries
+     * timestamp @p t0 + w * @p dt.
+     */
+    void pushBlock(const double *samples, std::size_t count, double t0,
+                   double dt);
+
+    /** Numeric mode the engine's kernels were instantiated with. */
+    KernelMode kernelMode() const { return numericMode; }
 
     /** Retrieve and clear the wake-ups raised since the last drain. */
     std::vector<WakeEvent> drainWakeEvents();
@@ -207,6 +243,16 @@ class Engine
         Value result;
         /** Reused input-pointer scratch (hot-path allocation avoidance). */
         std::vector<const Value *> scratch;
+
+        // Block-execution storage, grown to the largest block seen.
+        // One lane per wave: states always; scalars for scalar
+        // emitters, boxed Values (persistent, storage-reusing) for
+        // frame emitters.
+        std::vector<std::uint8_t> blockStates;
+        std::vector<double> blockScalars;
+        std::vector<Value> blockBoxed;
+        /** Reused SoA input views for invokeBlock(). */
+        std::vector<BlockInput> blockInputs;
     };
 
     struct Condition
@@ -223,12 +269,24 @@ class Engine
     int channelIndexOf(const std::string &name) const;
     /** Rebuild the dense wave schedule after any add/remove. */
     void rebuildSchedule();
+    /** Size a node's block lanes and input views for @p count waves. */
+    void prepareNodeBlock(Node *node, const double *samples,
+                          std::size_t count);
+    /**
+     * Run @p node's kernel on the single wave @p w of a block: every
+     * block lane is sliced to that wave and the kernel sees a dense
+     * one-wave invocation. Used by the sparse-firing fast path, where
+     * scanning states is cheaper than a full-block kernel pass.
+     */
+    void invokeNodeWave(Node *node, const BlockOutput &out,
+                        std::size_t w);
 
     std::vector<il::ChannelInfo> channelInfos;
     /** Channel name -> index, built once in the constructor. */
     std::unordered_map<std::string, int> channelIndexByName;
     bool shareNodes;
     std::size_t rawBufferSize;
+    KernelMode numericMode;
 
     std::vector<std::unique_ptr<Node>> nodes;
     /** Live nodes in topological order — the wave loop's worklist. */
@@ -239,6 +297,18 @@ class Engine
     std::vector<WakeEvent> pendingWakeEvents;
     /** Reused per-wave channel value scratch. */
     std::vector<Value> channelValues;
+    /** Reused per-block firing-decision scratch. */
+    std::vector<BlockFire> fireDecisions;
+    /** Reused per-block combined-input-state scratch (multi-input). */
+    std::vector<std::uint8_t> blockAllEmitted;
+    std::vector<std::uint8_t> blockAnyEmitted;
+    std::vector<std::uint8_t> blockAnyBlocked;
+    /** Reused one-wave input-slice scratch (sparse dispatch). */
+    std::vector<BlockInput> sliceInputs;
+    /** Reused per-wave any-condition-fired scratch (wake scan). */
+    std::vector<std::uint8_t> wakeScan;
+    /** Reused timestamp scratch for the evenly-spaced overload. */
+    std::vector<double> blockTimestamps;
     double dynamicCycles = 0.0;
 };
 

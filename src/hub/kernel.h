@@ -52,6 +52,62 @@ enum class FiringPolicy {
 };
 
 /**
+ * Numeric mode of a kernel set, selected per engine.
+ *
+ * - Float64: the host-native double pipeline (the historical
+ *   behavior and the reference semantics).
+ * - FixedQ15: bit-accurate 16-bit fixed point — samples quantized to
+ *   the Q15 grid, arithmetic saturating, matching the MCU firmware
+ *   sample width the analyzer's RAM model already charges
+ *   (il::nodeRamBytes, 2 bytes per sample). Values flowing between
+ *   nodes stay doubles, but every one of them is exactly a
+ *   dequantized Q15 (or scaled-Q15) quantity, so the host run
+ *   reproduces what the real hub would compute.
+ */
+enum class KernelMode { Float64, FixedQ15 };
+
+/**
+ * Engine-computed firing decision for one wave within a block.
+ * SkipIdle/SkipBlocked mirror the per-sample wave loop's !run
+ * branches; RunAll fires with every input emitted (no nulls);
+ * RunPartial fires under AnyInput/ObserveBlocks with at least one
+ * non-emitting input, so kernels must consult the per-input states.
+ */
+enum class BlockFire : std::uint8_t {
+    SkipIdle = 0,
+    SkipBlocked = 1,
+    RunAll = 2,
+    RunPartial = 3,
+};
+
+/**
+ * SoA view of one input stream across a block of waves. Exactly one
+ * of scalars/boxed is non-null (scalar streams travel as raw double
+ * arrays; frame and complex streams as per-wave Values). states is
+ * null for channel inputs, which emit on every wave.
+ */
+struct BlockInput
+{
+    /** WaveState per wave (as uint8_t); null for channel inputs. */
+    const std::uint8_t *states = nullptr;
+    /** Per-wave scalar results; null for frame streams. */
+    const double *scalars = nullptr;
+    /** Per-wave boxed results; null for scalar streams. */
+    const Value *boxed = nullptr;
+};
+
+/** SoA output view of one node across a block of waves. */
+struct BlockOutput
+{
+    /** WaveState per wave; always written for every wave. */
+    std::uint8_t *states = nullptr;
+    /** Scalar results (scalar-emitting nodes), else null. */
+    double *scalars = nullptr;
+    /** Boxed results (frame-emitting nodes), else null. */
+    Value *boxed = nullptr;
+};
+
+/**
  * An executable algorithm instance.
  *
  * Subclasses implement at least one of invoke() / invokeInto(); each
@@ -59,6 +115,12 @@ enum class FiringPolicy {
  * kernels override invokeInto() and write into the output value's
  * existing storage, so the interpreter's steady state reuses buffers
  * instead of constructing and destroying frame vectors every sample.
+ *
+ * Block execution: invokeBlock() runs K waves in one virtual call
+ * over contiguous SoA buffers. The default implementation loops the
+ * per-sample invokeInto() path, so every kernel is block-correct by
+ * construction; the hot per-wave kernels override it with tight
+ * loops the compiler can vectorize.
  */
 class Kernel
 {
@@ -100,6 +162,29 @@ class Kernel
         return true;
     }
 
+    /**
+     * Execute @p count consecutive waves in one call — the block
+     * execution fast path.
+     *
+     * @param inputs One BlockInput per declared input, each viewing
+     *     @p count waves of that producer's states/results.
+     * @param fire Per-wave firing decisions, or nullptr meaning every
+     *     wave is BlockFire::RunAll (the dense fast path: the engine
+     *     proved all inputs emit on every wave).
+     * @param count Number of waves in the block.
+     * @param out SoA destination; out.states[w] must be written for
+     *     every wave (Skip* waves copy the engine's decision).
+     *
+     * The default implementation replays the per-sample invokeInto()
+     * path wave by wave, reproducing partial-firing nulls and
+     * Blocked/Idle mapping exactly — so block execution is
+     * bit-identical to per-sample execution for every kernel, and
+     * overrides are purely an optimization.
+     */
+    virtual void invokeBlock(const std::vector<BlockInput> &inputs,
+                             const BlockFire *fire, std::size_t count,
+                             const BlockOutput &out);
+
     /** Discard accumulated state (window contents, counters, ...). */
     virtual void reset() {}
 
@@ -127,18 +212,24 @@ class Kernel
  * @param inputStreams Stream properties of each input, as carried by
  *     the ExecutionPlan — filters and spectral features need the base
  *     sample rate and FFT size from here.
+ * @param mode Numeric mode: KernelMode::FixedQ15 selects the 16-bit
+ *     fixed-point variant set where one exists; kernels whose inputs
+ *     are already on the Q15 grid (logic, peaks, scale-invariant
+ *     spectral features) are shared between modes.
  * @throws ConfigError for unknown algorithms (cannot happen for
  *     validated programs).
  */
 std::unique_ptr<Kernel>
 makeKernel(const std::string &algorithm,
            const std::vector<double> &params,
-           const std::vector<il::NodeStream> &inputStreams);
+           const std::vector<il::NodeStream> &inputStreams,
+           KernelMode mode = KernelMode::Float64);
 
 /** Convenience overload for AST statements. */
 std::unique_ptr<Kernel>
 makeKernel(const il::Statement &stmt,
-           const std::vector<il::NodeStream> &inputStreams);
+           const std::vector<il::NodeStream> &inputStreams,
+           KernelMode mode = KernelMode::Float64);
 
 } // namespace sidewinder::hub
 

@@ -7,7 +7,9 @@
 
 #include "hub/kernel.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "dsp/features.h"
 #include "dsp/fft.h"
@@ -15,11 +17,136 @@
 #include "dsp/filters.h"
 #include "dsp/goertzel.h"
 #include "dsp/peaks.h"
+#include "dsp/q15.h"
 #include "dsp/threshold.h"
 #include "dsp/window.h"
 #include "support/error.h"
 
 namespace sidewinder::hub {
+
+namespace {
+
+constexpr std::uint8_t kWaveIdle =
+    static_cast<std::uint8_t>(WaveState::Idle);
+constexpr std::uint8_t kWaveBlocked =
+    static_cast<std::uint8_t>(WaveState::Blocked);
+constexpr std::uint8_t kWaveEmitted =
+    static_cast<std::uint8_t>(WaveState::Emitted);
+
+/** Did this input emit on wave @p w? (Channels always emit.) */
+inline bool
+inputPresent(const BlockInput &in, std::size_t w)
+{
+    return in.states == nullptr || in.states[w] == kWaveEmitted;
+}
+
+/**
+ * Shared skeleton for single-input scalar-to-scalar streaming kernels
+ * (AllInputs policy, so RunPartial never occurs): @p step consumes one
+ * sample and either writes the output scalar (returning true) or
+ * produces nothing, in which case the wave lands in @p miss_state
+ * (Idle for accumulators, Blocked for admission control).
+ */
+template <typename Step>
+inline void
+runScalarBlock(const BlockInput &in, const BlockFire *fire,
+               std::size_t count, const BlockOutput &out,
+               std::uint8_t miss_state, Step step)
+{
+    if (fire == nullptr) {
+        // Dense fast path: every wave fires, no per-wave branching on
+        // engine decisions — the loop the compiler can pipeline.
+        for (std::size_t w = 0; w < count; ++w)
+            out.states[w] = step(in.scalars[w], out.scalars[w])
+                                ? kWaveEmitted
+                                : miss_state;
+        return;
+    }
+    for (std::size_t w = 0; w < count; ++w) {
+        const BlockFire decision = fire[w];
+        if (decision == BlockFire::SkipIdle)
+            out.states[w] = kWaveIdle;
+        else if (decision == BlockFire::SkipBlocked)
+            out.states[w] = kWaveBlocked;
+        else
+            out.states[w] = step(in.scalars[w], out.scalars[w])
+                                ? kWaveEmitted
+                                : miss_state;
+    }
+}
+
+/** As runScalarBlock, for frame-emitting kernels (window). */
+template <typename Step>
+inline void
+runScalarToFrameBlock(const BlockInput &in, const BlockFire *fire,
+                      std::size_t count, const BlockOutput &out,
+                      Step step)
+{
+    if (fire == nullptr) {
+        for (std::size_t w = 0; w < count; ++w)
+            out.states[w] = step(in.scalars[w], out.boxed[w])
+                                ? kWaveEmitted
+                                : kWaveIdle;
+        return;
+    }
+    for (std::size_t w = 0; w < count; ++w) {
+        const BlockFire decision = fire[w];
+        if (decision == BlockFire::SkipIdle)
+            out.states[w] = kWaveIdle;
+        else if (decision == BlockFire::SkipBlocked)
+            out.states[w] = kWaveBlocked;
+        else
+            out.states[w] = step(in.scalars[w], out.boxed[w])
+                                ? kWaveEmitted
+                                : kWaveIdle;
+    }
+}
+
+} // namespace
+
+void
+Kernel::invokeBlock(const std::vector<BlockInput> &inputs,
+                    const BlockFire *fire, std::size_t count,
+                    const BlockOutput &out)
+{
+    // Reference fallback: replay the per-sample invokeInto() path wave
+    // by wave, boxing scalar lanes into temporary Values and patching
+    // nulls for partial firings — bit-identical to the per-sample wave
+    // loop for any kernel, at per-sample cost.
+    std::vector<Value> boxed_scalars(inputs.size());
+    std::vector<const Value *> ptrs(inputs.size());
+    const bool rejects = conditional();
+    Value scalar_out;
+    for (std::size_t w = 0; w < count; ++w) {
+        const BlockFire decision = fire ? fire[w] : BlockFire::RunAll;
+        if (decision == BlockFire::SkipIdle) {
+            out.states[w] = kWaveIdle;
+            continue;
+        }
+        if (decision == BlockFire::SkipBlocked) {
+            out.states[w] = kWaveBlocked;
+            continue;
+        }
+        for (std::size_t k = 0; k < inputs.size(); ++k) {
+            const BlockInput &in = inputs[k];
+            if (decision == BlockFire::RunPartial &&
+                !inputPresent(in, w)) {
+                ptrs[k] = nullptr;
+            } else if (in.boxed != nullptr) {
+                ptrs[k] = &in.boxed[w];
+            } else {
+                boxed_scalars[k] = Value(in.scalars[w]);
+                ptrs[k] = &boxed_scalars[k];
+            }
+        }
+        Value &dest = out.boxed != nullptr ? out.boxed[w] : scalar_out;
+        const bool ok = invokeInto(ptrs, dest);
+        if (ok && out.scalars != nullptr)
+            out.scalars[w] = dest.scalar();
+        out.states[w] = ok ? kWaveEmitted
+                           : (rejects ? kWaveBlocked : kWaveIdle);
+    }
+}
 
 namespace {
 
@@ -38,6 +165,20 @@ class MovingAvgKernel : public Kernel
         return Value(*out);
     }
 
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveIdle,
+                       [this](double x, double &y) {
+                           auto r = filter.push(x);
+                           if (!r)
+                               return false;
+                           y = *r;
+                           return true;
+                       });
+    }
+
     void reset() override { filter.reset(); }
 
   private:
@@ -54,6 +195,17 @@ class ExpMovingAvgKernel : public Kernel
     invoke(const std::vector<const Value *> &inputs) override
     {
         return Value(filter.push(inputs[0]->scalar()));
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveIdle,
+                       [this](double x, double &y) {
+                           y = filter.push(x);
+                           return true;
+                       });
     }
 
     void reset() override { filter.reset(); }
@@ -79,6 +231,42 @@ class WindowKernel : public Kernel
     {
         return partitioner.pushInto(inputs[0]->scalar(),
                                     out.frameStorage());
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        if (fire == nullptr) {
+            // Dense lane: bulk-append the quiet stretch between frame
+            // completions (a contiguous insert, not one push per
+            // wave), and run the per-sample path only on the wave
+            // that completes a frame — identical resulting state.
+            const double *lane = inputs[0].scalars;
+            std::size_t w = 0;
+            while (w < count) {
+                const std::size_t quiet = std::min(
+                    partitioner.remainingToFrame() - 1, count - w);
+                if (quiet != 0) {
+                    partitioner.appendPartial(lane + w, quiet);
+                    std::memset(out.states + w, kWaveIdle, quiet);
+                    w += quiet;
+                }
+                if (w == count)
+                    break;
+                out.states[w] =
+                    partitioner.pushInto(lane[w],
+                                         out.boxed[w].frameStorage())
+                        ? kWaveEmitted
+                        : kWaveIdle;
+                ++w;
+            }
+            return;
+        }
+        runScalarToFrameBlock(
+            inputs[0], fire, count, out, [this](double x, Value &frame) {
+                return partitioner.pushInto(x, frame.frameStorage());
+            });
     }
 
     void reset() override { partitioner.reset(); }
@@ -190,6 +378,24 @@ class VectorMagnitudeKernel : public Kernel
         out = Value(std::sqrt(sum));
         return true;
     }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        if (fire != nullptr) {
+            // AllInputs with upstream gaps: rare, replay per-sample.
+            Kernel::invokeBlock(inputs, fire, count, out);
+            return;
+        }
+        for (std::size_t w = 0; w < count; ++w) {
+            double sum = 0.0;
+            for (const BlockInput &in : inputs)
+                sum += in.scalars[w] * in.scalars[w];
+            out.scalars[w] = std::sqrt(sum);
+            out.states[w] = kWaveEmitted;
+        }
+    }
 };
 
 /** Frame -> scalar reducers (zcr, statistics). */
@@ -204,6 +410,25 @@ class ReducerKernel : public Kernel
     invoke(const std::vector<const Value *> &inputs) override
     {
         return Value(fn(inputs[0]->frame()));
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        const BlockInput &in = inputs[0];
+        for (std::size_t w = 0; w < count; ++w) {
+            const BlockFire decision =
+                fire ? fire[w] : BlockFire::RunAll;
+            if (decision == BlockFire::SkipIdle)
+                out.states[w] = kWaveIdle;
+            else if (decision == BlockFire::SkipBlocked)
+                out.states[w] = kWaveBlocked;
+            else {
+                out.scalars[w] = fn(in.boxed[w].frame());
+                out.states[w] = kWaveEmitted;
+            }
+        }
     }
 
   private:
@@ -287,6 +512,19 @@ class ThresholdKernel : public Kernel
         return Value(*out);
     }
 
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveBlocked,
+                       [this](double x, double &y) {
+                           if (!threshold.admits(x))
+                               return false;
+                           y = x;
+                           return true;
+                       });
+    }
+
     bool conditional() const override { return true; }
 
   private:
@@ -311,6 +549,20 @@ class PeakKernel : public Kernel
         return Value(*out);
     }
 
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveIdle,
+                       [this](double x, double &y) {
+                           auto r = detector.push(x);
+                           if (!r)
+                               return false;
+                           y = *r;
+                           return true;
+                       });
+    }
+
     void reset() override { detector.reset(); }
 
   private:
@@ -326,6 +578,17 @@ class AndKernel : public Kernel
     {
         return Value(inputs[0]->scalar());
     }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveIdle,
+                       [](double x, double &y) {
+                           y = x;
+                           return true;
+                       });
+    }
 };
 
 /** or: fires when any branch fired; forwards the first present one. */
@@ -339,6 +602,33 @@ class OrKernel : public Kernel
             if (v != nullptr)
                 return Value(v->scalar());
         return std::nullopt;
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        for (std::size_t w = 0; w < count; ++w) {
+            const BlockFire decision =
+                fire ? fire[w] : BlockFire::RunAll;
+            if (decision == BlockFire::SkipIdle) {
+                out.states[w] = kWaveIdle;
+                continue;
+            }
+            if (decision == BlockFire::SkipBlocked) {
+                out.states[w] = kWaveBlocked;
+                continue;
+            }
+            out.states[w] = kWaveIdle;
+            for (const BlockInput &in : inputs) {
+                if (decision == BlockFire::RunAll ||
+                    inputPresent(in, w)) {
+                    out.scalars[w] = in.scalars[w];
+                    out.states[w] = kWaveEmitted;
+                    break;
+                }
+            }
+        }
     }
 
     FiringPolicy firingPolicy() const override
@@ -375,6 +665,40 @@ class ConsecutiveKernel : public Kernel
         return std::nullopt;
     }
 
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t waves,
+                     const BlockOutput &out) override
+    {
+        const BlockInput &in = inputs[0];
+        for (std::size_t w = 0; w < waves; ++w) {
+            const BlockFire decision =
+                fire ? fire[w] : BlockFire::RunAll;
+            if (decision == BlockFire::SkipIdle) {
+                out.states[w] = kWaveIdle;
+                continue;
+            }
+            if (decision == BlockFire::SkipBlocked) {
+                out.states[w] = kWaveBlocked;
+                continue;
+            }
+            // RunPartial on the single input means it blocked this
+            // wave: an observed miss resets the streak.
+            if (decision == BlockFire::RunPartial &&
+                !inputPresent(in, w)) {
+                count = 0;
+                out.states[w] = kWaveBlocked;
+                continue;
+            }
+            ++count;
+            if (count >= required && count % required == 0) {
+                out.scalars[w] = in.scalars[w];
+                out.states[w] = kWaveEmitted;
+            } else {
+                out.states[w] = kWaveBlocked;
+            }
+        }
+    }
+
     void reset() override { count = 0; }
 
     FiringPolicy firingPolicy() const override
@@ -389,20 +713,671 @@ class ConsecutiveKernel : public Kernel
     std::size_t count = 0;
 };
 
+// ---------------------------------------------------------------------
+// Q15 fixed-point variants (KernelMode::FixedQ15): the numeric kernels
+// quantize to the MCU's 16-bit sample format, compute with saturating
+// integer arithmetic (dsp/q15.h), and dequantize results — so the
+// Values flowing between nodes stay doubles, but every one of them
+// lies exactly on the Q15 grid the firmware would produce. Kernels
+// whose behavior is already grid-exact on such inputs (logic, peaks,
+// spectral features over compensated magnitudes) are shared with the
+// float set.
+
+/** movingAvg(n) on Q15 samples with a 32-bit running sum. */
+class Q15MovingAvgKernel : public Kernel
+{
+  public:
+    explicit Q15MovingAvgKernel(std::size_t n) : filter(n) {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        auto out = filter.push(dsp::toQ15(inputs[0]->scalar()));
+        if (!out)
+            return std::nullopt;
+        return Value(dsp::fromQ15(*out));
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveIdle,
+                       [this](double x, double &y) {
+                           auto r = filter.push(dsp::toQ15(x));
+                           if (!r)
+                               return false;
+                           y = dsp::fromQ15(*r);
+                           return true;
+                       });
+    }
+
+    void reset() override { filter.reset(); }
+
+  private:
+    dsp::Q15MovingAverage filter;
+};
+
+/** expMovingAvg(alpha) in Q15. */
+class Q15ExpMovingAvgKernel : public Kernel
+{
+  public:
+    explicit Q15ExpMovingAvgKernel(double alpha) : filter(alpha) {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(
+            dsp::fromQ15(filter.push(dsp::toQ15(inputs[0]->scalar()))));
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveIdle,
+                       [this](double x, double &y) {
+                           y = dsp::fromQ15(filter.push(dsp::toQ15(x)));
+                           return true;
+                       });
+    }
+
+    void reset() override { filter.reset(); }
+
+  private:
+    dsp::Q15ExponentialMovingAverage filter;
+};
+
+/**
+ * window(size[, hamming[, hop]]) storing Q15 samples — exactly the
+ * 2 bytes per retained sample that il::nodeRamBytes charges. Hamming
+ * coefficients are quantized once; the taper multiply is q15Mul.
+ * Emitted frames are the dequantized Q15 products.
+ */
+class Q15WindowKernel : public Kernel
+{
+  public:
+    Q15WindowKernel(std::size_t size, bool hamming, std::size_t hop)
+        : frameSize(size), hopSize(hop == 0 ? size : hop)
+    {
+        if (frameSize == 0)
+            throw ConfigError("window size must be positive");
+        if (hopSize == 0 || hopSize > frameSize)
+            throw ConfigError("window hop must be in [1, size]");
+        pending.reserve(frameSize);
+        if (hamming) {
+            coefficients.resize(frameSize);
+            for (std::size_t i = 0; i < frameSize; ++i)
+                coefficients[i] =
+                    dsp::toQ15(dsp::hammingCoefficient(i, frameSize));
+        }
+    }
+
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
+    {
+        return push(dsp::toQ15(inputs[0]->scalar()),
+                    out.frameStorage());
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarToFrameBlock(
+            inputs[0], fire, count, out, [this](double x, Value &frame) {
+                return push(dsp::toQ15(x), frame.frameStorage());
+            });
+    }
+
+    void reset() override { pending.clear(); }
+
+  private:
+    bool
+    push(dsp::Q15 sample, std::vector<double> &frame)
+    {
+        pending.push_back(sample);
+        if (pending.size() < frameSize)
+            return false;
+        frame.resize(frameSize);
+        if (coefficients.empty()) {
+            for (std::size_t i = 0; i < frameSize; ++i)
+                frame[i] = dsp::fromQ15(pending[i]);
+        } else {
+            for (std::size_t i = 0; i < frameSize; ++i)
+                frame[i] = dsp::fromQ15(
+                    dsp::q15Mul(pending[i], coefficients[i]));
+        }
+        pending.erase(pending.begin(),
+                      pending.begin() +
+                          static_cast<std::ptrdiff_t>(hopSize));
+        return true;
+    }
+
+    std::size_t frameSize;
+    std::size_t hopSize;
+    std::vector<dsp::Q15> pending;
+    std::vector<dsp::Q15> coefficients;
+};
+
+/** fft in Q15: forward transform scaled by 1/N (see Q15FftPlan). */
+class Q15FftKernel : public Kernel
+{
+  public:
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
+    {
+        const auto &frame = inputs[0]->frame();
+        const std::size_t n = frame.size();
+        if (!plan || plan->size() != n)
+            plan = dsp::Q15FftPlan::forSize(n);
+        re.resize(n);
+        im.assign(n, 0);
+        dsp::quantizeQ15(frame.data(), re.data(), n);
+        plan->forward(re.data(), im.data());
+        auto &bins = out.complexFrameStorage();
+        bins.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            bins[i] = dsp::Complex(dsp::fromQ15(re[i]),
+                                   dsp::fromQ15(im[i]));
+        return true;
+    }
+
+  private:
+    std::shared_ptr<const dsp::Q15FftPlan> plan;
+    std::vector<dsp::Q15> re;
+    std::vector<dsp::Q15> im;
+};
+
+/** ifft in Q15: unscaled inverse of the 1/N-scaled forward. */
+class Q15IfftKernel : public Kernel
+{
+  public:
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
+    {
+        const auto &bins = inputs[0]->complexFrame();
+        const std::size_t n = bins.size();
+        if (!plan || plan->size() != n)
+            plan = dsp::Q15FftPlan::forSize(n);
+        re.resize(n);
+        im.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            re[i] = dsp::toQ15(bins[i].real());
+            im[i] = dsp::toQ15(bins[i].imag());
+        }
+        plan->inverse(re.data(), im.data());
+        auto &frame = out.frameStorage();
+        frame.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            frame[i] = dsp::fromQ15(re[i]);
+        return true;
+    }
+
+  private:
+    std::shared_ptr<const dsp::Q15FftPlan> plan;
+    std::vector<dsp::Q15> re;
+    std::vector<dsp::Q15> im;
+};
+
+/**
+ * spectrum over Q15 FFT bins: multiplies the magnitudes by N to undo
+ * the forward transform's 1/N block scaling, so downstream features
+ * and thresholds see magnitudes on the same scale as the float
+ * pipeline. The magnitude square root is the one floating step.
+ */
+class Q15SpectrumKernel : public Kernel
+{
+  public:
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
+    {
+        const auto &bins = inputs[0]->complexFrame();
+        const std::size_t half = bins.size() / 2;
+        const double scale = static_cast<double>(bins.size());
+        auto &mags = out.frameStorage();
+        mags.clear();
+        mags.reserve(half + 1);
+        for (std::size_t i = 0; i <= half && i < bins.size(); ++i)
+            mags.push_back(std::abs(bins[i]) * scale);
+        return true;
+    }
+};
+
+/**
+ * lowPass / highPass in Q15: the same FFT block filter shape as the
+ * float kernel, run through the fixed-point transform — forward
+ * (scaled 1/N), zero the stop band, unscaled inverse restores the
+ * time-domain scale.
+ */
+class Q15BlockFilterKernel : public Kernel
+{
+  public:
+    Q15BlockFilterKernel(dsp::PassBand band, double cutoff_hz,
+                         double sample_rate_hz)
+        : direction(band), cutoff(cutoff_hz), sampleRate(sample_rate_hz)
+    {
+        if (!(cutoff_hz > 0.0))
+            throw ConfigError("filter cutoff must be positive");
+        if (!(sample_rate_hz > 0.0))
+            throw ConfigError("sample rate must be positive");
+        if (cutoff_hz >= sample_rate_hz / 2.0)
+            throw ConfigError("filter cutoff must be below Nyquist");
+    }
+
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
+    {
+        const auto &frame = inputs[0]->frame();
+        const std::size_t n = frame.size();
+        if (!plan || plan->size() != n)
+            plan = dsp::Q15FftPlan::forSize(n);
+        re.resize(n);
+        im.assign(n, 0);
+        dsp::quantizeQ15(frame.data(), re.data(), n);
+        plan->forward(re.data(), im.data());
+
+        // Zero the stop band, mirroring FftBlockFilter: bin i and its
+        // conjugate mirror n-i carry the same frequency.
+        for (std::size_t i = 0; i <= n / 2; ++i) {
+            const double freq = dsp::binFrequencyHz(i, n, sampleRate);
+            const bool keep = direction == dsp::PassBand::LowPass
+                                  ? freq <= cutoff
+                                  : freq >= cutoff;
+            if (!keep) {
+                re[i] = 0;
+                im[i] = 0;
+                if (i != 0 && i != n / 2) {
+                    re[n - i] = 0;
+                    im[n - i] = 0;
+                }
+            }
+        }
+
+        plan->inverse(re.data(), im.data());
+        auto &filtered = out.frameStorage();
+        filtered.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            filtered[i] = dsp::fromQ15(re[i]);
+        return true;
+    }
+
+  private:
+    dsp::PassBand direction;
+    double cutoff;
+    double sampleRate;
+    std::shared_ptr<const dsp::Q15FftPlan> plan;
+    std::vector<dsp::Q15> re;
+    std::vector<dsp::Q15> im;
+};
+
+/** vectorMagnitude with a 64-bit integer sum of Q15 squares. */
+class Q15VectorMagnitudeKernel : public Kernel
+{
+  public:
+    bool
+    invokeInto(const std::vector<const Value *> &inputs,
+               Value &out) override
+    {
+        std::int64_t sum = 0;
+        for (const Value *v : inputs) {
+            const std::int32_t q = dsp::toQ15(v->scalar());
+            sum += static_cast<std::int64_t>(q) * q;
+        }
+        out = Value(std::sqrt(static_cast<double>(sum)) / dsp::kQ15One);
+        return true;
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        if (fire != nullptr) {
+            Kernel::invokeBlock(inputs, fire, count, out);
+            return;
+        }
+        for (std::size_t w = 0; w < count; ++w) {
+            std::int64_t sum = 0;
+            for (const BlockInput &in : inputs) {
+                const std::int32_t q = dsp::toQ15(in.scalars[w]);
+                sum += static_cast<std::int64_t>(q) * q;
+            }
+            out.scalars[w] =
+                std::sqrt(static_cast<double>(sum)) / dsp::kQ15One;
+            out.states[w] = kWaveEmitted;
+        }
+    }
+};
+
+/**
+ * Frame reducers over quantized samples: integer accumulators
+ * (16x16->64 MACs), one floating divide/sqrt at the end — the
+ * firmware's shape for statistics on Q15 buffers.
+ */
+class Q15ReducerKernel : public Kernel
+{
+  public:
+    enum class Op { Zcr, Mean, Variance, Stddev, Min, Max, Rms, Range };
+
+    explicit Q15ReducerKernel(Op op) : op(op) {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        return Value(reduce(inputs[0]->frame()));
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        const BlockInput &in = inputs[0];
+        for (std::size_t w = 0; w < count; ++w) {
+            const BlockFire decision =
+                fire ? fire[w] : BlockFire::RunAll;
+            if (decision == BlockFire::SkipIdle)
+                out.states[w] = kWaveIdle;
+            else if (decision == BlockFire::SkipBlocked)
+                out.states[w] = kWaveBlocked;
+            else {
+                out.scalars[w] = reduce(in.boxed[w].frame());
+                out.states[w] = kWaveEmitted;
+            }
+        }
+    }
+
+  private:
+    double
+    reduce(const std::vector<double> &frame)
+    {
+        const std::size_t n = frame.size();
+        scratch.resize(n);
+        dsp::quantizeQ15(frame.data(), scratch.data(), n);
+        switch (op) {
+          case Op::Zcr: {
+            if (n < 2)
+                return 0.0;
+            std::size_t crossings = 0;
+            for (std::size_t i = 1; i < n; ++i)
+                if ((scratch[i - 1] < 0) != (scratch[i] < 0))
+                    ++crossings;
+            return static_cast<double>(crossings) /
+                   static_cast<double>(n - 1);
+          }
+          case Op::Mean: {
+            if (n == 0)
+                return 0.0;
+            std::int64_t sum = 0;
+            for (dsp::Q15 q : scratch)
+                sum += q;
+            return static_cast<double>(sum) /
+                   (static_cast<double>(n) * dsp::kQ15One);
+          }
+          case Op::Variance:
+          case Op::Stddev: {
+            if (n < 2)
+                return 0.0;
+            std::int64_t sum = 0;
+            std::int64_t sum_sq = 0;
+            for (dsp::Q15 q : scratch) {
+                sum += q;
+                sum_sq += static_cast<std::int64_t>(q) * q;
+            }
+            // Population variance from the exact integer moments:
+            // (E[x^2] - E[x]^2) in Q15^2 counts.
+            const double nn = static_cast<double>(n);
+            const double var =
+                (static_cast<double>(sum_sq) -
+                 static_cast<double>(sum) *
+                     static_cast<double>(sum) / nn) /
+                (nn * dsp::kQ15One * dsp::kQ15One);
+            return op == Op::Variance ? std::max(var, 0.0)
+                                      : std::sqrt(std::max(var, 0.0));
+          }
+          case Op::Min:
+          case Op::Max:
+          case Op::Range: {
+            if (n == 0)
+                throw ConfigError("reducer on empty frame");
+            dsp::Q15 lo = scratch[0];
+            dsp::Q15 hi = scratch[0];
+            for (dsp::Q15 q : scratch) {
+                lo = std::min(lo, q);
+                hi = std::max(hi, q);
+            }
+            if (op == Op::Min)
+                return dsp::fromQ15(lo);
+            if (op == Op::Max)
+                return dsp::fromQ15(hi);
+            return dsp::fromQ15(hi) - dsp::fromQ15(lo);
+          }
+          case Op::Rms: {
+            if (n == 0)
+                return 0.0;
+            std::int64_t sum_sq = 0;
+            for (dsp::Q15 q : scratch)
+                sum_sq += static_cast<std::int64_t>(q) * q;
+            return std::sqrt(static_cast<double>(sum_sq) /
+                             static_cast<double>(n)) /
+                   dsp::kQ15One;
+          }
+        }
+        return 0.0;
+    }
+
+    Op op;
+    std::vector<dsp::Q15> scratch;
+};
+
+/** goertzel / goertzelRel with the widened fixed-point recurrence. */
+class Q15GoertzelKernel : public Kernel
+{
+  public:
+    Q15GoertzelKernel(double target_hz, double base_rate_hz,
+                      bool relative)
+        : targetHz(target_hz), baseRateHz(base_rate_hz),
+          relative(relative)
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        const auto &frame = inputs[0]->frame();
+        scratch.resize(frame.size());
+        dsp::quantizeQ15(frame.data(), scratch.data(), frame.size());
+        return Value(relative
+                         ? dsp::q15GoertzelRelative(
+                               scratch.data(), scratch.size(),
+                               targetHz, baseRateHz)
+                         : dsp::q15GoertzelMagnitude(
+                               scratch.data(), scratch.size(),
+                               targetHz, baseRateHz));
+    }
+
+  private:
+    double targetHz;
+    double baseRateHz;
+    bool relative;
+    std::vector<dsp::Q15> scratch;
+};
+
+/**
+ * Threshold in Q15 mode. Limits within the Q15 range compare as
+ * quantized integers (dsp::Q15Threshold) and forward the quantized
+ * value; limits outside ±1 — frequencies in Hz, peak-to-mean ratios —
+ * live in feature units the 16-bit firmware compares in a wider
+ * format, so those fall back to the exact double comparison.
+ */
+class Q15ThresholdKernel : public Kernel
+{
+  public:
+    explicit Q15ThresholdKernel(dsp::Threshold threshold)
+        : ref(threshold),
+          q15(threshold.kind(), threshold.lowLimit(),
+              threshold.highLimit()),
+          useQ15(fitsQ15(threshold.lowLimit()) &&
+                 fitsQ15(threshold.highLimit()))
+    {}
+
+    std::optional<Value>
+    invoke(const std::vector<const Value *> &inputs) override
+    {
+        double y;
+        if (!admit(inputs[0]->scalar(), y))
+            return std::nullopt;
+        return Value(y);
+    }
+
+    void invokeBlock(const std::vector<BlockInput> &inputs,
+                     const BlockFire *fire, std::size_t count,
+                     const BlockOutput &out) override
+    {
+        runScalarBlock(inputs[0], fire, count, out, kWaveBlocked,
+                       [this](double x, double &y) {
+                           return admit(x, y);
+                       });
+    }
+
+    bool conditional() const override { return true; }
+
+  private:
+    static bool
+    fitsQ15(double v)
+    {
+        return v >= -1.0 && v < 1.0;
+    }
+
+    bool
+    admit(double x, double &y)
+    {
+        if (useQ15) {
+            const dsp::Q15 q = dsp::toQ15(x);
+            if (!q15.admits(q))
+                return false;
+            y = dsp::fromQ15(q);
+            return true;
+        }
+        if (!ref.admits(x))
+            return false;
+        y = x;
+        return true;
+    }
+
+    dsp::Threshold ref;
+    dsp::Q15Threshold q15;
+    bool useQ15;
+};
+
+} // namespace
+
+namespace {
+
+/**
+ * Q15 variant dispatch; nullptr for algorithms shared between modes
+ * (logic, peaks, spectral features — their inputs are already on the
+ * Q15 grid or in compensated feature units, so the float kernel is
+ * the fixed-point behavior).
+ */
+std::unique_ptr<Kernel>
+makeQ15Kernel(const std::string &name, const std::vector<double> &p,
+              const il::NodeStream &in)
+{
+    if (name == "movingAvg")
+        return std::make_unique<Q15MovingAvgKernel>(
+            static_cast<std::size_t>(p[0]));
+    if (name == "expMovingAvg")
+        return std::make_unique<Q15ExpMovingAvgKernel>(p[0]);
+    if (name == "window") {
+        const auto size = static_cast<std::size_t>(p[0]);
+        const bool hamming = p.size() >= 2 && p[1] != 0.0;
+        const auto hop =
+            p.size() >= 3 ? static_cast<std::size_t>(p[2]) : size;
+        return std::make_unique<Q15WindowKernel>(size, hamming, hop);
+    }
+    if (name == "fft")
+        return std::make_unique<Q15FftKernel>();
+    if (name == "ifft")
+        return std::make_unique<Q15IfftKernel>();
+    if (name == "spectrum")
+        return std::make_unique<Q15SpectrumKernel>();
+    if (name == "lowPass")
+        return std::make_unique<Q15BlockFilterKernel>(
+            dsp::PassBand::LowPass, p[0], in.baseRateHz);
+    if (name == "highPass")
+        return std::make_unique<Q15BlockFilterKernel>(
+            dsp::PassBand::HighPass, p[0], in.baseRateHz);
+    if (name == "goertzel")
+        return std::make_unique<Q15GoertzelKernel>(p[0], in.baseRateHz,
+                                                   false);
+    if (name == "goertzelRel")
+        return std::make_unique<Q15GoertzelKernel>(p[0], in.baseRateHz,
+                                                   true);
+    if (name == "vectorMagnitude")
+        return std::make_unique<Q15VectorMagnitudeKernel>();
+    if (name == "zcr")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Zcr);
+    if (name == "mean")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Mean);
+    if (name == "variance")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Variance);
+    if (name == "stddev")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Stddev);
+    if (name == "min")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Min);
+    if (name == "max")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Max);
+    if (name == "rms")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Rms);
+    if (name == "range")
+        return std::make_unique<Q15ReducerKernel>(
+            Q15ReducerKernel::Op::Range);
+    if (name == "minThreshold")
+        return std::make_unique<Q15ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::Min, p[0]));
+    if (name == "maxThreshold")
+        return std::make_unique<Q15ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::Max, p[0]));
+    if (name == "bandThreshold")
+        return std::make_unique<Q15ThresholdKernel>(
+            dsp::Threshold(dsp::ThresholdKind::Band, p[0], p[1]));
+    if (name == "outsideBandThreshold")
+        return std::make_unique<Q15ThresholdKernel>(dsp::Threshold(
+            dsp::ThresholdKind::OutsideBand, p[0], p[1]));
+    return nullptr;
+}
+
 } // namespace
 
 std::unique_ptr<Kernel>
 makeKernel(const il::Statement &stmt,
-           const std::vector<il::NodeStream> &inputStreams)
+           const std::vector<il::NodeStream> &inputStreams,
+           KernelMode mode)
 {
-    return makeKernel(stmt.algorithm, stmt.params, inputStreams);
+    return makeKernel(stmt.algorithm, stmt.params, inputStreams, mode);
 }
 
 std::unique_ptr<Kernel>
 makeKernel(const std::string &name, const std::vector<double> &p,
-           const std::vector<il::NodeStream> &inputStreams)
+           const std::vector<il::NodeStream> &inputStreams,
+           KernelMode mode)
 {
     const auto &in = inputStreams.front();
+
+    if (mode == KernelMode::FixedQ15)
+        if (auto kernel = makeQ15Kernel(name, p, in))
+            return kernel;
 
     if (name == "movingAvg")
         return std::make_unique<MovingAvgKernel>(

@@ -208,6 +208,9 @@ HubRuntime::enableBatchStreaming(std::size_t channel_index,
         throw ConfigError("batch streaming needs a positive batch");
     BatchStream stream;
     stream.batchSamples = batch_samples;
+    // Size the buffer once: the steady-state streaming path (per
+    // sample or per block) never reallocates it.
+    stream.pending.reserve(batch_samples);
     batchStreams[channel_index] = std::move(stream);
 }
 
@@ -215,6 +218,48 @@ void
 HubRuntime::disableBatchStreaming(std::size_t channel_index)
 {
     batchStreams.erase(channel_index);
+}
+
+void
+HubRuntime::flushBatch(std::size_t channel, BatchStream &stream,
+                       double timestamp)
+{
+    transport::SensorBatchMessage message;
+    message.channelIndex = static_cast<std::int32_t>(channel);
+    message.firstTimestamp = stream.firstTimestamp;
+    message.sampleRateHz = dataflow.channels()[channel].sampleRateHz;
+    message.samples = std::move(stream.pending);
+    link.hubToPhone().sendFrame(transport::encodeSensorBatch(message),
+                                timestamp);
+    // Recover the batch buffer so the steady-state streaming path
+    // stops allocating once the first batch has sized it.
+    stream.pending = std::move(message.samples);
+    stream.pending.clear();
+}
+
+void
+HubRuntime::forwardWakeEvents()
+{
+    // Each event carries its own wave timestamp, so coalescing
+    // decisions are identical whether the events arrived one wave at
+    // a time or in a block.
+    for (const auto &event : dataflow.drainWakeEvents()) {
+        if (wakeCoalesceInterval > 0.0) {
+            const auto last = lastWakeSent.find(event.conditionId);
+            if (last != lastWakeSent.end() &&
+                event.timestamp - last->second < wakeCoalesceInterval) {
+                ++coalescedWakes;
+                continue;
+            }
+            lastWakeSent[event.conditionId] = event.timestamp;
+        }
+        transport::WakeUpMessage message;
+        message.conditionId = event.conditionId;
+        message.timestamp = event.timestamp;
+        message.triggerValue = event.value;
+        message.rawData = dataflow.rawSnapshot(event.conditionId);
+        sendToPhone(transport::encodeWakeUp(message), event.timestamp);
+    }
 }
 
 void
@@ -227,39 +272,41 @@ HubRuntime::pushSamples(const std::vector<double> &values,
         if (stream.pending.empty())
             stream.firstTimestamp = timestamp;
         stream.pending.push_back(values[channel]);
-        if (stream.pending.size() >= stream.batchSamples) {
-            transport::SensorBatchMessage message;
-            message.channelIndex = static_cast<std::int32_t>(channel);
-            message.firstTimestamp = stream.firstTimestamp;
-            message.sampleRateHz =
-                dataflow.channels()[channel].sampleRateHz;
-            message.samples = std::move(stream.pending);
-            link.hubToPhone().sendFrame(
-                transport::encodeSensorBatch(message), timestamp);
-            // Recover the batch buffer so the steady-state streaming
-            // path stops allocating once the first batch has sized it.
-            stream.pending = std::move(message.samples);
-            stream.pending.clear();
+        if (stream.pending.size() >= stream.batchSamples)
+            flushBatch(channel, stream, timestamp);
+    }
+
+    forwardWakeEvents();
+}
+
+void
+HubRuntime::pushBlock(const double *samples, std::size_t count,
+                      const double *timestamps)
+{
+    if (count == 0)
+        return;
+    dataflow.pushBlock(samples, count, timestamps);
+
+    for (auto &[channel, stream] : batchStreams) {
+        // Span append: whole slices of the caller's channel lane go
+        // into the batch buffer at once — no per-sample push_back.
+        const double *lane = samples + channel * count;
+        std::size_t done = 0;
+        while (done < count) {
+            if (stream.pending.empty())
+                stream.firstTimestamp = timestamps[done];
+            const std::size_t take =
+                std::min(stream.batchSamples - stream.pending.size(),
+                         count - done);
+            stream.pending.insert(stream.pending.end(), lane + done,
+                                  lane + done + take);
+            done += take;
+            if (stream.pending.size() >= stream.batchSamples)
+                flushBatch(channel, stream, timestamps[done - 1]);
         }
     }
 
-    for (const auto &event : dataflow.drainWakeEvents()) {
-        if (wakeCoalesceInterval > 0.0) {
-            const auto last = lastWakeSent.find(event.conditionId);
-            if (last != lastWakeSent.end() &&
-                timestamp - last->second < wakeCoalesceInterval) {
-                ++coalescedWakes;
-                continue;
-            }
-            lastWakeSent[event.conditionId] = timestamp;
-        }
-        transport::WakeUpMessage message;
-        message.conditionId = event.conditionId;
-        message.timestamp = event.timestamp;
-        message.triggerValue = event.value;
-        message.rawData = dataflow.rawSnapshot(event.conditionId);
-        sendToPhone(transport::encodeWakeUp(message), timestamp);
-    }
+    forwardWakeEvents();
 }
 
 } // namespace sidewinder::hub

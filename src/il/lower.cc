@@ -1,6 +1,7 @@
 #include "il/lower.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
@@ -99,6 +100,12 @@ lower(const Program &program, const std::vector<ChannelInfo> &channels,
         for (const auto &s : input_streams)
             rate = std::min(rate, s.fireRateHz);
         plan.invokeRateHz.push_back(rate);
+        // Invocations per emission: a decimating node (window with
+        // hop h) fires its output once every `stride` invokes.
+        const double out_rate = stream_map.at(stmt.id).fireRateHz;
+        plan.blockStride.push_back(static_cast<std::uint32_t>(
+            out_rate > 0.0 ? std::max(1.0, std::round(rate / out_rate))
+                           : 1.0));
         plan.ramBytes.push_back(
             nodeRamBytes(*info, stmt.params, input_streams.front(),
                          stream_map.at(stmt.id)));

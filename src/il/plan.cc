@@ -178,7 +178,8 @@ renderPlan(const ExecutionPlan &plan)
         out << " | " << describeStream(plan.streams[i])
             << " | cycles/invoke " << formatRate(plan.cyclesPerInvoke[i])
             << " @ " << formatRate(plan.invokeRateHz[i]) << " Hz | ram "
-            << plan.ramBytes[i] << " B\n";
+            << plan.ramBytes[i] << " B | stride "
+            << plan.blockStride[i] << "\n";
     }
 
     out << "  out: n" << plan.outNode << "\n";

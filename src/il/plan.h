@@ -61,6 +61,15 @@ struct ExecutionPlan
     std::vector<double> invokeRateHz;
     /** Static RAM footprint in bytes (il::nodeRamBytes). */
     std::vector<std::size_t> ramBytes;
+    /**
+     * Block-execution stride: invocations per output emission,
+     * round(invokeRateHz / stream.fireRateHz), at least 1. A window
+     * of 256 has stride 256 (one frame per 256 waves); every-wave
+     * emitters have stride 1. Block schedulers use this to size
+     * batches so decimating nodes fire a whole number of times per
+     * block.
+     */
+    std::vector<std::uint32_t> blockStride;
     /** AST node id of the (first) statement lowered to this node. */
     std::vector<NodeId> sourceIds;
 

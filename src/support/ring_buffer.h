@@ -40,11 +40,19 @@ class RingBuffer
     void
     push(const T &value)
     {
-        storage[(head + count) % storage.size()] = value;
-        if (count == storage.size())
-            head = (head + 1) % storage.size();
-        else
+        // head < capacity and count <= capacity, so one conditional
+        // subtract replaces the modulo (an integer divide on what is
+        // the hottest loop of the sample path).
+        std::size_t tail = head + count;
+        if (tail >= storage.size())
+            tail -= storage.size();
+        storage[tail] = value;
+        if (count == storage.size()) {
+            if (++head == storage.size())
+                head = 0;
+        } else {
             ++count;
+        }
     }
 
     /** Number of elements currently retained. */
@@ -65,7 +73,10 @@ class RingBuffer
     {
         if (i >= count)
             throw InternalError("RingBuffer index out of range");
-        return storage[(head + i) % storage.size()];
+        std::size_t slot = head + i;
+        if (slot >= storage.size())
+            slot -= storage.size();
+        return storage[slot];
     }
 
     /** Oldest retained element. */

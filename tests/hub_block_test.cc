@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Block-execution tests: pushBlock() interleaved with per-sample
+ * pushes, cycle accounting, Q15-mode parity with the double pipeline
+ * on the shipped applications, the Q15 RAM model, and HubRuntime
+ * block ingestion against its per-sample path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "apps/apps.h"
+#include "dsp/q15.h"
+#include "hub/engine.h"
+#include "hub/mcu.h"
+#include "hub/runtime.h"
+#include "il/lower.h"
+#include "il/parser.h"
+#include "support/rng.h"
+#include "transport/link.h"
+#include "trace/audio_gen.h"
+#include "transport/messages.h"
+
+namespace sidewinder::hub {
+namespace {
+
+const std::vector<il::ChannelInfo> kChannels = {{"ACC_X", 50.0},
+                                                {"ACC_Y", 50.0},
+                                                {"ACC_Z", 50.0}};
+
+const char *kMotionIl = "ACC_X -> movingAvg(id=1, params={10});\n"
+                        "ACC_Y -> movingAvg(id=2, params={10});\n"
+                        "ACC_Z -> movingAvg(id=3, params={10});\n"
+                        "1,2,3 -> vectorMagnitude(id=4);\n"
+                        "4 -> minThreshold(id=5, params={1.2});\n"
+                        "5 -> OUT;\n";
+
+/** Deterministic per-wave stimulus, one value per channel. */
+void
+fillWave(Rng &rng, int wave, std::vector<double> &values)
+{
+    for (std::size_t c = 0; c < values.size(); ++c)
+        values[c] = std::sin(0.07 * wave *
+                             (static_cast<double>(c) + 1.0)) +
+                    rng.gaussian(0.0, 0.3);
+}
+
+TEST(HubBlock, BlocksAndSingleWavesInterleaveBitIdentically)
+{
+    // Blocks of varying sizes mixed with single pushes must leave the
+    // engine in exactly the per-sample state at every step.
+    const il::Program program = il::parse(kMotionIl);
+    Engine block_engine(kChannels, true);
+    Engine ref(kChannels, true);
+    block_engine.addCondition(1, program);
+    ref.addCondition(1, program);
+
+    Rng rng(21);
+    Rng pattern(22);
+    const std::size_t nch = kChannels.size();
+    std::vector<double> values(nch);
+    std::vector<double> packed;
+    std::vector<double> times;
+    int wave = 0;
+    std::size_t wakes = 0;
+
+    while (wave < 4000) {
+        // Alternate single pushes with blocks of 2..97 waves.
+        const bool single = pattern.uniform(0.0, 1.0) < 0.3;
+        const std::size_t count =
+            single ? 1
+                   : static_cast<std::size_t>(
+                         pattern.uniformInt(2, 97));
+        packed.assign(nch * count, 0.0);
+        times.resize(count);
+        std::vector<WakeEvent> want;
+        for (std::size_t w = 0; w < count; ++w) {
+            const double t = wave * 0.02;
+            fillWave(rng, wave, values);
+            for (std::size_t c = 0; c < nch; ++c)
+                packed[c * count + w] = values[c];
+            times[w] = t;
+            ref.pushSamples(values, t);
+            for (const auto &event : ref.drainWakeEvents())
+                want.push_back(event);
+            ++wave;
+        }
+        if (single)
+            block_engine.pushSamples(values, times[0]);
+        else
+            block_engine.pushBlock(packed.data(), count,
+                                   times.data());
+
+        const auto got = block_engine.drainWakeEvents();
+        ASSERT_EQ(got.size(), want.size()) << "wave " << wave;
+        for (std::size_t e = 0; e < got.size(); ++e) {
+            EXPECT_EQ(got[e].conditionId, want[e].conditionId);
+            EXPECT_EQ(got[e].timestamp, want[e].timestamp);
+            EXPECT_EQ(got[e].value, want[e].value);
+        }
+        wakes += got.size();
+    }
+
+    EXPECT_GT(wakes, 0u);
+    EXPECT_EQ(block_engine.rawSnapshot(1), ref.rawSnapshot(1));
+    // Firing decisions are identical, so the abstract cycle meter
+    // must agree up to floating-point summation order.
+    EXPECT_NEAR(block_engine.cyclesConsumed(), ref.cyclesConsumed(),
+                1e-6 * ref.cyclesConsumed() + 1e-9);
+}
+
+TEST(HubBlock, EvenlySpacedOverloadMatchesExplicitTimestamps)
+{
+    const il::Program program = il::parse(kMotionIl);
+    Engine a(kChannels, true);
+    Engine b(kChannels, true);
+    a.addCondition(1, program);
+    b.addCondition(1, program);
+
+    Rng rng(31);
+    const std::size_t nch = kChannels.size();
+    const std::size_t count = 256;
+    std::vector<double> values(nch);
+    std::vector<double> packed(nch * count);
+    std::vector<double> times(count);
+    const double dt = 0.02;
+    for (std::size_t w = 0; w < count; ++w) {
+        fillWave(rng, static_cast<int>(w), values);
+        for (std::size_t c = 0; c < nch; ++c)
+            packed[c * count + w] = values[c];
+        times[w] = 5.0 + static_cast<double>(w) * dt;
+    }
+    a.pushBlock(packed.data(), count, times.data());
+    b.pushBlock(packed.data(), count, 5.0, dt);
+
+    const auto ea = a.drainWakeEvents();
+    const auto eb = b.drainWakeEvents();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t e = 0; e < ea.size(); ++e) {
+        EXPECT_EQ(ea[e].timestamp, eb[e].timestamp);
+        EXPECT_EQ(ea[e].value, eb[e].value);
+    }
+}
+
+TEST(HubBlock, Q15EngineRamAccountingMatchesPlanModel)
+{
+    // The analyzer charges 2 bytes per retained sample
+    // (il::nodeRamBytes); dsp::Q15 is that sample, and a FixedQ15
+    // engine's accounting must land on the same plan numbers the
+    // admission path gates on.
+    static_assert(sizeof(dsp::Q15) == 2);
+
+    const il::Program program = il::parse(kMotionIl);
+    const il::ExecutionPlan plan =
+        il::lower(program, kChannels, il::LowerOptions{true});
+
+    Engine fixed(kChannels, true, 200, KernelMode::FixedQ15);
+    fixed.addCondition(1, plan);
+    EXPECT_EQ(fixed.estimatedRamBytes(), plan.cost().ramBytes);
+    EXPECT_EQ(fixed.kernelMode(), KernelMode::FixedQ15);
+
+    // Same plan, same accounting in the reference mode: the RAM
+    // model is the firmware (Q15) footprint in both.
+    Engine floating(kChannels, true, 200, KernelMode::Float64);
+    floating.addCondition(1, plan);
+    EXPECT_EQ(floating.estimatedRamBytes(), fixed.estimatedRamBytes());
+}
+
+TEST(HubBlock, Q15WakeEventsTrackDoublePipelineOnShippedAudioApps)
+{
+    // The Q15 pipeline is the firmware sample format of the audio
+    // hub: microphone samples are natively in [-1, 1), so the three
+    // audio applications run the fixed-point kernels at their real
+    // input scale. (Accelerometer traces carry values far outside
+    // ±1 and would saturate at quantization — the Q15 mode is not
+    // the deployment format for those chains.)
+    //
+    // Documented tolerance: driving both modes with the identical
+    // trace, every double-pipeline wake must have a Q15 wake within
+    // 0.75 s (a few 256-point hops at 4 kHz), with at least 90%
+    // matched and total counts within 15% plus small absolute slack.
+    trace::AudioTraceConfig config;
+    config.environment = trace::AudioEnvironment::Office;
+    config.durationSeconds = 120.0;
+    config.seed = 42;
+    config.phraseProbability = 0.5;
+    const trace::Trace audio = trace::generateAudioTrace(config);
+
+    std::size_t total_double_wakes = 0;
+    for (const auto &app : apps::audioApps()) {
+        const il::Program p = app->wakeCondition().compile();
+        Engine floating(app->channels(), true);
+        Engine fixed(app->channels(), true, 200,
+                     KernelMode::FixedQ15);
+        floating.addCondition(1, p);
+        fixed.addCondition(1, p);
+
+        const std::size_t channel =
+            audio.channelIndex(app->channels().front().name);
+        std::vector<double> values(1);
+        std::vector<double> want_times;
+        std::vector<double> got_times;
+        for (std::size_t i = 0; i < audio.sampleCount(); ++i) {
+            values[0] = audio.channels[channel][i];
+            const double t = audio.timeOf(i);
+            floating.pushSamples(values, t);
+            fixed.pushSamples(values, t);
+            for (const auto &event : floating.drainWakeEvents())
+                want_times.push_back(event.timestamp);
+            for (const auto &event : fixed.drainWakeEvents())
+                got_times.push_back(event.timestamp);
+        }
+        total_double_wakes += want_times.size();
+
+        const double slack =
+            0.15 * static_cast<double>(want_times.size()) + 4.0;
+        EXPECT_NEAR(static_cast<double>(got_times.size()),
+                    static_cast<double>(want_times.size()), slack)
+            << app->name();
+
+        std::size_t matched = 0;
+        std::size_t cursor = 0;
+        for (double t : want_times) {
+            while (cursor < got_times.size() &&
+                   got_times[cursor] < t - 0.75)
+                ++cursor;
+            if (cursor < got_times.size() &&
+                std::abs(got_times[cursor] - t) <= 0.75)
+                ++matched;
+        }
+        if (!want_times.empty())
+            EXPECT_GE(static_cast<double>(matched),
+                      0.9 * static_cast<double>(want_times.size()))
+                << app->name() << " matched " << matched << "/"
+                << want_times.size();
+    }
+    // The traces must actually exercise the wake path.
+    EXPECT_GT(total_double_wakes, 0u);
+}
+
+// ---------------------------------------------------------------------
+// HubRuntime block ingestion: identical frames to the per-sample path.
+
+std::vector<transport::Frame>
+drainFrames(transport::LinkPair &link, double now)
+{
+    transport::FrameDecoder decoder;
+    decoder.feed(link.hubToPhone().receive(now));
+    std::vector<transport::Frame> frames;
+    while (auto frame = decoder.poll())
+        frames.push_back(*frame);
+    return frames;
+}
+
+TEST(HubBlock, RuntimeBlockIngestionMatchesPerSampleFrames)
+{
+    transport::LinkPair link_a(1e6);
+    transport::LinkPair link_b(1e6);
+    HubRuntime per_sample(link_a, kChannels, lm4f120());
+    HubRuntime block(link_b, kChannels, lm4f120());
+
+    link_a.phoneToHub().sendFrame(
+        transport::encodeConfigPush({7, kMotionIl}), 0.0);
+    link_b.phoneToHub().sendFrame(
+        transport::encodeConfigPush({7, kMotionIl}), 0.0);
+    per_sample.pollLink(0.5);
+    block.pollLink(0.5);
+    ASSERT_EQ(drainFrames(link_a, 1.0).size(), 1u);
+    ASSERT_EQ(drainFrames(link_b, 1.0).size(), 1u);
+
+    // Batch-stream one channel so the span-append path runs too.
+    per_sample.enableBatchStreaming(0, 32);
+    block.enableBatchStreaming(0, 32);
+
+    Rng rng(51);
+    const std::size_t nch = kChannels.size();
+    const std::size_t count = 64;
+    std::vector<double> values(nch);
+    std::vector<double> packed(nch * count);
+    std::vector<double> times(count);
+    int wave = 0;
+    for (int blocks = 0; blocks < 30; ++blocks) {
+        for (std::size_t w = 0; w < count; ++w) {
+            const double t = 1.0 + wave * 0.02;
+            fillWave(rng, wave, values);
+            for (std::size_t c = 0; c < nch; ++c)
+                packed[c * count + w] = values[c];
+            times[w] = t;
+            per_sample.pushSamples(values, t);
+            ++wave;
+        }
+        block.pushBlock(packed.data(), count, times.data());
+    }
+
+    // Within one block, batch flushes land mid-block while wake
+    // frames are emitted after the block settles, so WakeUp and
+    // SensorBatch frames may interleave differently than per-sample.
+    // The per-type streams, however, must match byte for byte.
+    const auto split = [](const std::vector<transport::Frame> &all) {
+        std::pair<std::vector<transport::Frame>,
+                  std::vector<transport::Frame>>
+            out;
+        for (const auto &frame : all) {
+            if (frame.type == transport::MessageType::WakeUp)
+                out.first.push_back(frame);
+            else if (frame.type ==
+                     transport::MessageType::SensorBatch)
+                out.second.push_back(frame);
+        }
+        return out;
+    };
+    const auto [wakes_a, batches_a] = split(drainFrames(link_a, 1e6));
+    const auto [wakes_b, batches_b] = split(drainFrames(link_b, 1e6));
+    ASSERT_FALSE(wakes_a.empty());
+    ASSERT_FALSE(batches_a.empty());
+    // Wake frames match in id/timestamp/value; the attached raw
+    // snapshot is documented to be taken after the block settles, so
+    // it may trail the per-sample one by up to a block of samples.
+    ASSERT_EQ(wakes_a.size(), wakes_b.size());
+    for (std::size_t i = 0; i < wakes_a.size(); ++i) {
+        const auto a = transport::decodeWakeUp(wakes_a[i]);
+        const auto b = transport::decodeWakeUp(wakes_b[i]);
+        EXPECT_EQ(a.conditionId, b.conditionId) << "wake " << i;
+        EXPECT_EQ(a.timestamp, b.timestamp) << "wake " << i;
+        EXPECT_EQ(a.triggerValue, b.triggerValue) << "wake " << i;
+        EXPECT_FALSE(b.rawData.empty());
+    }
+    ASSERT_EQ(batches_a.size(), batches_b.size());
+    for (std::size_t i = 0; i < batches_a.size(); ++i)
+        EXPECT_EQ(batches_a[i], batches_b[i])
+            << "batch frame " << i;
+}
+
+} // namespace
+} // namespace sidewinder::hub

@@ -140,6 +140,129 @@ TEST(PlanProperty, ConcurrentAudioConditionsShareAndStayIdentical)
 }
 
 // ---------------------------------------------------------------------
+// Block execution: pushBlock(K) against the per-sample wave loop on
+// the same engine type. The contract is bit-identity — same wake
+// events in the same order, same raw history — for every block size,
+// including K=1 and a ragged final block.
+
+/**
+ * Drive @p ref one sample at a time and @p block_engine in blocks of
+ * @p block_size waves (channel-major lanes), requiring bit-identical
+ * wake-event streams at every block boundary and identical raw
+ * snapshots afterward.
+ */
+void
+expectBlockIdentical(hub::Engine &block_engine, hub::Engine &ref,
+                     const std::vector<il::ChannelInfo> &channels,
+                     const std::vector<int> &condition_ids,
+                     std::uint64_t seed, int waves,
+                     std::size_t block_size)
+{
+    Rng rng(seed);
+    const std::size_t nch = channels.size();
+    std::vector<double> values(nch);
+    std::vector<std::vector<double>> lanes(nch);
+    std::vector<double> times;
+    std::vector<double> packed;
+    std::vector<hub::WakeEvent> want;
+
+    const auto flush = [&]() {
+        const std::size_t count = times.size();
+        if (count == 0)
+            return;
+        packed.resize(nch * count);
+        for (std::size_t c = 0; c < nch; ++c) {
+            std::copy(lanes[c].begin(), lanes[c].end(),
+                      packed.begin() +
+                          static_cast<std::ptrdiff_t>(c * count));
+            lanes[c].clear();
+        }
+        block_engine.pushBlock(packed.data(), count, times.data());
+        times.clear();
+
+        const auto got = block_engine.drainWakeEvents();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t e = 0; e < got.size(); ++e) {
+            EXPECT_EQ(got[e].conditionId, want[e].conditionId);
+            EXPECT_EQ(got[e].timestamp, want[e].timestamp);
+            EXPECT_EQ(got[e].value, want[e].value);
+        }
+        want.clear();
+    };
+
+    for (int i = 0; i < waves; ++i) {
+        const double t = i * 0.01;
+        for (std::size_t c = 0; c < nch; ++c) {
+            values[c] = std::sin(0.07 * i * (static_cast<double>(c) +
+                                             1.0)) +
+                        rng.gaussian(0.0, 0.3);
+            lanes[c].push_back(values[c]);
+        }
+        times.push_back(t);
+        ref.pushSamples(values, t);
+        for (const auto &event : ref.drainWakeEvents())
+            want.push_back(event);
+        if (times.size() == block_size)
+            flush();
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    flush(); // ragged tail when waves % block_size != 0
+
+    for (int id : condition_ids)
+        EXPECT_EQ(block_engine.rawSnapshot(id), ref.rawSnapshot(id))
+            << "condition " << id;
+    EXPECT_EQ(block_engine.nodeCount(), ref.nodeCount());
+}
+
+TEST(PlanProperty, BlockExecutionBitIdenticalOnAppsAcrossBlockSizes)
+{
+    for (bool share : {true, false}) {
+        for (const auto &app : apps::allApps()) {
+            const il::Program p = app->wakeCondition().compile();
+            for (std::size_t k : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+                hub::Engine block_engine(app->channels(), share);
+                hub::Engine ref(app->channels(), share);
+                block_engine.addCondition(1, p);
+                ref.addCondition(1, p);
+                expectBlockIdentical(block_engine, ref,
+                                     app->channels(), {1}, 7, 1500,
+                                     k);
+                ASSERT_FALSE(::testing::Test::HasFatalFailure())
+                    << app->name() << " K=" << k
+                    << " share=" << share;
+            }
+        }
+    }
+}
+
+TEST(PlanProperty, BlockExecutionBitIdenticalOnConcurrentConditions)
+{
+    // Multi-condition audio engine: shared nodes, partial-firing
+    // thresholds, and the wake scan visiting several out-nodes.
+    const auto channels = core::audioChannels();
+    std::vector<il::Program> programs;
+    for (const auto &app : apps::allApps())
+        if (app->channels().size() == channels.size() &&
+            app->channels().front().name == channels.front().name)
+            programs.push_back(app->wakeCondition().compile());
+    ASSERT_GE(programs.size(), 2u);
+
+    hub::Engine block_engine(channels, true);
+    hub::Engine ref(channels, true);
+    std::vector<int> ids;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const int id = static_cast<int>(i) + 1;
+        block_engine.addCondition(id, programs[i]);
+        ref.addCondition(id, programs[i]);
+        ids.push_back(id);
+    }
+    expectBlockIdentical(block_engine, ref, channels, ids, 13, 6000,
+                         64);
+}
+
+// ---------------------------------------------------------------------
 // Fuzzed IL: random threshold pipelines over the prototype channels,
 // with a duplicated branch half of the time to exercise dedupe.
 
@@ -246,6 +369,31 @@ TEST(PlanProperty, FuzzedProgramsAreBitIdenticalToLegacy)
             expectBitIdentical(engine, legacy, kChannels, {1},
                                100 + static_cast<std::uint64_t>(trial),
                                1500);
+        }
+    }
+}
+
+TEST(PlanProperty, FuzzedProgramsBlockBitIdenticalToPerSample)
+{
+    // The fuzzed programs mix AllInputs, AnyInput (or), and
+    // ObserveBlocks (consecutive) nodes with thresholds that emit
+    // Blocked waves — the partial-firing paths of the block loop.
+    Rng gen(77);
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::string text = fuzzProgram(gen);
+        il::Program program;
+        ASSERT_NO_THROW(program = il::parse(text)) << text;
+
+        for (std::size_t k : {std::size_t{4}, std::size_t{64}}) {
+            hub::Engine block_engine(kChannels, true);
+            hub::Engine ref(kChannels, true);
+            block_engine.addCondition(1, program);
+            ref.addCondition(1, program);
+            expectBlockIdentical(
+                block_engine, ref, kChannels, {1},
+                200 + static_cast<std::uint64_t>(trial), 1500, k);
+            ASSERT_FALSE(::testing::Test::HasFatalFailure())
+                << text << "K=" << k;
         }
     }
 }
