@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/app.h"
 #include "sim/simulator.h"
+#include "support/thread_pool.h"
 #include "trace/types.h"
 
 namespace sidewinder::bench {
@@ -79,6 +81,37 @@ mean(const std::vector<double> &values)
     for (double v : values)
         sum += v;
     return sum / static_cast<double>(values.size());
+}
+
+/** Physical cores visible to this process (0 when unknown). */
+inline std::size_t
+hardwareCores()
+{
+    return std::thread::hardware_concurrency();
+}
+
+/**
+ * Append the worker-thread context fields every benchmark JSON must
+ * carry: the effective pool width, the SW_THREADS override (null when
+ * unset), and the machine's core count. A speedup is only meaningful
+ * relative to "cores" — on a single-core container every parallel
+ * speedup is bounded by 1.0 regardless of the thread count.
+ *
+ * Emits `"threads": N, "sw_threads": N|null, "cores": N` (no braces,
+ * no trailing comma) so callers can splice it into their own object.
+ */
+inline void
+writeThreadContext(std::FILE *out, const char *indent)
+{
+    const auto override = support::ThreadPool::envThreadOverride();
+    std::fprintf(out, "%s\"threads\": %zu,\n", indent,
+                 support::ThreadPool::defaultThreadCount());
+    if (override)
+        std::fprintf(out, "%s\"sw_threads\": %zu,\n", indent,
+                     *override);
+    else
+        std::fprintf(out, "%s\"sw_threads\": null,\n", indent);
+    std::fprintf(out, "%s\"cores\": %zu", indent, hardwareCores());
 }
 
 /** Print a separator line sized for the standard row layout. */

@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <numbers>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -27,6 +29,7 @@
 #include "il/parser.h"
 #include "il/plan.h"
 #include "reference/legacy_engine.h"
+#include "support/thread_pool.h"
 
 using namespace sidewinder;
 
@@ -625,6 +628,24 @@ main(int argc, char **argv)
 #else
     benchmark::AddCustomContext("sidewinder_build_type", "debug");
 #endif
+    // Worker-thread provenance: every benchmark JSON records the
+    // effective pool width, the SW_THREADS override, and the core
+    // count, so numbers from thread-starved containers are
+    // distinguishable after the fact.
+    benchmark::AddCustomContext(
+        "sidewinder_threads",
+        std::to_string(
+            sidewinder::support::ThreadPool::defaultThreadCount()));
+    {
+        const auto override =
+            sidewinder::support::ThreadPool::envThreadOverride();
+        benchmark::AddCustomContext(
+            "sidewinder_sw_threads",
+            override ? std::to_string(*override) : "unset");
+    }
+    benchmark::AddCustomContext(
+        "sidewinder_cores",
+        std::to_string(std::thread::hardware_concurrency()));
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -144,11 +144,14 @@ main(int argc, char **argv)
                  "{\n"
                  "  \"benchmark\": \"fault_sweep_fig5_robot\",\n"
                  "  \"trace_seconds\": %.1f,\n"
-                 "  \"fast_mode\": %s,\n"
+                 "  \"fast_mode\": %s,\n",
+                 seconds, bench::fastMode() ? "true" : "false");
+    bench::writeThreadContext(out, "  ");
+    std::fprintf(out,
+                 ",\n"
                  "  \"fault_free\": {\"recall\": %.6f, "
                  "\"power_mw\": %.6f, \"identical\": %s},\n"
                  "  \"cells\": [\n",
-                 seconds, bench::fastMode() ? "true" : "false",
                  baseline.recall, baseline.averagePowerMw,
                  fault_free_identical ? "true" : "false");
     for (std::size_t i = 0; i < cells.size(); ++i) {

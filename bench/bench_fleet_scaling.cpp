@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Fleet-scale throughput of the hub farm: sim::FleetRuntime sharding
+ * 1k / 10k / 100k simulated devices across the shared thread pool,
+ * every tenant admitted through plan-based marginal cost and fed
+ * through Engine::pushBlock, with wake-up conditions interned in the
+ * fleet-wide plan cache.
+ *
+ * Emits a JSON record (default BENCH_fleet.json, or argv[1]) with,
+ * per population: build and ingest wall-clock, devices/sec and
+ * samples/sec, resident memory per device, and the plan cache's exact
+ * hit/miss accounting — the curve that shows install cost and plan
+ * memory stop scaling with device count under a skewed app mix. A
+ * `deterministic` flag proves a 1-thread and a 4-thread pool produce
+ * field-for-field identical fleets.
+ *
+ * SW_FAST=1 drops the 100k population and halves the per-device
+ * ingest; the cache-accounting and determinism checks are unaffected
+ * (scripts/check_bench_regression.py gates on the 10k row).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "sim/fleet.h"
+#include "support/thread_pool.h"
+#include "trace/robot_gen.h"
+
+using namespace sidewinder;
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point begin)
+{
+    const auto d = std::chrono::steady_clock::now() - begin;
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/** Resident set size from /proc/self/statm, bytes (0 if unreadable). */
+std::size_t
+residentBytes()
+{
+    std::FILE *statm = std::fopen("/proc/self/statm", "r");
+    if (!statm)
+        return 0;
+    unsigned long total = 0, resident = 0;
+    const int got = std::fscanf(statm, "%lu %lu", &total, &resident);
+    std::fclose(statm);
+    if (got != 2)
+        return 0;
+    std::size_t page = 4096;
+#ifdef __unix__
+    const long sc = sysconf(_SC_PAGESIZE);
+    if (sc > 0)
+        page = static_cast<std::size_t>(sc);
+#endif
+    return static_cast<std::size_t>(resident) * page;
+}
+
+struct Row
+{
+    std::size_t devices = 0;
+    std::size_t shards = 0;
+    double buildMs = 0.0;
+    double runMs = 0.0;
+    double devicesPerSec = 0.0;
+    double samplesPerSec = 0.0;
+    std::size_t samplesIngested = 0;
+    std::size_t wakeEvents = 0;
+    double memoryBytesPerDevice = 0.0;
+    double cacheHitRate = 0.0;
+    std::size_t cacheMisses = 0;
+    std::size_t cachePlans = 0;
+    std::size_t cacheRetainedBytes = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_fleet.json";
+
+    const auto steps = apps::makeStepsApp();
+    const auto transitions = apps::makeTransitionsApp();
+    const auto headbutts = apps::makeHeadbuttsApp();
+    // Skewed mix: most of the population runs the same condition, the
+    // regime where cross-tenant plan sharing pays.
+    const std::vector<sim::FleetAppMix> mix = {
+        {steps.get(), 0.7},
+        {transitions.get(), 0.2},
+        {headbutts.get(), 0.1},
+    };
+
+    trace::RobotRunConfig rc;
+    rc.idleFraction = 0.5;
+    rc.durationSeconds = 60.0;
+    rc.seed = 99001;
+    rc.name = "fleet-trace";
+    const trace::Trace run = trace::generateRobotRun(rc);
+
+    sim::FleetConfig base;
+    base.devicesPerShard = 64;
+    base.blockSamples = 64;
+    base.secondsPerDevice = bench::fastMode() ? 2.0 : 4.0;
+    base.seed = 17;
+    base.rawBufferSize = 64;
+
+    std::vector<std::size_t> populations = {1000, 10000};
+    if (!bench::fastMode())
+        populations.push_back(100000);
+
+    const std::size_t hw = support::ThreadPool::defaultThreadCount();
+    std::printf("Fleet scaling: %zu-app skewed mix, %.0f s/device, "
+                "pool %zu%s\n",
+                mix.size(), base.secondsPerDevice, hw,
+                bench::fastMode() ? " [SW_FAST]" : "");
+    bench::rule();
+    std::printf("%-9s %9s %9s %11s %12s %8s %9s\n", "devices",
+                "build ms", "run ms", "dev/s", "samples/s", "KB/dev",
+                "hit rate");
+    bench::rule();
+
+    std::vector<Row> rows;
+    for (std::size_t population : populations) {
+        sim::FleetConfig cfg = base;
+        cfg.deviceCount = population;
+
+        const std::size_t rss_before = residentBytes();
+        sim::FleetRuntime fleet(cfg, mix, run);
+
+        auto begin = std::chrono::steady_clock::now();
+        fleet.build();
+        const double build_ms = elapsedMs(begin);
+        const std::size_t rss_after = residentBytes();
+
+        begin = std::chrono::steady_clock::now();
+        fleet.run();
+        const double run_ms = elapsedMs(begin);
+
+        const auto result = fleet.collect();
+
+        Row row;
+        row.devices = population;
+        row.shards = result.shardCount;
+        row.buildMs = build_ms;
+        row.runMs = run_ms;
+        row.devicesPerSec =
+            static_cast<double>(population) / (run_ms / 1000.0);
+        row.samplesPerSec =
+            static_cast<double>(result.samplesIngested) /
+            (run_ms / 1000.0);
+        row.samplesIngested = result.samplesIngested;
+        row.wakeEvents = result.wakeEvents;
+        row.memoryBytesPerDevice =
+            rss_after > rss_before
+                ? static_cast<double>(rss_after - rss_before) /
+                      static_cast<double>(population)
+                : 0.0;
+        row.cacheHitRate = result.cache.hitRate();
+        row.cacheMisses = result.cache.misses;
+        row.cachePlans = result.cache.planCount;
+        row.cacheRetainedBytes = result.cache.retainedBytes;
+        rows.push_back(row);
+
+        std::printf("%-9zu %9.1f %9.1f %11.0f %12.0f %8.1f %9.4f\n",
+                    population, build_ms, run_ms, row.devicesPerSec,
+                    row.samplesPerSec,
+                    row.memoryBytesPerDevice / 1024.0,
+                    row.cacheHitRate);
+    }
+    bench::rule();
+
+    // Determinism: the same fleet on a 1-thread and a 4-thread pool
+    // must agree field-for-field (digest covers every device field),
+    // and the cache counters must be exact, not just the results.
+    bool deterministic = true;
+    {
+        sim::FleetConfig cfg = base;
+        cfg.deviceCount = populations.front();
+        support::ThreadPool one(1);
+        support::ThreadPool four(4);
+
+        sim::FleetRuntime serial(cfg, mix, run);
+        serial.build(one);
+        serial.run(one);
+        const auto a = serial.collect();
+
+        sim::FleetRuntime parallel(cfg, mix, run);
+        parallel.build(four);
+        parallel.run(four);
+        const auto b = parallel.collect();
+
+        deterministic = a.digest == b.digest &&
+                        a.cache.misses == b.cache.misses &&
+                        a.cache.globalHits == b.cache.globalHits &&
+                        a.cache.localHits == b.cache.localHits;
+        std::printf("serial vs parallel: %s\n",
+                    deterministic ? "bit-identical" : "MISMATCH");
+    }
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"fleet_scaling\",\n"
+                 "  \"apps\": %zu,\n"
+                 "  \"seconds_per_device\": %.1f,\n"
+                 "  \"fast_mode\": %s,\n",
+                 mix.size(), base.secondsPerDevice,
+                 bench::fastMode() ? "true" : "false");
+    bench::writeThreadContext(out, "  ");
+    std::fprintf(out,
+                 ",\n"
+                 "  \"deterministic\": %s,\n"
+                 "  \"populations\": [\n",
+                 deterministic ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            out,
+            "    {\"devices\": %zu, \"shards\": %zu, "
+            "\"build_ms\": %.3f, \"run_ms\": %.3f, "
+            "\"devices_per_sec\": %.1f, \"samples_per_sec\": %.1f, "
+            "\"samples_ingested\": %zu, \"wake_events\": %zu, "
+            "\"memory_bytes_per_device\": %.1f, "
+            "\"cache_hit_rate\": %.6f, \"cache_misses\": %zu, "
+            "\"cache_plans\": %zu, \"cache_retained_bytes\": %zu, "
+            "\"cores\": %zu}%s\n",
+            r.devices, r.shards, r.buildMs, r.runMs, r.devicesPerSec,
+            r.samplesPerSec, r.samplesIngested, r.wakeEvents,
+            r.memoryBytesPerDevice, r.cacheHitRate, r.cacheMisses,
+            r.cachePlans, r.cacheRetainedBytes, bench::hardwareCores(),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ]\n"
+                 "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return deterministic ? 0 : 1;
+}

@@ -7,7 +7,11 @@ and scripts/bench_budgets.json, and fails when:
  - a budgeted benchmark regressed by more than the tolerance (default
    20%) over its recorded baseline real_time, or
  - a tracked speedup ratio (e.g. per-sample dispatch vs block dispatch
-   of the same program) fell below its floor.
+   of the same program) fell below its floor, or
+ - (with --fleet BENCH_fleet.json) a fleet-scaling row at or above the
+   budgeted population broke the plan-cache hit-rate floor or the
+   per-device memory ceiling, or the fleet's serial-vs-parallel
+   determinism flag is false.
 
 Absolute budgets are machine-dependent, so they only fire on large
 regressions (the tolerance) and can be re-baselined by re-running
@@ -21,6 +25,8 @@ Usage: scripts/check_bench_regression.py [BENCH_dsp.json]
   --budgets PATH     budget file (default: scripts/bench_budgets.json)
   --tolerance FRAC   allowed fractional regression (default: 0.20)
   --rebaseline       rewrite the budget baselines from this run
+  --fleet PATH       BENCH_fleet.json to check against the "fleet"
+                     budgets (skipped, with a note, when omitted)
 """
 
 import argparse
@@ -56,6 +62,51 @@ def per_item(results, name):
     return t
 
 
+def check_fleet(path, spec, failures):
+    """Gate BENCH_fleet.json against the "fleet" budget section."""
+    with open(path) as fh:
+        fleet = json.load(fh)
+
+    min_pop = int(spec.get("min_population", 0))
+    hit_floor = float(spec.get("cache_hit_rate_floor", 0.0))
+    mem_ceiling = float(spec.get("memory_per_device_max_bytes", 0))
+
+    if spec.get("require_deterministic") and not fleet.get("deterministic"):
+        print("REGRESSED  fleet: serial vs parallel results diverged")
+        failures.append("fleet_deterministic")
+    else:
+        print("       ok  fleet: serial vs parallel bit-identical")
+
+    gated = [r for r in fleet.get("populations", [])
+             if int(r.get("devices", 0)) >= min_pop]
+    if not gated:
+        print(f"fleet: no population >= {min_pop} in {path}",
+              file=sys.stderr)
+        failures.append("fleet_min_population")
+        return
+
+    for row in gated:
+        devices = int(row["devices"])
+        hit_rate = float(row.get("cache_hit_rate", 0.0))
+        status = "ok" if hit_rate >= hit_floor else "REGRESSED"
+        print(f"{status:>9}  fleet[{devices}]: cache hit rate "
+              f"{hit_rate:.4f} (floor {hit_floor:.2f})")
+        if hit_rate < hit_floor:
+            failures.append(f"fleet_cache_hit_rate[{devices}]")
+
+        mem = float(row.get("memory_bytes_per_device", 0.0))
+        if mem <= 0.0:
+            # /proc/self/statm was unreadable on this host; the
+            # ceiling cannot be evaluated, which is not a regression.
+            print(f"     note  fleet[{devices}]: no memory sample")
+            continue
+        status = "ok" if mem <= mem_ceiling else "REGRESSED"
+        print(f"{status:>9}  fleet[{devices}]: {mem:.0f} B/device "
+              f"(ceiling {mem_ceiling:.0f})")
+        if mem > mem_ceiling:
+            failures.append(f"fleet_memory_per_device[{devices}]")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("results", nargs="?", default="BENCH_dsp.json")
@@ -63,6 +114,7 @@ def main():
                     default=str(Path(__file__).parent / "bench_budgets.json"))
     ap.add_argument("--tolerance", type=float, default=0.20)
     ap.add_argument("--rebaseline", action="store_true")
+    ap.add_argument("--fleet", default=None)
     args = ap.parse_args()
 
     results = load_results(args.results)
@@ -99,6 +151,12 @@ def main():
         print(f"{status:>9}  {name}: {ratio:.2f}x (floor {floor:.2f}x)")
         if ratio < floor:
             failures.append(name)
+
+    if "fleet" in budgets:
+        if args.fleet:
+            check_fleet(args.fleet, budgets["fleet"], failures)
+        else:
+            print("fleet budgets skipped (no --fleet BENCH_fleet.json)")
 
     if args.rebaseline:
         with open(args.budgets, "w") as fh:

@@ -6,11 +6,13 @@
 #   tsan  — additionally build with -DSIDEWINDER_SANITIZE=thread and
 #           run the parallel sweep engine's tests (sim_sweep_test,
 #           support_thread_pool_test) plus the ExecutionPlan tests
-#           (il_plan_test, hub_plan_property_test) and the
+#           (il_plan_test, hub_plan_property_test), the
 #           block-execution tests (hub_block_test — pushBlock runs
-#           under the same engine mutex the per-sample path takes)
-#           under ThreadSanitizer before the normal run. SW_TSAN=1
-#           enables the same.
+#           under the same engine mutex the per-sample path takes),
+#           and the fleet tests (sim_fleet_test — shard workers
+#           racing on the shared plan cache is exactly where a data
+#           race would hide) under ThreadSanitizer before the normal
+#           run. SW_TSAN=1 enables the same.
 #   asan  — additionally build with
 #           -DSIDEWINDER_SANITIZE=address,undefined and run the
 #           fault-tolerance tests (transport_reliable_test,
@@ -25,8 +27,10 @@
 #           Q15 fixed-point primitive tests (dsp_q15_test) also run
 #           here: the block path writes through raw lane pointers
 #           with per-node strides, and the Q15 kernels are exactly
-#           where integer overflow UB would hide. SW_ASAN=1 enables
-#           the same.
+#           where integer overflow UB would hide. The fleet tests
+#           (sim_fleet_test) run here too: tenants share one plan
+#           instance, so a lifetime bug in the cache would surface as
+#           a use-after-free under churn. SW_ASAN=1 enables the same.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -43,7 +47,7 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
     cmake --build build-tsan --target sim_sweep_test \
         support_thread_pool_test il_plan_test hub_plan_property_test \
-        hub_block_test
+        hub_block_test sim_fleet_test
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
@@ -52,6 +56,8 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     build-tsan/tests/hub_plan_property_test
     echo "== ThreadSanitizer: block execution =="
     build-tsan/tests/hub_block_test
+    echo "== ThreadSanitizer: fleet runtime + shared plan cache =="
+    build-tsan/tests/sim_fleet_test
 fi
 
 if [ "${SW_ASAN:-0}" = "1" ]; then
@@ -59,7 +65,8 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
         -DSIDEWINDER_SANITIZE=address,undefined
     cmake --build build-asan --target transport_reliable_test \
         hub_supervision_test sim_faults_test il_plan_test \
-        hub_plan_property_test hub_block_test dsp_q15_test
+        hub_plan_property_test hub_block_test dsp_q15_test \
+        sim_fleet_test
     echo "== ASan/UBSan: fault-tolerance stack =="
     build-asan/tests/transport_reliable_test
     build-asan/tests/hub_supervision_test
@@ -70,6 +77,8 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     echo "== ASan/UBSan: block execution + Q15 =="
     build-asan/tests/hub_block_test
     build-asan/tests/dsp_q15_test
+    echo "== ASan/UBSan: fleet runtime + shared plan cache =="
+    build-asan/tests/sim_fleet_test
 fi
 
 cmake -B build -G Ninja
@@ -104,7 +113,9 @@ build/tools/swlint --all-apps --Werror
 } 2>&1 | tee bench_output.txt
 
 # Fail the reproduction if a tracked benchmark regressed >20% against
-# its recorded baseline or a documented speedup ratio fell below its
-# floor (docs/performance.md).
+# its recorded baseline, a documented speedup ratio fell below its
+# floor, or the fleet run broke its cache-hit-rate / memory-per-device
+# budgets or determinism flag (docs/performance.md).
 echo "== benchmark regression gate =="
-python3 scripts/check_bench_regression.py bench_check.json
+python3 scripts/check_bench_regression.py bench_check.json \
+    --fleet BENCH_fleet.json

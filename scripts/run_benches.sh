@@ -22,13 +22,27 @@
 #    supervised Sidewinder stack vs link corruption / frame-drop /
 #    hub-reset rate (docs/fault-model.md), plus a flag asserting the
 #    fault-free cell stays bit-identical run over run.
+#  - BENCH_fleet.json — bench_fleet_scaling: devices/sec, samples/sec,
+#    memory per device, and the fleet plan cache's hit rate at 1k /
+#    10k / 100k simulated devices (docs/performance.md, "Fleet
+#    execution"), plus a serial-vs-parallel determinism flag.
+#
+# Every JSON record carries its worker-thread context — the effective
+# pool width, the SW_THREADS override (null/unset when absent), and
+# the machine's core count — so numbers from thread-starved or
+# single-core containers are identifiable after the fact: a parallel
+# "speedup" is only meaningful relative to the recorded "cores".
 #
 # Usage: scripts/run_benches.sh [benchmark filter regex]
 #   BUILD_DIR=...   build directory (default: build)
 #   OUT=...         DSP output JSON path (default: BENCH_dsp.json)
 #   OUT_SWEEP=...   sweep output JSON path (default: BENCH_sweep.json)
 #   OUT_FAULTS=...  fault sweep JSON path (default: BENCH_faults.json)
+#   OUT_FLEET=...   fleet scaling JSON path (default: BENCH_fleet.json)
 #   SW_FAST=1       scale the sweep traces ~6x down (ratio unchanged)
+#                   and drop the fleet's 100k population
+#   SW_THREADS=N    override the worker-thread count (recorded in
+#                   every JSON context block)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,11 +51,13 @@ BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_dsp.json}"
 OUT_SWEEP="${OUT_SWEEP:-BENCH_sweep.json}"
 OUT_FAULTS="${OUT_FAULTS:-BENCH_faults.json}"
+OUT_FLEET="${OUT_FLEET:-BENCH_fleet.json}"
 FILTER="${1:-.}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
-    bench_sweep_scaling bench_fault_sweep >/dev/null
+    bench_sweep_scaling bench_fault_sweep bench_fleet_scaling \
+    >/dev/null
 
 # Refuse to record numbers from an unoptimized tree: a Debug build is
 # 5-20x slower and would poison the checked-in baselines that
@@ -76,3 +92,5 @@ echo "wrote $OUT"
 "$BUILD_DIR"/bench/bench_sweep_scaling "$OUT_SWEEP"
 
 "$BUILD_DIR"/bench/bench_fault_sweep "$OUT_FAULTS"
+
+"$BUILD_DIR"/bench/bench_fleet_scaling "$OUT_FLEET"

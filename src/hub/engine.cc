@@ -68,6 +68,11 @@ Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
         throw ConfigError("condition id " + std::to_string(condition_id) +
                           " already installed");
 
+    // Immutability tripwire: a sealed plan (anything out of
+    // il::lower(), possibly shared fleet-wide) must not have been
+    // touched since lowering. No-op in release builds.
+    plan.debugAssertUnchanged();
+
     // The plan carries channel *indices*; remap them into this
     // engine's channel space by name (identity when the plan was
     // lowered against our channels, which the runtime guarantees).

@@ -123,6 +123,9 @@ lower(const Program &program, const std::vector<ChannelInfo> &channels,
     plan.wakeRateBoundHz =
         plan.streams[static_cast<std::size_t>(plan.outNode)].fireRateHz;
 
+    // Freeze: from here on the plan is immutable (shared across
+    // engines, threads, and — via hub::FleetPlanCache — tenants).
+    plan.seal();
     return plan;
 }
 

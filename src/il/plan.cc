@@ -1,6 +1,8 @@
 #include "il/plan.h"
 
+#include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "il/writer.h"
@@ -105,6 +107,118 @@ ExecutionPlan::cost() const
     total.wakeRateBoundHz = wakeRateBoundHz;
     total.planNodeCount = nodeCount();
     return total;
+}
+
+namespace {
+
+/**
+ * Order-sensitive FNV-style accumulator for the structural hash.
+ *
+ * Mixes eight bytes per multiply instead of the classic one: the
+ * dominant input is the shareKeys strings (recursively expanded
+ * canonical keys, kilobytes for FFT chains), and seal() runs inside
+ * every il::lower(), so byte-at-a-time FNV showed up as ~30% of
+ * BM_Lower. A tripwire only needs determinism and sensitivity to any
+ * byte change, not FNV's exact stream semantics.
+ */
+struct Fnv
+{
+    std::uint64_t state = 1469598103934665603ULL;
+
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        while (size >= 8) {
+            std::uint64_t w;
+            std::memcpy(&w, p, 8);
+            state = (state ^ w) * 1099511628211ULL;
+            p += 8;
+            size -= 8;
+        }
+        if (size > 0) {
+            std::uint64_t tail = 0;
+            std::memcpy(&tail, p, size);
+            // Fold the tail length in so "abc" and "abc\0" differ
+            // even within a single call.
+            state = (state ^ tail ^ (static_cast<std::uint64_t>(size)
+                                     << 56)) *
+                    1099511628211ULL;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof v);
+    }
+
+    void
+    f64(double v)
+    {
+        // Bit pattern, not value: the invariant is "no byte changed",
+        // which is stricter than numeric equality (and well-defined
+        // for -0.0 / NaN payloads).
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+};
+
+} // namespace
+
+std::uint64_t
+ExecutionPlan::structuralHash() const
+{
+    Fnv h;
+    h.u64(channels.size());
+    for (const auto &ch : channels) {
+        h.str(ch.name);
+        h.f64(ch.sampleRateHz);
+    }
+    h.u64(nodeCount());
+    for (std::size_t i = 0; i < nodeCount(); ++i) {
+        h.str(algorithms[i]);
+        h.u64(params[i].size());
+        for (double p : params[i])
+            h.f64(p);
+        h.u64(inputOffsets[i]);
+        h.u64(inputCounts[i]);
+        h.str(shareKeys[i]);
+        h.u64(static_cast<std::uint64_t>(streams[i].kind));
+        h.f64(streams[i].fireRateHz);
+        h.f64(streams[i].baseRateHz);
+        h.u64(streams[i].frameSize);
+        h.u64(streams[i].fftSize);
+        h.f64(cyclesPerInvoke[i]);
+        h.f64(invokeRateHz[i]);
+        h.u64(ramBytes[i]);
+        h.u64(blockStride[i]);
+        h.u64(static_cast<std::uint64_t>(sourceIds[i]));
+    }
+    h.u64(inputRefs.size());
+    for (std::int32_t ref : inputRefs)
+        h.u64(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(ref)));
+    h.u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(outNode)));
+    h.u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(primaryChannel)));
+    h.f64(wakeRateBoundHz);
+    return h.state != 0 ? h.state : 1;
+}
+
+void
+ExecutionPlan::debugAssertUnchanged() const
+{
+    assert(!sealed() || structuralHash() == sealedHash);
 }
 
 Program

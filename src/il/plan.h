@@ -35,6 +35,16 @@ namespace sidewinder::il {
  * parallel arrays indexed by dense node index (0-based). Input
  * references use the engine's encoding: a value >= 0 is a node index,
  * a value < 0 is a channel as -(channel_index + 1).
+ *
+ * Immutability invariant: a plan returned by il::lower() is frozen —
+ * no field may be mutated afterwards. Every consumer (engine install,
+ * admission control, MCU selection, FPGA placement, tooling) takes
+ * plans by const reference, and the fleet-wide plan cache
+ * (hub::FleetPlanCache) shares ONE instance across threads and
+ * tenants, so mutation would be a data race as well as a semantic
+ * bug. lower() records a structural fingerprint via seal();
+ * debugAssertUnchanged() re-derives it in debug builds and aborts on
+ * any post-seal mutation (the engine and the fleet cache both check).
  */
 struct ExecutionPlan
 {
@@ -82,6 +92,14 @@ struct ExecutionPlan
     int primaryChannel = 0;
     /** Worst-case wake-ups per second at OUT. */
     double wakeRateBoundHz = 0.0;
+    /**
+     * Structural fingerprint recorded by seal() (lower() seals every
+     * plan it returns); 0 while the plan is still under construction.
+     * Not part of the plan's identity — canonical identity is the OUT
+     * node's shareKey — just the tripwire debugAssertUnchanged()
+     * checks against.
+     */
+    std::uint64_t sealedHash = 0;
 
     /** Number of lowered nodes. */
     std::size_t nodeCount() const { return algorithms.size(); }
@@ -113,6 +131,27 @@ struct ExecutionPlan
      * the canonical wire form the sensor manager ships.
      */
     Program toProgram() const;
+
+    /**
+     * Order-sensitive FNV-1a fingerprint over every structural field
+     * (channels, all per-node arrays, the input pool, OUT routing).
+     * Two lowerings of the same program against the same channels
+     * produce the same hash; any post-lowering mutation changes it.
+     */
+    std::uint64_t structuralHash() const;
+
+    /** Freeze the plan: record structuralHash() (lower() calls this). */
+    void seal() { sealedHash = structuralHash(); }
+
+    /** True once seal() has run. */
+    bool sealed() const { return sealedHash != 0; }
+
+    /**
+     * Debug-build tripwire for the immutability invariant: asserts a
+     * sealed plan still hashes to its sealed fingerprint. Compiles to
+     * nothing under NDEBUG — safe on hot paths.
+     */
+    void debugAssertUnchanged() const;
 };
 
 /**

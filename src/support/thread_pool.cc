@@ -35,8 +35,8 @@ struct ThreadPool::Job
     std::exception_ptr failure;
 };
 
-std::size_t
-ThreadPool::defaultThreadCount()
+std::optional<std::size_t>
+ThreadPool::envThreadOverride()
 {
     if (const char *env = std::getenv("SW_THREADS")) {
         char *tail = nullptr;
@@ -44,6 +44,14 @@ ThreadPool::defaultThreadCount()
         if (tail != env && *tail == '\0' && parsed > 0)
             return static_cast<std::size_t>(parsed);
     }
+    return std::nullopt;
+}
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const auto override = envThreadOverride())
+        return *override;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

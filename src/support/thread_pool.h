@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -53,6 +54,14 @@ class ThreadPool
      * the hardware concurrency (at least 1).
      */
     static std::size_t defaultThreadCount();
+
+    /**
+     * The `SW_THREADS` override, when set to a positive integer;
+     * nullopt otherwise. Exposed so benchmark JSON writers can record
+     * the override next to their timings — a thread count alone does
+     * not say whether the host or the operator chose it.
+     */
+    static std::optional<std::size_t> envThreadOverride();
 
     /** Process-wide pool built with defaultThreadCount() workers. */
     static ThreadPool &shared();
