@@ -25,6 +25,7 @@
 #include "dsp/window.h"
 #include "hub/engine.h"
 #include "il/analyze.h"
+#include "il/analyze_range.h"
 #include "il/lower.h"
 #include "il/parser.h"
 #include "il/plan.h"
@@ -583,6 +584,24 @@ BM_AnalyzeAllApps(benchmark::State &state)
         static_cast<double>(units.size());
 }
 BENCHMARK(BM_AnalyzeAllApps);
+
+/**
+ * Value-range abstract interpretation over the largest shipped plan
+ * (siren). Lowering happens once outside the loop — the bench prices
+ * the interval pass itself, which swlint --ranges and fleet
+ * admission pay per distinct condition (budget: well under 100 us).
+ */
+void
+BM_RangeAnalyze(benchmark::State &state)
+{
+    const auto app = apps::makeSirenApp();
+    const il::ExecutionPlan plan = il::lower(
+        app->wakeCondition().compile(), app->channels());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(il::analyzeRanges(plan));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeAnalyze);
 
 /** The largest shipped program (siren: 15 statements, two FFTs). */
 void

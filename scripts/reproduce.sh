@@ -30,7 +30,12 @@
 #           where integer overflow UB would hide. The fleet tests
 #           (sim_fleet_test) run here too: tenants share one plan
 #           instance, so a lifetime bug in the cache would surface as
-#           a use-after-free under churn. SW_ASAN=1 enables the same.
+#           a use-after-free under churn. The value-range soundness
+#           gate (il_range_test) runs under both sanitizers: the Q15
+#           saturation-event counters are compiled in there (the
+#           sanitize trees define SIDEWINDER_Q15_COUNTERS), so the
+#           proof-vs-execution cross-check actually bites.
+#           SW_ASAN=1 enables the same.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -47,7 +52,7 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
     cmake --build build-tsan --target sim_sweep_test \
         support_thread_pool_test il_plan_test hub_plan_property_test \
-        hub_block_test sim_fleet_test
+        hub_block_test sim_fleet_test il_range_test
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
@@ -58,6 +63,8 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     build-tsan/tests/hub_block_test
     echo "== ThreadSanitizer: fleet runtime + shared plan cache =="
     build-tsan/tests/sim_fleet_test
+    echo "== ThreadSanitizer: value-range soundness gate =="
+    build-tsan/tests/il_range_test
 fi
 
 if [ "${SW_ASAN:-0}" = "1" ]; then
@@ -66,7 +73,7 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     cmake --build build-asan --target transport_reliable_test \
         hub_supervision_test sim_faults_test il_plan_test \
         hub_plan_property_test hub_block_test dsp_q15_test \
-        sim_fleet_test
+        sim_fleet_test il_range_test
     echo "== ASan/UBSan: fault-tolerance stack =="
     build-asan/tests/transport_reliable_test
     build-asan/tests/hub_supervision_test
@@ -79,6 +86,8 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     build-asan/tests/dsp_q15_test
     echo "== ASan/UBSan: fleet runtime + shared plan cache =="
     build-asan/tests/sim_fleet_test
+    echo "== ASan/UBSan: value-range soundness gate =="
+    build-asan/tests/il_range_test
 fi
 
 cmake -B build -G Ninja

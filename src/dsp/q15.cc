@@ -9,15 +9,52 @@
 
 namespace sidewinder::dsp {
 
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+namespace detail {
+thread_local std::uint64_t q15SaturationEvents = 0;
+}
+#endif
+
+std::uint64_t
+q15SaturationEventCount()
+{
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+    return detail::q15SaturationEvents;
+#else
+    return 0;
+#endif
+}
+
+void
+resetQ15SaturationEvents()
+{
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+    detail::q15SaturationEvents = 0;
+#endif
+}
+
 Q15
 toQ15(double x)
 {
     // Round-to-nearest on the Q15 grid, saturating at the ends.
     const double scaled = x * kQ15One;
-    if (scaled >= static_cast<double>(kQ15Max))
+    if (scaled >= static_cast<double>(kQ15Max)) {
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+        // Same >1-count event rule as saturateQ15: quantizing values
+        // up to and including 1.0 rounds onto (or one count past)
+        // the grid and is not an event.
+        if (scaled >= static_cast<double>(kQ15Max) + 1.5)
+            ++detail::q15SaturationEvents;
+#endif
         return kQ15Max;
-    if (scaled <= static_cast<double>(kQ15Min))
+    }
+    if (scaled <= static_cast<double>(kQ15Min)) {
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+        if (scaled <= static_cast<double>(kQ15Min) - 1.5)
+            ++detail::q15SaturationEvents;
+#endif
         return kQ15Min;
+    }
     return static_cast<Q15>(std::lround(scaled));
 }
 

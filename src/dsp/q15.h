@@ -44,14 +44,53 @@ inline constexpr Q15 kQ15Min = -32768;
 /** Reals per Q15 count: q represents q / kQ15One. */
 inline constexpr double kQ15One = 32768.0;
 
+// Saturation-event counters: instrumentation for the range analyzer's
+// soundness gate (tests assert that a plan proven Q15-safe produces
+// zero events). Enabled in debug and sanitizer builds; compiled out
+// of Release so the saturate path stays two compares. An *event* is a
+// clamp that loses more than one count — quantizing exactly 1.0
+// (Hamming edge coefficients, the cos(0) twiddle) and the lone
+// -1 * -1 multiply land one count past the grid by construction and
+// are part of normal fixed-point behavior, not saturation.
+#if defined(SIDEWINDER_Q15_COUNTERS) || !defined(NDEBUG)
+#define SIDEWINDER_Q15_COUNTERS_ENABLED 1
+#else
+#define SIDEWINDER_Q15_COUNTERS_ENABLED 0
+#endif
+
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+namespace detail {
+extern thread_local std::uint64_t q15SaturationEvents;
+}
+#endif
+
+/**
+ * Saturation events observed on this thread since the last reset;
+ * always 0 in Release builds (the counter is compiled out).
+ */
+std::uint64_t q15SaturationEventCount();
+
+/** Reset this thread's saturation-event counter. No-op in Release. */
+void resetQ15SaturationEvents();
+
 /** Clamp a widened intermediate onto the Q15 range. */
 inline Q15
 saturateQ15(std::int32_t wide)
 {
-    if (wide > kQ15Max)
+    if (wide > kQ15Max) {
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+        if (wide > static_cast<std::int32_t>(kQ15Max) + 1)
+            ++detail::q15SaturationEvents;
+#endif
         return kQ15Max;
-    if (wide < kQ15Min)
+    }
+    if (wide < kQ15Min) {
+#if SIDEWINDER_Q15_COUNTERS_ENABLED
+        if (wide < static_cast<std::int32_t>(kQ15Min) - 1)
+            ++detail::q15SaturationEvents;
+#endif
         return kQ15Min;
+    }
     return static_cast<Q15>(wide);
 }
 

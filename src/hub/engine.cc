@@ -1,8 +1,10 @@
 #include "hub/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
+#include "dsp/q15.h"
 #include "il/lower.h"
 #include "support/error.h"
 
@@ -295,6 +297,8 @@ Engine::pushSamples(const std::vector<double> &values, double timestamp)
         // wave after wave instead of reallocating it.
         if (node->kernel->invokeInto(*inputs, node->result)) {
             node->state = WaveState::Emitted;
+            if (tripwireArmed)
+                checkRangeTripwire(*node);
         } else {
             // Conditional kernels reject (observable miss); an
             // accumulator is merely not ready yet.
@@ -696,6 +700,90 @@ Engine::estimateProgramCycles(const il::Program &program,
     return il::lower(program, channels, il::LowerOptions{false})
         .cost()
         .cyclesPerSecond;
+}
+
+void
+Engine::armRangeTripwire(
+    std::unordered_map<std::string, RangeBound> bounds)
+{
+    tripwireBounds = std::move(bounds);
+    tripwireArmed = true;
+    tripwireViolationCount = 0;
+    tripwireFirstViolation.clear();
+}
+
+void
+Engine::disarmRangeTripwire()
+{
+    tripwireArmed = false;
+    tripwireBounds.clear();
+}
+
+void
+Engine::checkRangeTripwire(const Node &node)
+{
+    const auto it = tripwireBounds.find(node.key);
+    if (it == tripwireBounds.end())
+        return;
+    const RangeBound &bound = it->second;
+    // Absorb double round-off between the analyzer's closed-form
+    // bounds and the kernels' accumulation order.
+    const double slack =
+        1e-9 * std::max({1.0, std::abs(bound.lo), std::abs(bound.hi)});
+    const double lo = bound.lo - slack;
+    const double hi = bound.hi + slack;
+    double worst = 0.0;
+    bool violated = false;
+    switch (node.result.kind()) {
+      case il::ValueKind::Scalar: {
+        const double v = node.result.scalar();
+        if (v < lo || v > hi) {
+            violated = true;
+            worst = v;
+        }
+        break;
+      }
+      case il::ValueKind::Frame:
+        for (double v : node.result.frame()) {
+            if (v < lo || v > hi) {
+                violated = true;
+                worst = v;
+            }
+        }
+        break;
+      case il::ValueKind::ComplexFrame:
+        // Complex bins are bounded by magnitude: |X(k)| <= hi.
+        for (const dsp::Complex &z : node.result.complexFrame()) {
+            const double mag = std::abs(z);
+            if (mag > hi) {
+                violated = true;
+                worst = mag;
+            }
+        }
+        break;
+    }
+    if (!violated)
+        return;
+    ++tripwireViolationCount;
+    if (tripwireFirstViolation.empty()) {
+        tripwireFirstViolation = node.key + ": observed " +
+                                 std::to_string(worst) +
+                                 " outside proven [" +
+                                 std::to_string(bound.lo) + ", " +
+                                 std::to_string(bound.hi) + "]";
+    }
+}
+
+std::uint64_t
+Engine::q15SaturationEvents()
+{
+    return dsp::q15SaturationEventCount();
+}
+
+void
+Engine::resetQ15SaturationEvents()
+{
+    dsp::resetQ15SaturationEvents();
 }
 
 } // namespace sidewinder::hub

@@ -30,6 +30,7 @@
 #ifndef SIDEWINDER_HUB_ENGINE_H
 #define SIDEWINDER_HUB_ENGINE_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -182,6 +183,55 @@ class Engine
     double cyclesConsumed() const { return dynamicCycles; }
 
     /**
+     * Proven value interval for the range tripwire, keyed by the
+     * canonical node sharing key (il::ExecutionPlan::shareKeys).
+     * For ComplexFrame nodes hi is additionally a magnitude bound.
+     */
+    struct RangeBound
+    {
+        double lo = 0.0;
+        double hi = 0.0;
+    };
+
+    /**
+     * Arm the range tripwire: while armed, every value a node emits
+     * on the per-sample path is cross-checked against its proven
+     * interval (plus a tiny floating-point slack); violations are
+     * counted and the first one is described. The soundness gate of
+     * the value-range analyzer (tests/il_range_test.cc, ASan/TSan
+     * trees) runs with this armed; production runs leave it off, so
+     * the steady-state cost is one predictable branch per emission.
+     */
+    void armRangeTripwire(
+        std::unordered_map<std::string, RangeBound> bounds);
+
+    /** Disarm the tripwire and forget the installed bounds. */
+    void disarmRangeTripwire();
+
+    /** Emissions observed outside their proven interval so far. */
+    std::size_t rangeTripwireViolations() const
+    {
+        return tripwireViolationCount;
+    }
+
+    /** Human-readable description of the first violation; empty. */
+    const std::string &rangeTripwireFirstViolation() const
+    {
+        return tripwireFirstViolation;
+    }
+
+    /**
+     * Q15 saturation events recorded on this thread by the dsp
+     * counters (dsp::q15SaturationEventCount) — the empirical side of
+     * the analyzer's SW301 verdict. Always 0 in Release builds, where
+     * the counters are compiled out.
+     */
+    static std::uint64_t q15SaturationEvents();
+
+    /** Reset this thread's Q15 saturation-event counter. */
+    static void resetQ15SaturationEvents();
+
+    /**
      * Power-cycle semantics: keep the installed conditions but drop
      * all accumulated signal state — window contents, averages, peak
      * context, consecutive counters, raw history, pending wake-ups,
@@ -310,6 +360,14 @@ class Engine
     /** Reused timestamp scratch for the evenly-spaced overload. */
     std::vector<double> blockTimestamps;
     double dynamicCycles = 0.0;
+
+    /** Range-tripwire state (armRangeTripwire). */
+    bool tripwireArmed = false;
+    std::unordered_map<std::string, RangeBound> tripwireBounds;
+    std::size_t tripwireViolationCount = 0;
+    std::string tripwireFirstViolation;
+
+    void checkRangeTripwire(const Node &node);
 };
 
 } // namespace sidewinder::hub

@@ -40,7 +40,10 @@ fitsBudget(const McuModel &mcu, const il::ProgramCost &cost)
 {
     if (!canRunInRealTime(mcu, cost.cyclesPerSecond))
         return false;
-    return mcu.ramBytes == 0 || cost.ramBytes <= mcu.ramBytes;
+    if (mcu.ramBytes != 0 && cost.ramBytes > mcu.ramBytes)
+        return false;
+    return mcu.wakeBudgetHz == 0.0 ||
+           cost.wakeRateBoundHz <= mcu.wakeBudgetHz;
 }
 
 McuModel
@@ -119,12 +122,16 @@ admissionDiagnostics(const il::ProgramCost &cost)
     std::ostringstream msg;
     msg << "condition fits no available hub microcontroller ("
         << cost.cyclesPerSecond << " cycle units/s, " << cost.ramBytes
-        << " bytes of state; largest budget is "
-        << mcus.back().cyclesPerSecond << " cycle units/s with "
-        << mcus.back().ramBytes << " bytes)";
+        << " bytes of state";
+    if (cost.wakeRateBoundHz > 0.0)
+        msg << ", up to " << cost.wakeRateBoundHz << " wake-ups/s";
+    msg << "; largest budget is " << mcus.back().cyclesPerSecond
+        << " cycle units/s with " << mcus.back().ramBytes << " bytes)";
     error.message = msg.str();
     error.hint = "reduce window sizes or firing rates, or split the "
-                 "condition";
+                 "condition; a tighter proven wake bound "
+                 "(swlint --ranges, SW312) may also fit a wake budget "
+                 "the syntactic bound blows";
     diagnostics.push_back(std::move(error));
     return diagnostics;
 }

@@ -43,6 +43,16 @@ struct McuModel
      * only). Checked against il::ProgramCost::ramBytes.
      */
     std::size_t ramBytes = 0;
+    /**
+     * Sustained wake-up interrupts per second the application
+     * processor tolerates from this hub; 0 means no wake budget is
+     * modeled. Checked against il::ProgramCost::wakeRateBoundHz —
+     * callers with a range-analysis proof (il::analyzeRanges) may
+     * substitute the tighter proven bound before admission, which is
+     * how provably quiet conditions fit budgets their syntactic
+     * bound would blow.
+     */
+    double wakeBudgetHz = 0.0;
 };
 
 /** The TI MSP430 of the prototype: 3.6 mW, small compute budget. */

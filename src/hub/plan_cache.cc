@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "il/analyze_range.h"
 #include "il/lower.h"
 #include "il/writer.h"
 #include "support/error.h"
@@ -110,6 +111,24 @@ FleetPlanCache::Shard::intern(
     PlanPtr plan = cache->internGlobal(key, program, channels);
     local.emplace(std::move(key), plan);
     return plan;
+}
+
+double
+FleetPlanCache::provenWakeRateHz(const il::ExecutionPlan &plan)
+{
+    const std::string key = canonicalPlanKey(plan);
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        auto it = provenWakeByCanonical.find(key);
+        if (it != provenWakeByCanonical.end())
+            return it->second;
+    }
+    // Analyze outside the lock — the analysis is pure, so a racing
+    // duplicate computes the same value and the memo stays exact.
+    const double proven = il::analyzeRanges(plan).provenWakeRateHz;
+    std::lock_guard<std::mutex> guard(lock);
+    provenWakeByCanonical.emplace(key, proven);
+    return proven;
 }
 
 PlanCacheStats

@@ -143,6 +143,18 @@ class FleetPlanCache
         std::unordered_map<std::string, PlanPtr> local;
     };
 
+    /**
+     * Proven wake-rate bound for @p plan from the value-range
+     * analyzer (il::analyzeRanges, default channel ranges), memoized
+     * per canonical plan so a fleet pays the analysis once per
+     * distinct condition, not once per tenant. Always
+     * <= plan.wakeRateBoundHz; admission substitutes it for the
+     * syntactic bound when an MCU models a wake budget. Thread-safe;
+     * works for plans that were never intern()ed (they memoize on
+     * first use).
+     */
+    double provenWakeRateHz(const il::ExecutionPlan &plan);
+
     /** Exact counters; safe to call concurrently with intern(). */
     PlanCacheStats stats() const;
 
@@ -159,6 +171,8 @@ class FleetPlanCache
     std::unordered_map<std::string, PlanPtr> byCanonical;
     /** Pre-lowering text key -> plan (aliases into byCanonical). */
     std::unordered_map<std::string, PlanPtr> byText;
+    /** Canonical plan key -> memoized proven wake-rate bound. */
+    std::unordered_map<std::string, double> provenWakeByCanonical;
     std::size_t retainedBytes = 0;
 
     std::atomic<std::size_t> missCount{0};

@@ -825,11 +825,15 @@ analyze(const Program &program,
     // instantiates). The per-node breakdown above keeps every
     // statement, duplicates included, for diagnostics.
     if (result.ok()) {
-        const ProgramCost lowered = lower(program, channels).cost();
+        const ExecutionPlan plan = lower(program, channels);
+        const ProgramCost lowered = plan.cost();
         result.cost.cyclesPerSecond = lowered.cyclesPerSecond;
         result.cost.ramBytes = lowered.ramBytes;
         result.cost.wakeRateBoundHz = lowered.wakeRateBoundHz;
         result.cost.planNodeCount = lowered.planNodeCount;
+        // lower() seals every plan, so the sealed fingerprint is the
+        // structural hash fleet tooling keys cached verdicts by.
+        result.planHash = plan.sealedHash;
     }
 
     return result;
@@ -863,6 +867,10 @@ renderJson(const AnalysisResult &result, const std::string &source_name)
 {
     std::ostringstream out;
     out << "{\"file\":\"" << escapeJson(source_name) << "\",";
+    out << "\"analyzerVersion\":" << kAnalyzerVersion << ",";
+    // Hex string: 64-bit hashes overflow JSON's double-backed numbers.
+    out << "\"planHash\":\"" << std::hex << result.planHash
+        << std::dec << "\",";
     out << "\"ok\":" << (result.ok() ? "true" : "false") << ",";
     out << "\"errors\":" << result.errorCount() << ",";
     out << "\"warnings\":" << result.warningCount() << ",";

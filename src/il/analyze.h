@@ -33,6 +33,7 @@
 #define SIDEWINDER_IL_ANALYZE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -100,6 +101,21 @@ inline constexpr const char *SW105_NEAR_NYQUIST = "SW105";
 inline constexpr const char *SW106_DEGENERATE_BAND = "SW106";
 inline constexpr const char *SW201_MCU_ASSIGNMENT = "SW201";
 inline constexpr const char *SW202_REPUSH_COST = "SW202";
+// SW3xx: value-range facts from the interval interpreter
+// (il/analyze_range.h). Severity varies with context: SW301 is an
+// error when Q15 execution is requested, a warning otherwise.
+inline constexpr const char *SW301_Q15_SATURATION = "SW301";
+inline constexpr const char *SW302_Q15_PRESCALE = "SW302";
+inline constexpr const char *SW310_DEAD_WAKE = "SW310";
+inline constexpr const char *SW311_ALWAYS_WAKE = "SW311";
+inline constexpr const char *SW312_PROVEN_WAKE_RATE = "SW312";
+
+/**
+ * Version of the analyzer's rule set, bumped whenever a diagnostic's
+ * meaning or the cost/range model changes. Rendered into swlint's
+ * JSON so fleet tooling and golden corpora can detect stale verdicts.
+ */
+inline constexpr int kAnalyzerVersion = 2;
 
 /** Static cost of one algorithm instance. */
 struct NodeCost
@@ -145,6 +161,12 @@ struct AnalysisResult
     ProgramCost cost;
     /** Stream properties of every node that could be derived. */
     StreamMap streams;
+    /**
+     * structuralHash() of the lowered ExecutionPlan the cost totals
+     * came from; 0 when the program has errors and could not be
+     * lowered. Keys cached verdicts in fleet tooling.
+     */
+    std::uint64_t planHash = 0;
 
     /** True when no Error-severity diagnostic was produced. */
     bool ok() const;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "il/analyze_range.h"
 #include "il/lower.h"
 #include "support/error.h"
 
@@ -179,6 +180,21 @@ FleetRuntime::admitInstall(Device &device, int condition_id,
         marginal.cyclesPerSecond;
     loaded.ramBytes = device.engine->estimatedRamBytes() +
                       marginal.ramBytes;
+    // Wake-budget admission uses the range analyzer's proven bound
+    // when it is tighter than the syntactic one (SW312): a condition
+    // whose data provably cannot fire often fits a wake budget its
+    // syntactic rate would blow. Memoized per canonical plan in the
+    // fleet cache; the ablation path computes the same pure analysis
+    // directly, so admission verdicts are identical either way.
+    double wake_hz = marginal.wakeRateBoundHz;
+    if (config.mcu.wakeBudgetHz > 0.0) {
+        const double proven =
+            config.shareAcrossTenants
+                ? cache.provenWakeRateHz(*plan)
+                : il::analyzeRanges(*plan).provenWakeRateHz;
+        wake_hz = std::min(wake_hz, proven);
+    }
+    loaded.wakeRateBoundHz = device.wakeLoadHz + wake_hz;
     if (!hub::fitsBudget(config.mcu, loaded)) {
         device.stats.conditionsRejected += 1;
         return false;
@@ -186,6 +202,8 @@ FleetRuntime::admitInstall(Device &device, int condition_id,
 
     device.engine->addCondition(condition_id, *plan);
     device.installed.emplace(condition_id, std::move(plan));
+    device.wakeHzByCondition.emplace(condition_id, wake_hz);
+    device.wakeLoadHz += wake_hz;
     device.stats.conditionsAdmitted += 1;
     device.stats.ramBytes = device.engine->estimatedRamBytes();
     return true;
@@ -435,6 +453,11 @@ FleetRuntime::removeCondition(std::size_t device_index,
         throw ConfigError("condition not installed on this device");
     device.engine->removeCondition(condition_id);
     device.installed.erase(condition_id);
+    auto wake = device.wakeHzByCondition.find(condition_id);
+    if (wake != device.wakeHzByCondition.end()) {
+        device.wakeLoadHz -= wake->second;
+        device.wakeHzByCondition.erase(wake);
+    }
     device.stats.conditionsAdmitted -= 1;
     device.stats.ramBytes = device.engine->estimatedRamBytes();
 }

@@ -244,6 +244,12 @@ class FleetRuntime
         std::unique_ptr<hub::Engine> engine;
         /** Plan references keeping cached plans alive per tenant. */
         std::map<int, hub::FleetPlanCache::PlanPtr> installed;
+        /** Admitted wake-rate bound per condition (proven when the
+         *  range analyzer tightened it, else syntactic). */
+        std::map<int, double> wakeHzByCondition;
+        /** Sum of wakeHzByCondition: the device's admitted wake
+         *  load against McuModel::wakeBudgetHz. */
+        double wakeLoadHz = 0.0;
         /** Read position in the fleet trace (wraps). */
         std::size_t cursor = 0;
         /** Device-local wave counter (timestamps, block phases). */

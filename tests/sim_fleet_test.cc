@@ -276,6 +276,80 @@ TEST(FleetRuntime, TinyBudgetRejectsEveryTenant)
     EXPECT_EQ(result.hubEnergyMj, 0.0);
 }
 
+TEST(FleetRuntime, ProvenWakeBoundAdmitsMoreTenants)
+{
+    // A 10 Hz wake budget: every app's *syntactic* wake bound is
+    // 50 Hz (one potential wake per accelerometer sample), so
+    // syntactic admission would reject the whole fleet. The range
+    // analyzer proves steps fires at most ~3.1 Hz and headbutts at
+    // most ~4.5 Hz (debounced peak detectors, SW312), so those
+    // tenants are admitted on the proven bound; transitions (a bare
+    // band threshold, provably no tighter) is still rejected.
+    Fixture fx;
+    const auto channels = fx.steps->channels();
+    for (const auto *app : {fx.steps.get(), fx.transitions.get(),
+                            fx.headbutts.get()}) {
+        const il::ExecutionPlan plan =
+            il::lower(app->wakeCondition().compile(), channels);
+        EXPECT_GT(plan.wakeRateBoundHz, 10.0) << app->name();
+    }
+
+    auto cfg = fx.config(32);
+    cfg.mcu.wakeBudgetHz = 10.0;
+    ThreadPool pool(2);
+    sim::FleetRuntime fleet(cfg, fx.mix(), fx.run);
+    fleet.build(pool);
+    const auto result = fleet.collect();
+
+    EXPECT_GT(result.admittedDevices, 0u);
+    EXPECT_GT(result.rejectedDevices, 0u);
+    for (const auto &d : result.devices) {
+        const bool transitions = d.appIndex == 1;
+        EXPECT_EQ(d.conditionsAdmitted, transitions ? 0u : 1u)
+            << "app " << d.appIndex;
+        EXPECT_EQ(d.conditionsRejected, transitions ? 1u : 0u)
+            << "app " << d.appIndex;
+    }
+
+    // The ablation path (no cross-tenant sharing) must reach the
+    // identical admission verdicts — the proof is a pure function
+    // of the plan, memoized or not.
+    auto private_cfg = cfg;
+    private_cfg.shareAcrossTenants = false;
+    sim::FleetRuntime private_fleet(private_cfg, fx.mix(), fx.run);
+    private_fleet.build(pool);
+    const auto private_result = private_fleet.collect();
+    EXPECT_EQ(result.admittedDevices, private_result.admittedDevices);
+    EXPECT_EQ(result.rejectedDevices, private_result.rejectedDevices);
+}
+
+TEST(FleetRuntime, WakeBudgetSumsAcrossConditionsPerDevice)
+{
+    // Two conditions per device at ~3.1 Hz proven each: both fit a
+    // 10 Hz budget (6.2 total), but only one fits 4 Hz — the
+    // device's admitted wake load is cumulative.
+    Fixture fx;
+    std::vector<sim::FleetAppMix> steps_only = {{fx.steps.get(), 1.0}};
+
+    auto cfg = fx.config(4);
+    cfg.conditionsPerDevice = 2;
+    cfg.sharePerEngine = false; // Second install is not free.
+    cfg.mcu.wakeBudgetHz = 4.0;
+    ThreadPool pool(1);
+    sim::FleetRuntime tight(cfg, steps_only, fx.run);
+    tight.build(pool);
+    for (const auto &d : tight.collect().devices) {
+        EXPECT_EQ(d.conditionsAdmitted, 1u);
+        EXPECT_EQ(d.conditionsRejected, 1u);
+    }
+
+    cfg.mcu.wakeBudgetHz = 10.0;
+    sim::FleetRuntime roomy(cfg, steps_only, fx.run);
+    roomy.build(pool);
+    for (const auto &d : roomy.collect().devices)
+        EXPECT_EQ(d.conditionsAdmitted, 2u);
+}
+
 TEST(FleetRuntime, RejectsMismatchedMixes)
 {
     Fixture fx;

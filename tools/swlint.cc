@@ -28,6 +28,7 @@
 #include "core/sensors.h"
 #include "hub/mcu.h"
 #include "il/analyze.h"
+#include "il/analyze_range.h"
 #include "il/lower.h"
 #include "il/optimize.h"
 #include "il/parser.h"
@@ -48,6 +49,12 @@ struct Options
     bool warningsAsErrors = false;
     bool json = false;
     bool dumpPlan = false;
+    /** Fold the value-range analyzer's SW3xx diagnostics into lint. */
+    bool ranges = false;
+    /** Prove for Q15 execution: SW301 saturation becomes an error. */
+    bool q15 = false;
+    /** Render il::renderRanges per program instead of linting. */
+    bool dumpRanges = false;
     std::string channelSpec = "all";
     std::vector<std::string> files;
 };
@@ -76,6 +83,15 @@ usage(std::ostream &out)
            "  --json           machine-readable JSON report\n"
            "  --dump-plan      render each program's lowered\n"
            "                   ExecutionPlan instead of linting\n"
+           "  --ranges         also run the value-range abstract\n"
+           "                   interpreter (SW3xx: Q15 saturation,\n"
+           "                   dead/always-firing wakes, proven\n"
+           "                   wake-rate bounds)\n"
+           "  --q15            prove for Q15 fixed-point execution:\n"
+           "                   possible saturation (SW301) becomes an\n"
+           "                   error (implies --ranges)\n"
+           "  --dump-ranges    render each program's per-node value\n"
+           "                   intervals and proofs instead of linting\n"
            "  --channels SPEC  channels for .il files: accel, audio,\n"
            "                   baro, all (default), or a custom\n"
            "                   NAME=RATE_HZ[,NAME=RATE_HZ...] list\n"
@@ -177,9 +193,20 @@ fileUnit(const std::string &path,
  * double-charged and no second analysis pass is needed.
  */
 il::AnalysisResult
-lint(const LintUnit &unit)
+lint(const LintUnit &unit, const Options &options)
 {
     il::AnalysisResult result = il::analyze(unit.program, unit.channels);
+    if (result.ok() && (options.ranges || options.q15)) {
+        // Value-range pass (SW3xx): interval proofs over the same
+        // lowered plan — Q15 saturation, dead or always-firing
+        // wakes, and provably tighter wake-rate bounds.
+        il::RangeOptions range_options;
+        range_options.q15 = options.q15;
+        const il::RangeAnalysis ranges = il::analyzeProgramRanges(
+            unit.program, unit.channels, range_options);
+        for (const auto &d : ranges.diagnostics)
+            result.diagnostics.push_back(d);
+    }
     if (result.ok()) {
         for (auto &d : hub::admissionDiagnostics(result.cost))
             result.diagnostics.push_back(std::move(d));
@@ -227,6 +254,13 @@ main(int argc, char **argv)
             options.json = true;
         } else if (arg == "--dump-plan") {
             options.dumpPlan = true;
+        } else if (arg == "--ranges") {
+            options.ranges = true;
+        } else if (arg == "--q15") {
+            options.q15 = true;
+            options.ranges = true;
+        } else if (arg == "--dump-ranges") {
+            options.dumpRanges = true;
         } else if (arg == "--channels") {
             if (i + 1 >= argc) {
                 std::cerr << "swlint: --channels needs an argument\n";
@@ -265,6 +299,33 @@ main(int argc, char **argv)
     } catch (const SidewinderError &error) {
         std::cerr << "swlint: " << error.what() << "\n";
         return 2;
+    }
+
+    if (options.dumpRanges) {
+        // Render the range analyzer's verdict per unit: one line per
+        // plan node with its proven interval, magnitude bound, rate
+        // bound, and Q15 verdict, then the SW3xx diagnostics.
+        bool any_errors = false;
+        for (const auto &unit : units) {
+            std::cout << "== " << unit.name << " ==\n";
+            if (!unit.parseFailure.empty()) {
+                std::cout << "error: " << unit.parseFailure << "\n";
+                any_errors = true;
+                continue;
+            }
+            try {
+                il::RangeOptions range_options;
+                range_options.q15 = options.q15;
+                const il::ExecutionPlan plan =
+                    il::lower(unit.program, unit.channels);
+                std::cout << il::renderRanges(
+                    plan, il::analyzeRanges(plan, range_options));
+            } catch (const SidewinderError &error) {
+                std::cout << "error: " << error.what() << "\n";
+                any_errors = true;
+            }
+        }
+        return any_errors ? 1 : 0;
     }
 
     if (options.dumpPlan) {
@@ -322,7 +383,7 @@ main(int argc, char **argv)
             continue;
         }
 
-        const il::AnalysisResult result = lint(unit);
+        const il::AnalysisResult result = lint(unit, options);
         errors += result.errorCount();
         warnings += result.warningCount();
         if (result.errorCount() > 0 ||
