@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Live-reconfiguration accounting (docs/fault-model.md, "Live
+ * reconfiguration"): what an OTA-style retune actually costs on the
+ * 115200-baud wire and at the hub.
+ *
+ * Three experiments:
+ *   1. Per-app wire cost of a one-threshold retune — the delta push
+ *      (reused nodes as 8-byte hash references) against the full
+ *      ConfigPush of the same plan. Deep audio plans amortize the
+ *      fixed framing overhead; two-node plans cannot.
+ *   2. A fault-free live update on the Figure-5 robot workload
+ *      through the full supervised stack: the swap must commit on the
+ *      first attempt and blind the hub for exactly one sample period.
+ *   3. The same update under 1e-3/byte corruption confined to the
+ *      update window (retries until committed), plus a direct
+ *      hub-level measurement of the stalled-transfer rollback
+ *      latency.
+ *
+ * Emits a JSON record (default BENCH_reconfig.json, or argv[1])
+ * gated by scripts/check_bench_regression.py --reconfig: the delta
+ * must cost at most half the full push on plans deep enough to
+ * amortize framing, and the blind window at most one block of
+ * samples.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "core/algorithm.h"
+#include "core/pipeline.h"
+#include "core/sensors.h"
+#include "hub/mcu.h"
+#include "hub/reconfig.h"
+#include "hub/runtime.h"
+#include "il/delta.h"
+#include "il/lower.h"
+#include "il/parser.h"
+#include "sim/faults.h"
+#include "sim/simulator.h"
+#include "trace/robot_gen.h"
+#include "transport/link.h"
+#include "transport/messages.h"
+
+using namespace sidewinder;
+
+namespace {
+
+/**
+ * Rebuild @p pipeline with exactly ONE threshold-like node retuned by
+ * @p scale — the first `*hreshold*` stage, or the first localMaxima /
+ * localMinima band (refractory count untouched). Everything else is
+ * copied verbatim so its canonical shareKeys survive and the update
+ * travels as a minimal delta.
+ */
+core::ProcessingPipeline
+retuneOneThreshold(const core::ProcessingPipeline &pipeline, double scale)
+{
+    bool done = false;
+    auto rebuild = [scale, &done](const core::Algorithm &algorithm) {
+        if (done)
+            return algorithm;
+        std::vector<double> params = algorithm.params();
+        if (algorithm.name().find("hreshold") != std::string::npos) {
+            for (double &p : params)
+                p *= scale;
+        } else if (algorithm.name() == "localMaxima" ||
+                   algorithm.name() == "localMinima") {
+            for (std::size_t i = 0; i < params.size() && i < 2; ++i)
+                params[i] *= scale;
+        } else {
+            return algorithm;
+        }
+        done = true;
+        return core::Algorithm(algorithm.name(), std::move(params));
+    };
+    core::ProcessingPipeline retuned;
+    for (const auto &branch : pipeline.branches()) {
+        core::ProcessingBranch b(branch.channel());
+        for (const auto &algorithm : branch.algorithms())
+            b.add(rebuild(algorithm));
+        retuned.add(std::move(b));
+    }
+    for (const auto &stage : pipeline.pipelineStages())
+        retuned.add(rebuild(stage));
+    return retuned;
+}
+
+struct AppRow
+{
+    std::string app;
+    std::size_t planNodes = 0;
+    hub::UpdateWireCost cost;
+};
+
+AppRow
+wireCostRow(const apps::Application &app, double scale)
+{
+    const auto channels = app.channels();
+    const auto old_plan =
+        il::lower(app.wakeCondition().compile(), channels);
+    std::unordered_set<std::string> live(old_plan.shareKeys.begin(),
+                                         old_plan.shareKeys.end());
+    const auto new_plan = il::lower(
+        retuneOneThreshold(app.wakeCondition(), scale).compile(),
+        channels);
+    AppRow row;
+    row.app = app.name();
+    row.planNodes = new_plan.nodeCount();
+    row.cost =
+        hub::updateWireCost(new_plan, il::computeDelta(new_plan, live));
+    return row;
+}
+
+/**
+ * Hub-level rollback latency of a stalled transfer: a valid begin +
+ * delta, then silence. Measured from the last update byte to the
+ * RolledBack ack leaving the hub, polled at 10 ms like a real hub
+ * main loop.
+ */
+double
+measureStallRollbackSeconds()
+{
+    transport::LinkPair link(115200.0);
+    hub::HubRuntime hub(link, core::accelerometerChannels(),
+                        hub::msp430());
+
+    const char *il_text = "ACC_X -> movingAvg(id=1, params={10});\n"
+                          "ACC_Y -> movingAvg(id=2, params={10});\n"
+                          "ACC_Z -> movingAvg(id=3, params={10});\n"
+                          "1,2,3 -> vectorMagnitude(id=4);\n"
+                          "4 -> minThreshold(id=5, params={15});\n"
+                          "5 -> OUT;\n";
+    link.phoneToHub().sendFrame(transport::encodeConfigPush({1, il_text}),
+                                0.0);
+    hub.pollLink(0.1);
+
+    const auto plan = il::lower(il::parse(il_text),
+                                core::accelerometerChannels());
+    const auto delta = hub::buildDeltaPush(
+        plan, il::computeDelta(plan, {}), /*epoch=*/1,
+        /*condition_id=*/1);
+    const double silence_start = 1.0;
+    link.phoneToHub().sendFrame(transport::encodeUpdateBegin({1}),
+                                silence_start);
+    link.phoneToHub().sendFrame(transport::encodeDeltaPush(delta),
+                                silence_start);
+
+    double t = silence_start;
+    while (t < silence_start + 60.0) {
+        t += 0.01;
+        hub.pollLink(t);
+        if (hub.updatesRolledBack() > 0)
+            return t - silence_start;
+    }
+    return -1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_reconfig.json";
+    const double seconds = bench::robotSeconds();
+    const double scale = 0.8;
+
+    std::printf("Live reconfiguration: one-threshold retune (x%.1f), "
+                "fig5 robot workload (%.0f s)%s\n",
+                scale, seconds, bench::fastMode() ? " [SW_FAST]" : "");
+
+    // 1. Delta vs full-push wire bytes per app.
+    std::vector<std::unique_ptr<apps::Application>> fleet;
+    fleet.push_back(apps::makeStepsApp());
+    fleet.push_back(apps::makeTransitionsApp());
+    fleet.push_back(apps::makeHeadbuttsApp());
+    fleet.push_back(apps::makeSirenApp());
+    fleet.push_back(apps::makeMusicJournalApp());
+    fleet.push_back(apps::makePhraseApp());
+    fleet.push_back(apps::makeGestureApp());
+    fleet.push_back(apps::makeFloorsApp());
+
+    std::vector<AppRow> rows;
+    for (const auto &app : fleet)
+        rows.push_back(wireCostRow(*app, scale));
+
+    bench::rule();
+    std::printf("%-16s %6s %8s %7s %11s %11s %7s\n", "app", "nodes",
+                "shipped", "reused", "delta B", "full B", "ratio");
+    bench::rule();
+    for (const auto &row : rows)
+        std::printf("%-16s %6zu %8zu %7zu %11zu %11zu %7.3f\n",
+                    row.app.c_str(), row.planNodes,
+                    row.cost.nodesShipped, row.cost.nodesReused,
+                    row.cost.deltaBytes, row.cost.fullBytes,
+                    static_cast<double>(row.cost.deltaBytes) /
+                        static_cast<double>(row.cost.fullBytes));
+    bench::rule();
+
+    // 2. Fault-free live update through the supervised stack.
+    trace::RobotRunConfig trace_config;
+    trace_config.idleFraction = 0.5;
+    trace_config.durationSeconds = seconds;
+    trace_config.seed = 42;
+    const auto trace = generateRobotRun(trace_config);
+    const auto app = apps::makeStepsApp();
+    const double sample_period = trace.timeOf(1) - trace.timeOf(0);
+
+    sim::SimConfig clean;
+    clean.strategy = sim::Strategy::Sidewinder;
+    clean.faults.reconfigUpdates = {{seconds / 2.0, scale}};
+    const auto live = sim::simulate(trace, *app, clean);
+
+    std::printf("fault-free update: committed %zu, rolled back %zu, "
+                "delta %zu B vs full %zu B, blind window %.1f ms "
+                "(%.2f samples)\n",
+                live.faults.updatesCommitted,
+                live.faults.updatesRolledBack,
+                live.faults.reconfigDeltaBytes,
+                live.faults.reconfigFullBytes,
+                live.faults.blindWindowSeconds * 1e3,
+                live.faults.blindWindowSeconds / sample_period);
+
+    // 3. The same update with corruption confined to the update
+    // window, plus the stalled-transfer rollback latency.
+    sim::SimConfig noisy = clean;
+    noisy.faults.reconfigUpdates = {{seconds / 3.0, scale}};
+    noisy.faults.updateCorruptionRate = 1e-3;
+    const auto corrupted = sim::simulate(trace, *app, noisy);
+    const double rollback_s = measureStallRollbackSeconds();
+
+    std::printf("corrupted update window (1e-3/byte): committed %zu, "
+                "rolled back %zu, %zu bytes corrupted\n",
+                corrupted.faults.updatesCommitted,
+                corrupted.faults.updatesRolledBack,
+                corrupted.faults.bytesCorrupted);
+    std::printf("stalled-transfer rollback latency: %.0f ms\n",
+                rollback_s * 1e3);
+
+    // The acceptance gate: a fault-free swap commits first try, ships
+    // fewer bytes than a full push, and the corrupted run still lands
+    // on the B plan.
+    const bool ok =
+        live.faults.updatesCommitted == 1 &&
+        live.faults.updatesRolledBack == 0 &&
+        live.faults.reconfigDeltaBytes <
+            live.faults.reconfigFullBytes &&
+        corrupted.faults.updatesCommitted >= 1 && rollback_s > 0.0;
+    std::printf("acceptance gate: %s\n", ok ? "pass" : "FAIL");
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"reconfig_fig5_robot\",\n"
+                 "  \"trace_seconds\": %.1f,\n"
+                 "  \"fast_mode\": %s,\n"
+                 "  \"baud\": 115200,\n"
+                 "  \"threshold_scale\": %.2f,\n",
+                 seconds, bench::fastMode() ? "true" : "false", scale);
+    bench::writeThreadContext(out, "  ");
+    std::fprintf(out, ",\n  \"apps\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        std::fprintf(
+            out,
+            "    {\"app\": \"%s\", \"plan_nodes\": %zu, "
+            "\"shipped\": %zu, \"reused\": %zu, "
+            "\"delta_bytes\": %zu, \"full_bytes\": %zu, "
+            "\"ratio\": %.4f}%s\n",
+            row.app.c_str(), row.planNodes, row.cost.nodesShipped,
+            row.cost.nodesReused, row.cost.deltaBytes,
+            row.cost.fullBytes,
+            static_cast<double>(row.cost.deltaBytes) /
+                static_cast<double>(row.cost.fullBytes),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(
+        out,
+        "  ],\n"
+        "  \"live_update\": {\"committed\": %zu, "
+        "\"rolled_back\": %zu, \"delta_bytes\": %zu, "
+        "\"full_bytes\": %zu, \"blind_window_ms\": %.4f, "
+        "\"sample_period_ms\": %.4f, "
+        "\"blind_window_samples\": %.4f},\n"
+        "  \"corrupted_update\": {\"committed\": %zu, "
+        "\"rolled_back\": %zu, \"bytes_corrupted\": %zu},\n"
+        "  \"stall_rollback_ms\": %.1f\n"
+        "}\n",
+        live.faults.updatesCommitted, live.faults.updatesRolledBack,
+        live.faults.reconfigDeltaBytes, live.faults.reconfigFullBytes,
+        live.faults.blindWindowSeconds * 1e3, sample_period * 1e3,
+        live.faults.blindWindowSeconds / sample_period,
+        corrupted.faults.updatesCommitted,
+        corrupted.faults.updatesRolledBack,
+        corrupted.faults.bytesCorrupted, rollback_s * 1e3);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return ok ? 0 : 1;
+}

@@ -11,7 +11,12 @@ and scripts/bench_budgets.json, and fails when:
  - (with --fleet BENCH_fleet.json) a fleet-scaling row at or above the
    budgeted population broke the plan-cache hit-rate floor or the
    per-device memory ceiling, or the fleet's serial-vs-parallel
-   determinism flag is false.
+   determinism flag is false, or
+ - (with --reconfig BENCH_reconfig.json) a one-threshold delta push
+   cost more than the budgeted fraction of a full push on a plan deep
+   enough to amortize framing, the committed swap's blind window
+   exceeded one block of samples, or the fault-free live update
+   failed to commit cleanly.
 
 Absolute budgets are machine-dependent, so they only fire on large
 regressions (the tolerance) and can be re-baselined by re-running
@@ -27,6 +32,8 @@ Usage: scripts/check_bench_regression.py [BENCH_dsp.json]
   --rebaseline       rewrite the budget baselines from this run
   --fleet PATH       BENCH_fleet.json to check against the "fleet"
                      budgets (skipped, with a note, when omitted)
+  --reconfig PATH    BENCH_reconfig.json to check against the
+                     "reconfig" budgets (skipped when omitted)
 """
 
 import argparse
@@ -107,6 +114,49 @@ def check_fleet(path, spec, failures):
             failures.append(f"fleet_memory_per_device[{devices}]")
 
 
+def check_reconfig(path, spec, failures):
+    """Gate BENCH_reconfig.json against the "reconfig" budget section."""
+    with open(path) as fh:
+        reconfig = json.load(fh)
+
+    max_ratio = float(spec.get("delta_to_full_max_ratio", 1.0))
+    min_nodes = int(spec.get("min_plan_nodes", 0))
+    max_blind = float(spec.get("blind_window_max_samples", 1.0))
+
+    gated = [r for r in reconfig.get("apps", [])
+             if int(r.get("plan_nodes", 0)) >= min_nodes]
+    if not gated:
+        print(f"reconfig: no app with >= {min_nodes} plan nodes in {path}",
+              file=sys.stderr)
+        failures.append("reconfig_min_plan_nodes")
+    for row in gated:
+        app = row["app"]
+        ratio = float(row["delta_bytes"]) / float(row["full_bytes"])
+        status = "ok" if ratio <= max_ratio else "REGRESSED"
+        print(f"{status:>9}  reconfig[{app}]: delta/full {ratio:.4f} "
+              f"(ceiling {max_ratio:.2f})")
+        if ratio > max_ratio:
+            failures.append(f"reconfig_delta_ratio[{app}]")
+
+    live = reconfig.get("live_update", {})
+    if spec.get("require_committed"):
+        committed = int(live.get("committed", 0))
+        rolled_back = int(live.get("rolled_back", 0))
+        clean = committed == 1 and rolled_back == 0
+        status = "ok" if clean else "REGRESSED"
+        print(f"{status:>9}  reconfig: fault-free update committed "
+              f"{committed}, rolled back {rolled_back}")
+        if not clean:
+            failures.append("reconfig_committed")
+
+    blind = float(live.get("blind_window_samples", 0.0))
+    status = "ok" if 0.0 < blind <= max_blind else "REGRESSED"
+    print(f"{status:>9}  reconfig: blind window {blind:.2f} samples "
+          f"(ceiling {max_blind:.0f})")
+    if not 0.0 < blind <= max_blind:
+        failures.append("reconfig_blind_window")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("results", nargs="?", default="BENCH_dsp.json")
@@ -115,6 +165,7 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.20)
     ap.add_argument("--rebaseline", action="store_true")
     ap.add_argument("--fleet", default=None)
+    ap.add_argument("--reconfig", default=None)
     args = ap.parse_args()
 
     results = load_results(args.results)
@@ -157,6 +208,13 @@ def main():
             check_fleet(args.fleet, budgets["fleet"], failures)
         else:
             print("fleet budgets skipped (no --fleet BENCH_fleet.json)")
+
+    if "reconfig" in budgets:
+        if args.reconfig:
+            check_reconfig(args.reconfig, budgets["reconfig"], failures)
+        else:
+            print("reconfig budgets skipped "
+                  "(no --reconfig BENCH_reconfig.json)")
 
     if args.rebaseline:
         with open(args.budgets, "w") as fh:

@@ -11,7 +11,10 @@
 #           under the same engine mutex the per-sample path takes),
 #           and the fleet tests (sim_fleet_test — shard workers
 #           racing on the shared plan cache is exactly where a data
-#           race would hide) under ThreadSanitizer before the normal
+#           race would hide), and the live-reconfiguration tests
+#           (hub_reconfig_test — staging in the shadow slot while
+#           the wave loop executes the live plans crosses the same
+#           engine mutex) under ThreadSanitizer before the normal
 #           run. SW_TSAN=1 enables the same.
 #   asan  — additionally build with
 #           -DSIDEWINDER_SANITIZE=address,undefined and run the
@@ -30,7 +33,11 @@
 #           where integer overflow UB would hide. The fleet tests
 #           (sim_fleet_test) run here too: tenants share one plan
 #           instance, so a lifetime bug in the cache would surface as
-#           a use-after-free under churn. The value-range soundness
+#           a use-after-free under churn. The live-reconfiguration
+#           tests (hub_reconfig_test) run here too: delta splicing
+#           resolves 8-byte hash references into live node pointers
+#           and rollback tears the staged half down, exactly where a
+#           dangling reference would hide. The value-range soundness
 #           gate (il_range_test) runs under both sanitizers: the Q15
 #           saturation-event counters are compiled in there (the
 #           sanitize trees define SIDEWINDER_Q15_COUNTERS), so the
@@ -52,7 +59,7 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
     cmake --build build-tsan --target sim_sweep_test \
         support_thread_pool_test il_plan_test hub_plan_property_test \
-        hub_block_test sim_fleet_test il_range_test
+        hub_block_test sim_fleet_test il_range_test hub_reconfig_test
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
@@ -65,6 +72,8 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     build-tsan/tests/sim_fleet_test
     echo "== ThreadSanitizer: value-range soundness gate =="
     build-tsan/tests/il_range_test
+    echo "== ThreadSanitizer: live reconfiguration =="
+    build-tsan/tests/hub_reconfig_test
 fi
 
 if [ "${SW_ASAN:-0}" = "1" ]; then
@@ -73,7 +82,7 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     cmake --build build-asan --target transport_reliable_test \
         hub_supervision_test sim_faults_test il_plan_test \
         hub_plan_property_test hub_block_test dsp_q15_test \
-        sim_fleet_test il_range_test
+        sim_fleet_test il_range_test hub_reconfig_test
     echo "== ASan/UBSan: fault-tolerance stack =="
     build-asan/tests/transport_reliable_test
     build-asan/tests/hub_supervision_test
@@ -88,6 +97,8 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     build-asan/tests/sim_fleet_test
     echo "== ASan/UBSan: value-range soundness gate =="
     build-asan/tests/il_range_test
+    echo "== ASan/UBSan: live reconfiguration =="
+    build-asan/tests/hub_reconfig_test
 fi
 
 cmake -B build -G Ninja
@@ -123,8 +134,10 @@ build/tools/swlint --all-apps --Werror
 
 # Fail the reproduction if a tracked benchmark regressed >20% against
 # its recorded baseline, a documented speedup ratio fell below its
-# floor, or the fleet run broke its cache-hit-rate / memory-per-device
-# budgets or determinism flag (docs/performance.md).
+# floor, the fleet run broke its cache-hit-rate / memory-per-device
+# budgets or determinism flag (docs/performance.md), or the
+# reconfiguration run broke its delta-wire-cost / blind-window
+# budgets (docs/fault-model.md, "Live reconfiguration").
 echo "== benchmark regression gate =="
 python3 scripts/check_bench_regression.py bench_check.json \
-    --fleet BENCH_fleet.json
+    --fleet BENCH_fleet.json --reconfig BENCH_reconfig.json

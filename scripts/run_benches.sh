@@ -26,6 +26,12 @@
 #    memory per device, and the fleet plan cache's hit rate at 1k /
 #    10k / 100k simulated devices (docs/performance.md, "Fleet
 #    execution"), plus a serial-vs-parallel determinism flag.
+#  - BENCH_reconfig.json — bench_reconfig: delta vs full-push wire
+#    bytes of a one-threshold retune per app, the blind window of a
+#    committed A/B swap on the fig5 robot workload at 115200 baud,
+#    the corrupted-update commit/rollback counts, and the
+#    stalled-transfer rollback latency (docs/fault-model.md, "Live
+#    reconfiguration").
 #
 # Every JSON record carries its worker-thread context — the effective
 # pool width, the SW_THREADS override (null/unset when absent), and
@@ -39,6 +45,7 @@
 #   OUT_SWEEP=...   sweep output JSON path (default: BENCH_sweep.json)
 #   OUT_FAULTS=...  fault sweep JSON path (default: BENCH_faults.json)
 #   OUT_FLEET=...   fleet scaling JSON path (default: BENCH_fleet.json)
+#   OUT_RECONFIG=... reconfiguration JSON path (default: BENCH_reconfig.json)
 #   SW_FAST=1       scale the sweep traces ~6x down (ratio unchanged)
 #                   and drop the fleet's 100k population
 #   SW_THREADS=N    override the worker-thread count (recorded in
@@ -52,11 +59,13 @@ OUT="${OUT:-BENCH_dsp.json}"
 OUT_SWEEP="${OUT_SWEEP:-BENCH_sweep.json}"
 OUT_FAULTS="${OUT_FAULTS:-BENCH_faults.json}"
 OUT_FLEET="${OUT_FLEET:-BENCH_fleet.json}"
+OUT_RECONFIG="${OUT_RECONFIG:-BENCH_reconfig.json}"
 FILTER="${1:-.}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
     bench_sweep_scaling bench_fault_sweep bench_fleet_scaling \
+    bench_reconfig \
     >/dev/null
 
 # Refuse to record numbers from an unoptimized tree: a Debug build is
@@ -94,3 +103,5 @@ echo "wrote $OUT"
 "$BUILD_DIR"/bench/bench_fault_sweep "$OUT_FAULTS"
 
 "$BUILD_DIR"/bench/bench_fleet_scaling "$OUT_FLEET"
+
+"$BUILD_DIR"/bench/bench_reconfig "$OUT_RECONFIG"

@@ -1,6 +1,10 @@
 #include "core/sensor_manager.h"
 
+#include <unordered_set>
+
+#include "hub/reconfig.h"
 #include "il/analyze.h"
+#include "il/delta.h"
 #include "il/lower.h"
 #include "il/writer.h"
 #include "support/error.h"
@@ -61,13 +65,17 @@ SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
     if (!analysis.ok())
         throw ParseError("pipeline failed static analysis:\n" +
                          il::renderText(analysis, "<pipeline>"));
-    const il::Program canonical =
-        il::lower(program, channels).toProgram();
+    const il::ExecutionPlan plan = il::lower(program, channels);
+    const il::Program canonical = plan.toProgram();
 
     const int condition_id = nextConditionId++;
     Entry entry;
     entry.listener = listener;
     entry.ilText = il::write(canonical);
+    // Shadow the plan's canonical shareKeys: they are the hub-side
+    // identity of every node this push instantiates, and the basis
+    // future delta updates are computed against.
+    entry.shareKeys = plan.shareKeys;
     // Surface the analyzer's warnings at push time — except SW101
     // (duplicate subtrees), which lowering just resolved.
     for (const auto &d : analysis.diagnostics) {
@@ -97,9 +105,125 @@ SidewinderSensorManager::remove(int condition_id, double now)
     sendToHub(transport::encodeConfigRemove({condition_id}), now);
 }
 
+std::uint32_t
+SidewinderSensorManager::beginUpdate(double now)
+{
+    if (pendingUpdate)
+        throw ConfigError("an update transaction is already open");
+    if (hubIsDown)
+        throw ConfigError("cannot open an update while the hub is down");
+    PendingUpdate update;
+    update.epoch = nextEpoch++;
+    pendingUpdate = std::move(update);
+    updateError.clear();
+    if (reliable)
+        // Stamp everything this transaction sends with its epoch so
+        // the hub can refuse delayed retransmits of it after a later
+        // commit raises the floor.
+        reliable->setLocalEpoch(pendingUpdate->epoch);
+    sendToHub(transport::encodeUpdateBegin({pendingUpdate->epoch}), now);
+    return pendingUpdate->epoch;
+}
+
+void
+SidewinderSensorManager::updateCondition(
+    int condition_id, const ProcessingPipeline &pipeline, double now)
+{
+    if (!pendingUpdate)
+        throw ConfigError(
+            "updateCondition outside an update transaction");
+    if (pendingUpdate->commitSent)
+        throw ConfigError("update transaction already committed");
+    auto it = entries.find(condition_id);
+    if (it == entries.end() ||
+        it->second.state == ConditionState::Removed)
+        throw ConfigError("unknown condition id " +
+                          std::to_string(condition_id));
+
+    const il::Program program = pipeline.compile();
+    const il::AnalysisResult analysis = il::analyze(program, channels);
+    if (!analysis.ok())
+        throw ParseError("pipeline failed static analysis:\n" +
+                         il::renderText(analysis, "<pipeline>"));
+    const il::ExecutionPlan plan = il::lower(program, channels);
+
+    // The hub's presumed-live node set: every shareKey of every
+    // installed condition (including the old version of the one being
+    // replaced — its unchanged subgraph is exactly the reuse target)
+    // plus whatever this transaction already staged. Those nodes are
+    // resolvable by hash on the hub, so they need not travel again.
+    std::unordered_set<std::string> live_keys;
+    for (const auto &[id, entry] : entries) {
+        if (entry.state == ConditionState::Removed ||
+            entry.state == ConditionState::Rejected)
+            continue;
+        live_keys.insert(entry.shareKeys.begin(),
+                         entry.shareKeys.end());
+    }
+    for (const auto &[id, staged] : pendingUpdate->staged)
+        live_keys.insert(staged.shareKeys.begin(),
+                         staged.shareKeys.end());
+
+    const il::PlanDelta delta = il::computeDelta(plan, live_keys);
+    const transport::DeltaPushMessage message = hub::buildDeltaPush(
+        plan, delta, pendingUpdate->epoch, condition_id);
+
+    reconStats.nodesShipped += delta.shippedNodes.size();
+    reconStats.nodesReused += delta.reusedRefs.size();
+    reconStats.deltaWireBytes +=
+        transport::deltaPushWireBytes(message);
+    reconStats.fullPushWireBytes += transport::configPushWireBytes(
+        {condition_id, il::write(plan.toProgram())});
+
+    StagedEntry staged;
+    staged.ilText = il::write(plan.toProgram());
+    staged.shareKeys = plan.shareKeys;
+    pendingUpdate->staged[condition_id] = std::move(staged);
+
+    sendToHub(transport::encodeDeltaPush(message), now);
+}
+
+void
+SidewinderSensorManager::commitUpdate(double now)
+{
+    if (!pendingUpdate)
+        throw ConfigError("commitUpdate outside an update transaction");
+    if (pendingUpdate->staged.empty())
+        throw ConfigError("commitUpdate with no staged conditions");
+    pendingUpdate->commitSent = true;
+    sendToHub(transport::encodeUpdateCommit({pendingUpdate->epoch}),
+              now);
+}
+
+void
+SidewinderSensorManager::abortUpdate(double now)
+{
+    if (!pendingUpdate)
+        return;
+    sendToHub(transport::encodeUpdateAbort({pendingUpdate->epoch}),
+              now);
+    discardUpdate("aborted locally");
+}
+
+void
+SidewinderSensorManager::discardUpdate(const std::string &reason)
+{
+    pendingUpdate.reset();
+    updateError = reason;
+    ++reconStats.updatesRolledBack;
+    if (reliable)
+        // Back to the last committed epoch: frames we send from here
+        // on must not look like they belong to the dead transaction.
+        reliable->setLocalEpoch(committedEpoch);
+}
+
 void
 SidewinderSensorManager::recoverHub(double now)
 {
+    // A hub that lost its RAM also lost anything we had staged; the
+    // application retries the update once the re-pushes settle.
+    if (pendingUpdate)
+        discardUpdate("hub rebooted mid-update");
     if (hubIsDown) {
         closedDownWindows.emplace_back(downSince, now);
         hubIsDown = false;
@@ -161,6 +285,16 @@ SidewinderSensorManager::poll(double now)
             hubIsDown = true;
             downSince = now;
             ++supStats.hubDeathsDetected;
+            // Heartbeat-driven rollback: a silent hub cannot finish
+            // the transfer. Its own stall timeout reclaims the shadow
+            // slot; we drop ours and tell it (best-effort) so a hub
+            // that is merely unreachable rolls back promptly too.
+            if (pendingUpdate) {
+                sendToHub(transport::encodeUpdateAbort(
+                              {pendingUpdate->epoch}),
+                          now);
+                discardUpdate("hub heartbeats vanished mid-update");
+            }
         }
     }
 }
@@ -199,6 +333,37 @@ SidewinderSensorManager::handleFrame(const transport::Frame &frame,
         data.triggerValue = message.triggerValue;
         data.rawData = message.rawData;
         it->second.listener->onSensorEvent(data);
+        break;
+      }
+      case transport::MessageType::UpdateAck: {
+        const auto message = transport::decodeUpdateAck(frame);
+        if (!pendingUpdate || message.epoch != pendingUpdate->epoch)
+            // Ack for a transaction we already gave up on (e.g. a
+            // stall-rollback crossing our commit on the wire).
+            break;
+        if (message.status == transport::UpdateStatus::Committed) {
+            // The swap happened: the staged replacements are now the
+            // truth, so they become the shadow copies future deltas
+            // and re-pushes are computed from.
+            for (auto &[id, staged] : pendingUpdate->staged) {
+                Entry &entry = entries[id];
+                entry.ilText = std::move(staged.ilText);
+                entry.shareKeys = std::move(staged.shareKeys);
+                entry.state = ConditionState::Active;
+            }
+            committedEpoch = pendingUpdate->epoch;
+            pendingUpdate.reset();
+            updateError.clear();
+            ++reconStats.updatesCommitted;
+        } else {
+            // RolledBack or Stale: the hub kept (or reverted to) its
+            // A plans and the epoch never advanced. Drop the staged
+            // copies and surface the reason so the application can
+            // retry under a fresh epoch.
+            discardUpdate(message.reason.empty()
+                              ? "hub refused the update"
+                              : message.reason);
+        }
         break;
       }
       case transport::MessageType::Heartbeat: {

@@ -67,6 +67,24 @@ struct SupervisionStats
     std::size_t repushedConditions = 0;
 };
 
+/** Counters for live-reconfiguration (delta update) traffic. */
+struct ReconfigStats
+{
+    /** Update transactions the hub acknowledged as committed. */
+    std::size_t updatesCommitted = 0;
+    /** Update transactions rolled back (hub refusal, heartbeat
+        death mid-update, or local abort). */
+    std::size_t updatesRolledBack = 0;
+    /** Nodes shipped in full across all delta pushes. */
+    std::size_t nodesShipped = 0;
+    /** Nodes referenced by shareKey hash instead of travelling. */
+    std::size_t nodesReused = 0;
+    /** Framed bytes the delta pushes actually cost. */
+    std::size_t deltaWireBytes = 0;
+    /** Framed bytes full ConfigPushes of the same plans would cost. */
+    std::size_t fullPushWireBytes = 0;
+};
+
 /** Phone-side manager for Sidewinder wake-up conditions. */
 class SidewinderSensorManager
 {
@@ -167,6 +185,57 @@ class SidewinderSensorManager
         return reliable ? &reliable->stats() : nullptr;
     }
 
+    // ----- live reconfiguration (the phone half) -----
+    //
+    // Changing a running condition (retune a threshold, swap a
+    // filter) should not cost a full teardown-and-repush: the phone
+    // opens a versioned update transaction, ships only the nodes
+    // whose canonical shareKey is not already live on the hub (the
+    // rest travel as 8-byte hash references), and commits — the hub
+    // stages the new plans beside the live ones and swaps them
+    // atomically between two evaluation waves, carrying shared-node
+    // state across. Anything that fails — hub-side rejection, a
+    // heartbeat blackout mid-transfer, an explicit abort — rolls the
+    // transaction back on both sides; the shadow copies here are
+    // untouched until the hub's Committed ack arrives.
+
+    /**
+     * Open an update transaction at a fresh config epoch and tell
+     * the hub. One transaction at a time.
+     * @return the transaction's config epoch.
+     * @throws ConfigError if one is already open or the hub is down.
+     */
+    std::uint32_t beginUpdate(double now = 0.0);
+
+    /**
+     * Stage a replacement @p pipeline for @p condition_id inside the
+     * open transaction: compile, analyze and lower locally, delta
+     * against every shareKey presumed live on the hub (installed
+     * conditions plus earlier stages of this transaction), and ship
+     * the delta. The local shadow copy is not touched until commit.
+     * @throws ConfigError / ParseError on invalid pipelines or ids.
+     */
+    void updateCondition(int condition_id,
+                         const ProcessingPipeline &pipeline,
+                         double now = 0.0);
+
+    /** Ask the hub to atomically swap everything staged live. */
+    void commitUpdate(double now = 0.0);
+
+    /** Abandon the open transaction (tells the hub to roll back). */
+    void abortUpdate(double now = 0.0);
+
+    /** True while an update transaction is open. */
+    bool updateInProgress() const { return pendingUpdate.has_value(); }
+
+    /** Config epoch of the last committed update (0 = none yet). */
+    std::uint32_t configEpoch() const { return committedEpoch; }
+
+    /** Why the last update rolled back (empty after a commit). */
+    const std::string &lastUpdateError() const { return updateError; }
+
+    const ReconfigStats &reconfigStats() const { return reconStats; }
+
     /** Lifecycle state of @p condition_id. */
     ConditionState state(int condition_id) const;
 
@@ -191,12 +260,33 @@ class SidewinderSensorManager
         std::string ilText;
         std::string reason;
         std::vector<il::Diagnostic> pushDiagnostics;
+        /** Canonical shareKeys of the shipped plan's nodes — the
+            shadow of what is live on the hub, and the basis every
+            delta is computed against. */
+        std::vector<std::string> shareKeys;
+    };
+
+    /** A condition's replacement, held until the hub commits. */
+    struct StagedEntry
+    {
+        std::string ilText;
+        std::vector<std::string> shareKeys;
+    };
+
+    /** The open update transaction, if any. */
+    struct PendingUpdate
+    {
+        std::uint32_t epoch = 0;
+        bool commitSent = false;
+        std::map<int, StagedEntry> staged;
     };
 
     const Entry &entryOf(int condition_id) const;
     void handleFrame(const transport::Frame &frame, double now);
     void sendToHub(const transport::Frame &frame, double now);
     void recoverHub(double now);
+    /** Drop the open transaction and count the rollback. */
+    void discardUpdate(const std::string &reason);
 
     transport::LinkPair &link;
     std::vector<il::ChannelInfo> channels;
@@ -214,6 +304,13 @@ class SidewinderSensorManager
     bool hubIsDown = false;
     double downSince = 0.0;
     std::vector<std::pair<double, double>> closedDownWindows;
+
+    std::optional<PendingUpdate> pendingUpdate;
+    /** Next epoch to hand out; monotonic for this manager's life. */
+    std::uint32_t nextEpoch = 1;
+    std::uint32_t committedEpoch = 0;
+    std::string updateError;
+    ReconfigStats reconStats;
 };
 
 } // namespace sidewinder::core

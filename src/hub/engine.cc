@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "dsp/q15.h"
+#include "il/delta.h"
 #include "il/lower.h"
 #include "support/error.h"
 
@@ -69,7 +70,13 @@ Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
     if (conditions.count(condition_id))
         throw ConfigError("condition id " + std::to_string(condition_id) +
                           " already installed");
+    conditions[condition_id] = buildCondition(condition_id, plan);
+    rebuildSchedule();
+}
 
+Engine::Condition
+Engine::buildCondition(int condition_id, const il::ExecutionPlan &plan)
+{
     // Immutability tripwire: a sealed plan (anything out of
     // il::lower(), possibly shared fleet-wide) must not have been
     // touched since lowering. No-op in release builds.
@@ -112,6 +119,7 @@ Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
             auto node = std::make_unique<Node>();
             node->key = plan.shareKeys[local];
             node->algorithm = plan.algorithms[local];
+            node->params = plan.params[local];
 
             std::vector<il::NodeStream> input_streams;
             input_streams.reserve(arity);
@@ -152,9 +160,21 @@ Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
 
             index = static_cast<int>(nodes.size());
             nodes.push_back(std::move(node));
-            if (shareNodes)
-                nodeByKey[nodes[static_cast<std::size_t>(index)]->key] =
-                    index;
+            if (shareNodes) {
+                const std::string &key =
+                    nodes[static_cast<std::size_t>(index)]->key;
+                nodeByKey[key] = index;
+                // Delta references resolve through this 8-byte hash;
+                // a collision between two distinct live keys would
+                // silently splice the wrong subgraph, so it must be
+                // loud (64-bit FNV over canonical keys — effectively
+                // unreachable).
+                const auto [slot, inserted] =
+                    nodeByKeyHash.emplace(il::shareKeyHash(key), index);
+                if (!inserted && slot->second != index)
+                    throw InternalError(
+                        "shareKey hash collision on '" + key + "'");
+            }
         }
 
         nodes[static_cast<std::size_t>(index)]->refCount += 1;
@@ -166,9 +186,23 @@ Engine::addCondition(int condition_id, const il::ExecutionPlan &plan)
         throw InternalError("plan without OUT routing");
     cond.outNode =
         local_to_global[static_cast<std::size_t>(plan.outNode)];
+    return cond;
+}
 
-    conditions[condition_id] = std::move(cond);
-    rebuildSchedule();
+void
+Engine::releaseConditionNodes(const Condition &cond)
+{
+    for (int index : cond.ownedNodes) {
+        Node *node = nodes[static_cast<std::size_t>(index)].get();
+        if (node == nullptr)
+            throw InternalError("condition references freed node");
+        node->refCount -= 1;
+        if (node->refCount == 0) {
+            nodeByKey.erase(node->key);
+            nodeByKeyHash.erase(il::shareKeyHash(node->key));
+            nodes[static_cast<std::size_t>(index)].reset();
+        }
+    }
 }
 
 void
@@ -178,19 +212,147 @@ Engine::removeCondition(int condition_id)
     if (it == conditions.end())
         throw ConfigError("condition id " + std::to_string(condition_id) +
                           " is not installed");
-
-    for (int index : it->second.ownedNodes) {
-        Node *node = nodes[static_cast<std::size_t>(index)].get();
-        if (node == nullptr)
-            throw InternalError("condition references freed node");
-        node->refCount -= 1;
-        if (node->refCount == 0) {
-            nodeByKey.erase(node->key);
-            nodes[static_cast<std::size_t>(index)].reset();
-        }
-    }
+    releaseConditionNodes(it->second);
     conditions.erase(it);
     rebuildSchedule();
+}
+
+void
+Engine::stageCondition(int condition_id, const il::ExecutionPlan &plan)
+{
+    auto staged = stagedConditions.find(condition_id);
+    if (staged != stagedConditions.end()) {
+        // A retried update restages the same id; the earlier staged
+        // copy is superseded, never merged.
+        releaseConditionNodes(staged->second);
+        stagedConditions.erase(staged);
+    }
+    stagedConditions[condition_id] = buildCondition(condition_id, plan);
+    rebuildSchedule();
+}
+
+bool
+Engine::hasStagedCondition(int condition_id) const
+{
+    return stagedConditions.count(condition_id) != 0;
+}
+
+std::vector<int>
+Engine::stagedConditionIds() const
+{
+    std::vector<int> ids;
+    ids.reserve(stagedConditions.size());
+    for (const auto &[id, cond] : stagedConditions) {
+        (void)cond;
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+void
+Engine::commitStaged()
+{
+    if (stagedConditions.empty())
+        return;
+    for (auto &[id, staged] : stagedConditions) {
+        auto live = conditions.find(id);
+        if (live != conditions.end()) {
+            // The staged copy already holds references to every node
+            // it shares with the retiring one, so releasing the A
+            // copy frees exactly the nodes only it used — shared
+            // subgraph state survives the swap untouched.
+            releaseConditionNodes(live->second);
+            conditions.erase(live);
+        }
+        conditions[id] = std::move(staged);
+    }
+    stagedConditions.clear();
+    rebuildSchedule();
+}
+
+void
+Engine::abortStaged()
+{
+    if (stagedConditions.empty())
+        return;
+    for (const auto &[id, staged] : stagedConditions) {
+        (void)id;
+        releaseConditionNodes(staged);
+    }
+    stagedConditions.clear();
+    rebuildSchedule();
+}
+
+bool
+Engine::hasNodeWithKeyHash(std::uint64_t key_hash) const
+{
+    return nodeByKeyHash.count(key_hash) != 0;
+}
+
+std::vector<std::string>
+Engine::liveShareKeys() const
+{
+    std::vector<std::string> keys;
+    keys.reserve(nodeByKey.size());
+    for (const auto &[key, index] : nodeByKey) {
+        (void)index;
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+il::NodeId
+Engine::exportSubgraph(std::uint64_t key_hash, il::Program &out,
+                       il::NodeId &next_id,
+                       std::unordered_map<int, il::NodeId> &emitted) const
+{
+    const auto root = nodeByKeyHash.find(key_hash);
+    if (root == nodeByKeyHash.end())
+        throw ConfigError("delta reuses a node that is not live "
+                          "(stale shareKey hash)");
+
+    // Depth-first emission so every statement's inputs precede it;
+    // an explicit stack keeps deep chains off the call stack.
+    struct Visit
+    {
+        int index;
+        bool expanded;
+    };
+    std::vector<Visit> stack{{root->second, false}};
+    while (!stack.empty()) {
+        const Visit visit = stack.back();
+        stack.pop_back();
+        if (emitted.count(visit.index))
+            continue;
+        const Node *node =
+            nodes[static_cast<std::size_t>(visit.index)].get();
+        if (node == nullptr)
+            throw InternalError("subgraph export hit a freed node");
+        if (!visit.expanded) {
+            stack.push_back({visit.index, true});
+            for (int in : node->inputs)
+                if (in >= 0 && !emitted.count(in))
+                    stack.push_back({in, false});
+            continue;
+        }
+        il::Statement stmt;
+        stmt.algorithm = node->algorithm;
+        stmt.params = node->params;
+        stmt.id = next_id++;
+        for (int in : node->inputs) {
+            if (in >= 0) {
+                stmt.inputs.push_back(
+                    il::SourceRef::makeNode(emitted.at(in)));
+            } else {
+                const auto ch = static_cast<std::size_t>(-in - 1);
+                stmt.inputs.push_back(
+                    il::SourceRef::makeChannel(channelInfos[ch].name));
+            }
+        }
+        out.statements.push_back(std::move(stmt));
+        emitted[visit.index] = out.statements.back().id;
+    }
+    return emitted.at(root->second);
 }
 
 void

@@ -104,6 +104,83 @@ class Engine
     /** Installed condition ids. */
     std::vector<int> conditionIds() const;
 
+    // ----- live reconfiguration: the A/B shadow slot -----
+    //
+    // stageCondition() installs a plan next to the live one instead of
+    // replacing it: staged nodes join the schedule (so they execute
+    // and warm up — windows fill, averages settle — while the A copy
+    // keeps waking the phone), nodes shared with live conditions are
+    // refcounted rather than duplicated (their ring buffers, EMA
+    // state, and dwell timers carry over bit-identically), but staged
+    // OUT nodes never raise wake events. commitStaged() retires the
+    // replaced A conditions and promotes every staged one between two
+    // waves — the atomic swap — and abortStaged() frees whatever only
+    // the staged copies held. During the overlap window
+    // estimatedCyclesPerSecond()/estimatedRamBytes() charge both
+    // copies; admission must gate on that combined load.
+
+    /**
+     * Stage @p plan in the shadow slot under @p condition_id. A live
+     * condition with the same id keeps running untouched until
+     * commitStaged(). Restaging an already-staged id replaces the
+     * earlier staged copy (a retried update must be idempotent).
+     * @throws ConfigError on unknown channels.
+     */
+    void stageCondition(int condition_id, const il::ExecutionPlan &plan);
+
+    /** True when @p condition_id is staged in the shadow slot. */
+    bool hasStagedCondition(int condition_id) const;
+
+    /** Ids staged in the shadow slot. */
+    std::vector<int> stagedConditionIds() const;
+
+    /** Number of staged conditions. */
+    std::size_t stagedCount() const { return stagedConditions.size(); }
+
+    /**
+     * The atomic A/B swap: for every staged condition, retire the
+     * live condition with the same id (if any) and promote the staged
+     * copy. Runs between waves — callers must not invoke it from
+     * inside a push. Nodes shared between the retiring and promoted
+     * copies survive with their state; nodes only the retired copy
+     * held are freed.
+     */
+    void commitStaged();
+
+    /**
+     * Roll back the shadow slot: discard every staged condition,
+     * freeing nodes no live condition shares. The A copies are
+     * untouched — this is the rollback path when a transfer fails
+     * mid-update.
+     */
+    void abortStaged();
+
+    /**
+     * True when a live or staged node's canonical shareKey hashes to
+     * @p key_hash (il::shareKeyHash). Only meaningful with sharing
+     * enabled — delta pushes require a sharing hub.
+     */
+    bool hasNodeWithKeyHash(std::uint64_t key_hash) const;
+
+    /** Canonical shareKeys of all live nodes (sharing enabled). */
+    std::vector<std::string> liveShareKeys() const;
+
+    /**
+     * Reconstruct the subgraph rooted at the node whose shareKey
+     * hashes to @p key_hash as IL statements appended to @p out —
+     * the receive side of a delta push: a reused reference pulls the
+     * whole transitive cone, which commitStaged() then shares (state
+     * and all) rather than re-instantiates. @p emitted memoizes
+     * node-index -> statement id across calls so subgraphs referenced
+     * twice in one message splice once; @p next_id supplies fresh
+     * statement ids.
+     * @return the statement id of the root node.
+     * @throws ConfigError when no such node is live.
+     */
+    il::NodeId exportSubgraph(
+        std::uint64_t key_hash, il::Program &out, il::NodeId &next_id,
+        std::unordered_map<int, il::NodeId> &emitted) const;
+
     /**
      * Feed one synchronous sample per channel (in the channel order
      * given at construction) and run one evaluation wave.
@@ -260,6 +337,9 @@ class Engine
     {
         std::string key;
         std::string algorithm;
+        /** Literal parameters, kept for subgraph export (delta
+            reconstruction needs to re-render reused nodes as IL). */
+        std::vector<double> params;
         std::unique_ptr<Kernel> kernel;
         /** Inputs: node index (>= 0) or channel as -(index + 1). */
         std::vector<int> inputs;
@@ -317,6 +397,12 @@ class Engine
     };
 
     int channelIndexOf(const std::string &name) const;
+    /** Install @p plan's nodes (hash-consed, refcounted) and build
+        the Condition record; shared by install and staging. */
+    Condition buildCondition(int condition_id,
+                             const il::ExecutionPlan &plan);
+    /** Drop one condition's node references, freeing orphans. */
+    void releaseConditionNodes(const Condition &cond);
     /** Rebuild the dense wave schedule after any add/remove. */
     void rebuildSchedule();
     /** Size a node's block lanes and input views for @p count waves. */
@@ -342,7 +428,12 @@ class Engine
     /** Live nodes in topological order — the wave loop's worklist. */
     std::vector<Node *> schedule;
     std::unordered_map<std::string, int> nodeByKey;
+    /** il::shareKeyHash(key) -> node index (sharing enabled only) —
+        the resolution table for 8-byte delta references. */
+    std::unordered_map<std::uint64_t, int> nodeByKeyHash;
     std::map<int, Condition> conditions;
+    /** The shadow (B) slot: staged but not yet live conditions. */
+    std::map<int, Condition> stagedConditions;
     std::vector<RingBuffer<double>> rawBuffers;
     std::vector<WakeEvent> pendingWakeEvents;
     /** Reused per-wave channel value scratch. */

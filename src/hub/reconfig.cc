@@ -1,0 +1,171 @@
+#include "hub/reconfig.h"
+
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "il/writer.h"
+#include "support/error.h"
+#include "transport/link.h"
+
+namespace sidewinder::hub {
+
+transport::DeltaPushMessage
+buildDeltaPush(const il::ExecutionPlan &plan, const il::PlanDelta &delta,
+               std::uint32_t epoch, std::int32_t condition_id)
+{
+    transport::DeltaPushMessage message;
+    message.epoch = epoch;
+    message.conditionId = condition_id;
+
+    // Entry order is plan (topological) order over the nodes that
+    // appear on the wire, so every entry's node inputs precede it.
+    std::vector<std::int32_t> entry_of(plan.nodeCount(), -1);
+    std::vector<bool> on_wire(plan.nodeCount(), false);
+    for (std::size_t i : delta.shippedNodes)
+        on_wire[i] = true;
+    for (std::size_t i : delta.reusedRefs)
+        on_wire[i] = true;
+
+    std::unordered_map<std::string, std::int32_t> channel_ref;
+    for (std::size_t i = 0; i < plan.nodeCount(); ++i) {
+        if (!on_wire[i])
+            continue;
+        transport::DeltaNodeEntry entry;
+        if (!delta.shipped[i]) {
+            entry.reused = true;
+            entry.keyHash = il::shareKeyHash(plan.shareKeys[i]);
+        } else {
+            entry.algorithm = plan.algorithms[i];
+            entry.params = plan.params[i];
+            const std::int32_t *inputs = plan.inputsOf(i);
+            for (std::uint32_t k = 0; k < plan.inputCounts[i]; ++k) {
+                const std::int32_t ref = inputs[k];
+                if (ref >= 0) {
+                    const std::int32_t entry_index =
+                        entry_of[static_cast<std::size_t>(ref)];
+                    if (entry_index < 0)
+                        throw InternalError(
+                            "delta input node missing from the wire");
+                    entry.inputs.push_back(entry_index);
+                } else {
+                    const std::string &name =
+                        plan.channels[static_cast<std::size_t>(-ref - 1)]
+                            .name;
+                    auto [slot, inserted] = channel_ref.emplace(
+                        name, static_cast<std::int32_t>(
+                                  message.channelNames.size()));
+                    if (inserted)
+                        message.channelNames.push_back(name);
+                    entry.inputs.push_back(-(slot->second + 1));
+                }
+            }
+        }
+        entry_of[i] =
+            static_cast<std::int32_t>(message.entries.size());
+        message.entries.push_back(std::move(entry));
+    }
+
+    if (plan.outNode < 0 ||
+        entry_of[static_cast<std::size_t>(plan.outNode)] < 0)
+        throw InternalError("delta has no OUT entry");
+    message.outEntry = static_cast<std::uint32_t>(
+        entry_of[static_cast<std::size_t>(plan.outNode)]);
+    return message;
+}
+
+il::Program
+spliceDeltaProgram(const transport::DeltaPushMessage &message,
+                   const Engine &engine)
+{
+    il::Program out;
+    il::NodeId next_id = 1;
+    /** Engine node index -> statement id (shared across reused refs). */
+    std::unordered_map<int, il::NodeId> emitted;
+    std::vector<il::NodeId> entry_ids(message.entries.size(), 0);
+
+    for (std::size_t i = 0; i < message.entries.size(); ++i) {
+        const transport::DeltaNodeEntry &entry = message.entries[i];
+        if (entry.reused) {
+            entry_ids[i] = engine.exportSubgraph(entry.keyHash, out,
+                                                 next_id, emitted);
+            continue;
+        }
+        il::Statement stmt;
+        stmt.algorithm = entry.algorithm;
+        stmt.params = entry.params;
+        stmt.id = next_id++;
+        for (std::int32_t ref : entry.inputs) {
+            if (ref >= 0)
+                stmt.inputs.push_back(il::SourceRef::makeNode(
+                    entry_ids[static_cast<std::size_t>(ref)]));
+            else
+                stmt.inputs.push_back(il::SourceRef::makeChannel(
+                    message.channelNames[static_cast<std::size_t>(
+                        -ref - 1)]));
+        }
+        out.statements.push_back(std::move(stmt));
+        entry_ids[i] = out.statements.back().id;
+    }
+
+    il::Statement out_stmt;
+    out_stmt.isOut = true;
+    out_stmt.inputs.push_back(il::SourceRef::makeNode(
+        entry_ids[static_cast<std::size_t>(message.outEntry)]));
+    out.statements.push_back(std::move(out_stmt));
+    return out;
+}
+
+UpdateWireCost
+updateWireCost(const il::ExecutionPlan &plan, const il::PlanDelta &delta)
+{
+    UpdateWireCost cost;
+    cost.nodesShipped = delta.shippedNodes.size();
+    cost.nodesReused = delta.reusedRefs.size();
+    cost.deltaBytes = transport::deltaPushWireBytes(
+        buildDeltaPush(plan, delta, /*epoch=*/1, /*condition_id=*/0));
+    cost.fullBytes = transport::configPushWireBytes(
+        {0, il::write(plan.toProgram())});
+    return cost;
+}
+
+std::string
+renderDiffPlan(const il::ExecutionPlan &old_plan,
+               const il::ExecutionPlan &new_plan)
+{
+    std::unordered_set<std::string> live(old_plan.shareKeys.begin(),
+                                         old_plan.shareKeys.end());
+    const il::PlanDelta delta = il::computeDelta(new_plan, live);
+    const UpdateWireCost cost = updateWireCost(new_plan, delta);
+
+    std::ostringstream out;
+    out << "delta: " << delta.shippedNodes.size() << " of "
+        << new_plan.nodeCount() << " nodes ship, " << delta.reusedCount
+        << " reused (" << delta.reusedRefs.size()
+        << " referenced by hash)\n";
+    out << "shipped:\n";
+    if (delta.shippedNodes.empty())
+        out << "  (none)\n";
+    for (std::size_t i : delta.shippedNodes)
+        out << "  " << new_plan.shareKeys[i] << "\n";
+    out << "reused on the wire:\n";
+    if (delta.reusedRefs.empty())
+        out << "  (none)\n";
+    for (std::size_t i : delta.reusedRefs)
+        out << "  " << new_plan.shareKeys[i] << "\n";
+
+    const transport::UartLink uart(115200.0);
+    out << "wire: " << cost.deltaBytes << " delta bytes vs "
+        << cost.fullBytes << " full bytes (" << std::fixed
+        << std::setprecision(1)
+        << 100.0 * static_cast<double>(cost.deltaBytes) /
+               static_cast<double>(cost.fullBytes)
+        << "% of full, ~"
+        << uart.transferSeconds(cost.deltaBytes) * 1e3 << " ms vs ~"
+        << uart.transferSeconds(cost.fullBytes) * 1e3
+        << " ms at 115200 baud)\n";
+    return out.str();
+}
+
+} // namespace sidewinder::hub

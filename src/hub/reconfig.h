@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Delta-push construction and reconstruction for live reconfiguration.
+ *
+ * The send side (buildDeltaPush) turns an il::PlanDelta partition into
+ * the wire message: shipped nodes as full statements, reused nodes as
+ * 8-byte shareKey hashes. The receive side (spliceDeltaProgram)
+ * resolves those hashes against a live Engine and reconstructs a
+ * complete IL program the normal analyze/lower/stage pipeline can
+ * gate — so a delta-installed plan passes through exactly the same
+ * validation as a full push, and its reused nodes hash-cons onto the
+ * live instances (state and all) when staged.
+ *
+ * Both halves live here (not in transport/) because they need il::
+ * plans and the hub engine; the transport layer stays a pure codec.
+ */
+
+#ifndef SIDEWINDER_HUB_RECONFIG_H
+#define SIDEWINDER_HUB_RECONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "hub/engine.h"
+#include "il/delta.h"
+#include "il/plan.h"
+#include "transport/messages.h"
+
+namespace sidewinder::hub {
+
+/**
+ * Encode @p plan as a DeltaPush under @p delta (from il::computeDelta
+ * against the hub's live shareKeys): shipped nodes in full, reused
+ * roots as hash references, channels by name.
+ */
+transport::DeltaPushMessage
+buildDeltaPush(const il::ExecutionPlan &plan, const il::PlanDelta &delta,
+               std::uint32_t epoch, std::int32_t condition_id);
+
+/**
+ * Reconstruct the complete IL program a DeltaPush describes, splicing
+ * reused subgraphs out of @p engine's live node table.
+ * @throws ConfigError when a hash reference matches no live node
+ *     (the phone's view of the hub was stale — reject and retry with
+ *     a full push).
+ */
+il::Program spliceDeltaProgram(const transport::DeltaPushMessage &message,
+                               const Engine &engine);
+
+/** Side-by-side wire cost of one condition update, for accounting. */
+struct UpdateWireCost
+{
+    /** Nodes shipped in full. */
+    std::size_t nodesShipped = 0;
+    /** Reused nodes referenced by hash on the wire. */
+    std::size_t nodesReused = 0;
+    /** Bytes of the delta push (framed, non-reliable). */
+    std::size_t deltaBytes = 0;
+    /** Bytes a full ConfigPush of the same plan would cost. */
+    std::size_t fullBytes = 0;
+};
+
+/**
+ * Compute the delta-vs-full wire cost of shipping @p plan to a hub
+ * whose live keys produced @p delta. Shared by the SW202 note,
+ * `swlint --diff-plan`, and bench_reconfig.
+ */
+UpdateWireCost updateWireCost(const il::ExecutionPlan &plan,
+                              const il::PlanDelta &delta);
+
+/**
+ * Render the update a hub running @p old_plan would receive to move
+ * to @p new_plan: the shipped and reused node sets (by canonical
+ * shareKey) and the delta-vs-full wire bytes with their transfer
+ * times at 115200 baud. Drives `swlint --diff-plan`; the output is
+ * golden-tested (tests/data/deltas/), so its format is stable.
+ */
+std::string renderDiffPlan(const il::ExecutionPlan &old_plan,
+                           const il::ExecutionPlan &new_plan);
+
+} // namespace sidewinder::hub
+
+#endif // SIDEWINDER_HUB_RECONFIG_H

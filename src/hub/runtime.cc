@@ -1,6 +1,8 @@
 #include "hub/runtime.h"
 
+#include "hub/reconfig.h"
 #include "il/analyze.h"
+#include "il/analyze_range.h"
 #include "il/lower.h"
 #include "il/parser.h"
 #include "support/error.h"
@@ -69,6 +71,25 @@ HubRuntime::reboot(double now)
     ++bootEpoch;
     bootTime = now;
     heartbeatSent = false;
+    // An update transaction dies with the RAM that held its staged
+    // plans; the phone's supervisor notices the boot-epoch change and
+    // retries. The committed epoch also lived in RAM — re-pushed
+    // configs and the next update re-establish it.
+    if (txn) {
+        ++updatesRolledBackCount;
+        txn.reset();
+    }
+    committedEpoch = 0;
+    swapPending = false;
+    lastWaveTime = -1.0;
+}
+
+void
+HubRuntime::setUpdateStallTimeout(double seconds)
+{
+    if (!(seconds > 0.0))
+        throw ConfigError("update stall timeout must be positive");
+    updateStallTimeout = seconds;
 }
 
 void
@@ -95,6 +116,12 @@ HubRuntime::pollLink(double now)
 
     if (reliable)
         reliable->tick(now);
+
+    // Mid-update death of the phone (or of the link beyond what ARQ
+    // recovers) must not park staged plans in the shadow slot
+    // forever: when the update frames stop, roll back to the A copy.
+    if (txn && now - txn->lastFrameAt > updateStallTimeout)
+        rollbackUpdate(now, "update stalled mid-transfer");
 
     if (heartbeatInterval > 0.0 &&
         (!heartbeatSent || now >= lastHeartbeat + heartbeatInterval)) {
@@ -178,6 +205,122 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
         }
         return;
       }
+      case transport::MessageType::UpdateBegin: {
+        const auto message = transport::decodeUpdateBegin(frame);
+        if (message.epoch <= committedEpoch) {
+            ++staleEpochMessagesCount;
+            sendToPhone(transport::encodeUpdateAck(
+                            {message.epoch,
+                             transport::UpdateStatus::Stale,
+                             "epoch already superseded"}),
+                        now);
+            return;
+        }
+        if (txn && txn->epoch == message.epoch) {
+            // Duplicate begin (retransmit after a link recovery).
+            txn->lastFrameAt = now;
+            return;
+        }
+        if (txn)
+            // A newer transaction supersedes an unfinished older one.
+            rollbackUpdate(now, "superseded by epoch " +
+                                    std::to_string(message.epoch));
+        txn = UpdateTxn{message.epoch, now, false, {}};
+        return;
+      }
+      case transport::MessageType::DeltaPush: {
+        const auto message = transport::decodeDeltaPush(frame);
+        if (message.epoch <= committedEpoch) {
+            ++staleEpochMessagesCount;
+            return;
+        }
+        if (!txn || txn->epoch != message.epoch) {
+            // The begin was lost (e.g. across a reboot mid-retry);
+            // the retrying phone's delta implicitly re-opens.
+            if (txn)
+                rollbackUpdate(now, "superseded by epoch " +
+                                        std::to_string(message.epoch));
+            txn = UpdateTxn{message.epoch, now, false, {}};
+        }
+        txn->lastFrameAt = now;
+        if (txn->failed)
+            // Already doomed — ignore the rest of the transfer; the
+            // commit will carry the first failure back to the phone.
+            return;
+        try {
+            gateAndStage(message.conditionId,
+                         spliceDeltaProgram(message, dataflow));
+        } catch (const SidewinderError &error) {
+            txn->failed = true;
+            txn->failReason = error.what();
+        }
+        return;
+      }
+      case transport::MessageType::UpdateCommit: {
+        const auto message = transport::decodeUpdateCommit(frame);
+        if (message.epoch == committedEpoch && committedEpoch != 0) {
+            // Retransmit of a commit we already applied: re-ack so
+            // the phone converges (idempotent commit).
+            sendToPhone(transport::encodeUpdateAck(
+                            {message.epoch,
+                             transport::UpdateStatus::Committed, ""}),
+                        now);
+            return;
+        }
+        if (message.epoch < committedEpoch) {
+            ++staleEpochMessagesCount;
+            sendToPhone(transport::encodeUpdateAck(
+                            {message.epoch,
+                             transport::UpdateStatus::Stale,
+                             "epoch already superseded"}),
+                        now);
+            return;
+        }
+        if (!txn || txn->epoch != message.epoch) {
+            ++staleEpochMessagesCount;
+            sendToPhone(transport::encodeUpdateAck(
+                            {message.epoch,
+                             transport::UpdateStatus::RolledBack,
+                             "no open update transaction"}),
+                        now);
+            return;
+        }
+        if (txn->failed) {
+            rollbackUpdate(now, txn->failReason);
+            return;
+        }
+        if (dataflow.stagedCount() == 0) {
+            rollbackUpdate(now, "commit with nothing staged");
+            return;
+        }
+        // The atomic A/B swap. pollLink runs between pushes, so the
+        // swap lands between two evaluation waves: the A plans saw
+        // every wave up to here, the B plans see every wave after —
+        // no sample is evaluated by neither or both.
+        dataflow.commitStaged();
+        committedEpoch = message.epoch;
+        if (reliable) {
+            // Delayed retransmits from before this swap must never
+            // be delivered as fresh configuration.
+            reliable->setMinimumEpoch(committedEpoch);
+            reliable->setLocalEpoch(committedEpoch);
+        }
+        swapPending = true;
+        swapLastWave = lastWaveTime;
+        ++updatesCommittedCount;
+        txn.reset();
+        sendToPhone(
+            transport::encodeUpdateAck(
+                {message.epoch, transport::UpdateStatus::Committed, ""}),
+            now);
+        return;
+      }
+      case transport::MessageType::UpdateAbort: {
+        const auto message = transport::decodeUpdateAbort(frame);
+        if (txn && txn->epoch == message.epoch)
+            rollbackUpdate(now, "aborted by the phone");
+        return;
+      }
       case transport::MessageType::ConfigRemove: {
         const auto message = transport::decodeConfigRemove(frame);
         try {
@@ -195,6 +338,101 @@ HubRuntime::handleFrame(const transport::Frame &frame, double now)
         warn("hub: ignoring unexpected frame type " +
              std::to_string(static_cast<int>(frame.type)));
     }
+}
+
+void
+HubRuntime::gateAndStage(int condition_id, const il::Program &program)
+{
+    // The full ConfigPush gauntlet, aimed at the shadow slot: a
+    // delta-installed plan gets no weaker validation than a full push.
+    const il::AnalysisResult analysis =
+        il::analyze(program, dataflow.channels());
+    if (!analysis.ok()) {
+        std::string reason = "static analysis rejected the update:";
+        for (const auto &d : analysis.diagnostics) {
+            if (d.severity != il::Severity::Error)
+                continue;
+            reason += " [" + d.code + "] " + d.message + ";";
+        }
+        throw ParseError(reason);
+    }
+
+    const il::ExecutionPlan plan = il::lower(
+        program, dataflow.channels(), il::LowerOptions{shareNodes});
+
+    // Value-range gate: the interval interpreter must not flag the
+    // staged plan (Q15 saturation proofs when the engine runs
+    // fixed-point kernels). A plan that is unsound for the active
+    // numeric mode must never reach commit.
+    il::RangeOptions range_options;
+    range_options.q15 = dataflow.kernelMode() == KernelMode::FixedQ15;
+    const il::RangeAnalysis ranges =
+        il::analyzeRanges(plan, range_options);
+    std::string range_reason = "range analysis rejected the update:";
+    bool range_error = false;
+    for (const auto &d : ranges.diagnostics) {
+        if (d.severity != il::Severity::Error)
+            continue;
+        range_error = true;
+        range_reason += " [" + d.code + "] " + d.message + ";";
+    }
+    if (range_error)
+        throw ParseError(range_reason);
+
+    // Admission: the engine's current load already charges both the
+    // live copies and anything staged so far, so adding this plan's
+    // marginal cost prices the worst instant of the update window —
+    // A and B running side by side.
+    const il::ProgramCost marginal = dataflow.marginalCost(plan);
+    const double load = dataflow.estimatedCyclesPerSecond() +
+                        marginal.cyclesPerSecond;
+    if (!canRunInRealTime(mcuModel, load))
+        throw CapabilityError(
+            "update needs " + std::to_string(load) +
+            " cycle units/s during the A/B window; " + mcuModel.name +
+            " sustains " + std::to_string(mcuModel.cyclesPerSecond));
+    const std::size_t ram =
+        dataflow.estimatedRamBytes() + marginal.ramBytes;
+    if (mcuModel.ramBytes > 0 && ram > mcuModel.ramBytes)
+        throw CapabilityError(
+            "update needs " + std::to_string(ram) +
+            " bytes of hub RAM during the A/B window; " + mcuModel.name +
+            " has " + std::to_string(mcuModel.ramBytes));
+
+    dataflow.stageCondition(condition_id, plan);
+}
+
+void
+HubRuntime::rollbackUpdate(double now, const std::string &reason)
+{
+    dataflow.abortStaged();
+    const std::uint32_t epoch = txn ? txn->epoch : 0;
+    // Copy before the reset: callers pass txn->failReason, which
+    // txn.reset() would destroy out from under the reference.
+    const std::string why = reason;
+    txn.reset();
+    ++updatesRolledBackCount;
+    // The epoch stays un-bumped: the failed transaction never
+    // existed as far as ordering is concerned, and the phone retries
+    // under a fresh epoch.
+    sendToPhone(transport::encodeUpdateAck(
+                    {epoch, transport::UpdateStatus::RolledBack, why}),
+                now);
+}
+
+void
+HubRuntime::noteWave(double first_timestamp, double last_timestamp)
+{
+    if (swapPending) {
+        // First wave after a committed swap closes the blind window:
+        // the gap between the last wave the A plans evaluated and the
+        // first wave the B plans see. Under zero loss this is one
+        // sample period.
+        if (swapLastWave >= 0.0)
+            blindWindow = first_timestamp - swapLastWave;
+        swapPending = false;
+    }
+    lastWaveTime = last_timestamp;
 }
 
 void
@@ -267,6 +505,7 @@ HubRuntime::pushSamples(const std::vector<double> &values,
                         double timestamp)
 {
     dataflow.pushSamples(values, timestamp);
+    noteWave(timestamp, timestamp);
 
     for (auto &[channel, stream] : batchStreams) {
         if (stream.pending.empty())
@@ -286,6 +525,7 @@ HubRuntime::pushBlock(const double *samples, std::size_t count,
     if (count == 0)
         return;
     dataflow.pushBlock(samples, count, timestamps);
+    noteWave(timestamps[0], timestamps[count - 1]);
 
     for (auto &[channel, stream] : batchStreams) {
         // Span append: whole slices of the caller's channel lane go

@@ -117,6 +117,62 @@ class HubRuntime
     /** Boot epoch: 0 at construction, +1 per reboot(). */
     std::uint32_t bootId() const { return bootEpoch; }
 
+    // ----- live reconfiguration (the hub half) -----
+    //
+    // The phone opens a transaction with UpdateBegin at a fresh
+    // config epoch, streams DeltaPush frames the hub stages in the
+    // engine's shadow slot (the live plans keep executing — no
+    // samples are dropped during transfer), and closes with
+    // UpdateCommit, which the hub answers by atomically swapping the
+    // staged plans live and bumping its committed epoch. Anything
+    // that goes wrong — analyzer rejection, admission overflow, a
+    // stale hash reference, frames that stop arriving mid-update —
+    // rolls the shadow slot back, leaves the epoch un-bumped, and
+    // tells the phone with an UpdateAck{RolledBack} so it can retry.
+
+    /** Committed config epoch: 0 at boot, set by each UpdateCommit. */
+    std::uint32_t configEpoch() const { return committedEpoch; }
+
+    /** True while an update transaction is open (staging). */
+    bool updateInProgress() const { return txn.has_value(); }
+
+    /** Update transactions committed since construction. */
+    std::size_t updatesCommitted() const { return updatesCommittedCount; }
+
+    /** Update transactions rolled back (incl. those lost to reboot). */
+    std::size_t updatesRolledBack() const
+    {
+        return updatesRolledBackCount;
+    }
+
+    /**
+     * Update-protocol messages refused for carrying a superseded
+     * epoch. Transport-level refusals (delayed reliable retransmits)
+     * are counted separately in reliableStats()->staleEpochFrames.
+     */
+    std::size_t staleEpochMessages() const
+    {
+        return staleEpochMessagesCount;
+    }
+
+    /**
+     * Gap between the last evaluation wave before the most recent
+     * committed swap and the first wave after it, in seconds. Under a
+     * zero-sample-loss swap this equals one sample period — the
+     * measured "blind window" of the A/B commit. 0 until a swap has
+     * been bracketed by waves.
+     */
+    double lastBlindWindowSeconds() const { return blindWindow; }
+
+    /**
+     * Roll back an open transaction when no update frame has arrived
+     * for @p seconds (default 5): the phone died or the link lost the
+     * tail of the update beyond what ARQ recovers. Pairs with the
+     * phone's heartbeat-driven abort — either side can conclude the
+     * update is dead and the hub must not hold staged state forever.
+     */
+    void setUpdateStallTimeout(double seconds);
+
     /** The dataflow engine (exposed for tests and benchmarks). */
     Engine &engine() { return dataflow; }
     const Engine &engine() const { return dataflow; }
@@ -160,6 +216,13 @@ class HubRuntime
 
     void handleFrame(const transport::Frame &frame, double now);
     void sendToPhone(const transport::Frame &frame, double now);
+    /** Gate @p program and stage it in the shadow slot. @throws
+        SidewinderError with the rejection reason. */
+    void gateAndStage(int condition_id, const il::Program &program);
+    /** Abort the shadow slot and notify the phone. */
+    void rollbackUpdate(double now, const std::string &reason);
+    /** Track wave timestamps for the blind-window measurement. */
+    void noteWave(double first_timestamp, double last_timestamp);
     /** Ship a full batch-stream buffer as a SensorBatch frame. */
     void flushBatch(std::size_t channel, BatchStream &stream,
                     double timestamp);
@@ -184,6 +247,28 @@ class HubRuntime
     std::uint32_t bootEpoch = 0;
     double bootTime = 0.0;
     std::size_t decoderDropsBeforeReboot = 0;
+
+    /** One open update transaction (at most one at a time). */
+    struct UpdateTxn
+    {
+        std::uint32_t epoch = 0;
+        /** Receipt time of the transaction's latest frame. */
+        double lastFrameAt = 0.0;
+        /** Latched by the first staging failure; commit rolls back. */
+        bool failed = false;
+        std::string failReason;
+    };
+    std::optional<UpdateTxn> txn;
+    std::uint32_t committedEpoch = 0;
+    double updateStallTimeout = 5.0;
+    std::size_t updatesCommittedCount = 0;
+    std::size_t updatesRolledBackCount = 0;
+    std::size_t staleEpochMessagesCount = 0;
+    /** Blind-window bookkeeping: last wave seen, pending swap mark. */
+    double lastWaveTime = -1.0;
+    bool swapPending = false;
+    double swapLastWave = 0.0;
+    double blindWindow = 0.0;
 };
 
 } // namespace sidewinder::hub

@@ -1,0 +1,56 @@
+#include "il/delta.h"
+
+namespace sidewinder::il {
+
+std::uint64_t
+shareKeyHash(const std::string &share_key)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (unsigned char c : share_key) {
+        hash ^= c;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+PlanDelta
+computeDelta(const ExecutionPlan &plan,
+             const std::unordered_set<std::string> &live_keys)
+{
+    const std::size_t count = plan.nodeCount();
+    PlanDelta delta;
+    delta.shipped.resize(count, false);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const bool reused = live_keys.count(plan.shareKeys[i]) != 0;
+        delta.shipped[i] = !reused;
+        if (reused)
+            ++delta.reusedCount;
+        else
+            delta.shippedNodes.push_back(i);
+    }
+
+    // A reused node earns a wire reference only where the shipped part
+    // of the graph (or OUT) actually touches it; interior reused nodes
+    // ride along for free when the hub splices the referenced root.
+    std::vector<bool> referenced(count, false);
+    for (std::size_t i : delta.shippedNodes) {
+        const std::int32_t *inputs = plan.inputsOf(i);
+        for (std::uint32_t in = 0; in < plan.inputCounts[i]; ++in) {
+            const std::int32_t ref = inputs[in];
+            if (ref >= 0 && !delta.shipped[static_cast<std::size_t>(ref)])
+                referenced[static_cast<std::size_t>(ref)] = true;
+        }
+    }
+    if (plan.outNode >= 0 &&
+        !delta.shipped[static_cast<std::size_t>(plan.outNode)])
+        referenced[static_cast<std::size_t>(plan.outNode)] = true;
+
+    for (std::size_t i = 0; i < count; ++i)
+        if (referenced[i])
+            delta.reusedRefs.push_back(i);
+
+    return delta;
+}
+
+} // namespace sidewinder::il

@@ -34,7 +34,10 @@ FaultMetrics::any() const
            hubResets != 0 || repushedConditions != 0 ||
            wakesCoalesced != 0 ||
            hubDownSeconds != 0.0 || fallbackAwakeSeconds != 0.0 ||
-           fallbackEnergyMj != 0.0 || linkDownDeclared;
+           fallbackEnergyMj != 0.0 || linkDownDeclared ||
+           staleEpochFrames != 0 || updatesCommitted != 0 ||
+           updatesRolledBack != 0 || reconfigDeltaBytes != 0 ||
+           reconfigFullBytes != 0 || blindWindowSeconds != 0.0;
 }
 
 FaultMetrics &
@@ -52,6 +55,13 @@ FaultMetrics::operator+=(const FaultMetrics &other)
     fallbackAwakeSeconds += other.fallbackAwakeSeconds;
     fallbackEnergyMj += other.fallbackEnergyMj;
     linkDownDeclared = linkDownDeclared || other.linkDownDeclared;
+    staleEpochFrames += other.staleEpochFrames;
+    updatesCommitted += other.updatesCommitted;
+    updatesRolledBack += other.updatesRolledBack;
+    reconfigDeltaBytes += other.reconfigDeltaBytes;
+    reconfigFullBytes += other.reconfigFullBytes;
+    blindWindowSeconds =
+        std::max(blindWindowSeconds, other.blindWindowSeconds);
     return *this;
 }
 

@@ -63,6 +63,19 @@ struct FaultMetrics
     double fallbackEnergyMj = 0.0;
     /** True when either side latched a link-down verdict. */
     bool linkDownDeclared = false;
+    /** Reliable frames refused for carrying a superseded config
+        epoch (delayed retransmits of dead update transactions). */
+    std::size_t staleEpochFrames = 0;
+    /** Live-reconfiguration transactions committed (A/B swaps). */
+    std::size_t updatesCommitted = 0;
+    /** Live-reconfiguration transactions rolled back. */
+    std::size_t updatesRolledBack = 0;
+    /** Framed bytes the delta pushes cost. */
+    std::size_t reconfigDeltaBytes = 0;
+    /** Framed bytes full pushes of the same plans would have cost. */
+    std::size_t reconfigFullBytes = 0;
+    /** Measured blind window of the last committed swap, seconds. */
+    double blindWindowSeconds = 0.0;
 
     /** True when any counter is nonzero. */
     bool any() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "core/sensor_manager.h"
 #include "hub/mcu.h"
@@ -84,17 +85,57 @@ resolveStuckWindows(const FaultPlan &plan, const trace::Trace &trace,
     return windows;
 }
 
+/**
+ * Rebuild @p pipeline with every threshold-like parameter multiplied
+ * by @p scale — the canonical "retune one knob" update. Covers the
+ * *Threshold family plus the localMaxima/localMinima band bounds
+ * (their refractory count is a structural knob, not a threshold, and
+ * stays put). All other stages are copied verbatim, so their canonical
+ * shareKeys (and hence the hub-side nodes and their state) are
+ * preserved by the delta.
+ */
+core::ProcessingPipeline
+scaleThresholds(const core::ProcessingPipeline &pipeline, double scale)
+{
+    auto rebuild = [scale](const core::Algorithm &algorithm) {
+        std::vector<double> params = algorithm.params();
+        if (algorithm.name().find("hreshold") != std::string::npos) {
+            for (double &p : params)
+                p *= scale;
+        } else if (algorithm.name() == "localMaxima" ||
+                   algorithm.name() == "localMinima") {
+            for (std::size_t i = 0; i < params.size() && i < 2; ++i)
+                params[i] *= scale;
+        } else {
+            return algorithm;
+        }
+        return core::Algorithm(algorithm.name(), std::move(params));
+    };
+    core::ProcessingPipeline scaled;
+    for (const auto &branch : pipeline.branches()) {
+        core::ProcessingBranch b(branch.channel());
+        for (const auto &algorithm : branch.algorithms())
+            b.add(rebuild(algorithm));
+        scaled.add(std::move(b));
+    }
+    for (const auto &stage : pipeline.pipelineStages())
+        scaled.add(rebuild(stage));
+    return scaled;
+}
+
 } // namespace
 
 bool
 FaultPlan::any() const
 {
     return byteCorruptionRate > 0.0 || frameDropRate > 0.0 ||
-           !hubResetTimes.empty() || !stuckSensors.empty();
+           !hubResetTimes.empty() || !stuckSensors.empty() ||
+           !reconfigUpdates.empty();
 }
 
 void
-armLink(transport::LinkPair &link, const FaultPlan &plan)
+armLink(transport::LinkPair &link, const FaultPlan &plan,
+        std::shared_ptr<const bool> update_active)
 {
     // One independent stream per hook, forked in a fixed order, so
     // the fault pattern is a pure function of the seed regardless of
@@ -106,19 +147,30 @@ armLink(transport::LinkPair &link, const FaultPlan &plan)
     auto h2p_drop = std::make_shared<Rng>(root.fork());
 
     const double corruption = plan.byteCorruptionRate;
+    const double update_extra =
+        update_active ? plan.updateCorruptionRate : 0.0;
     const double drop = plan.frameDropRate;
 
-    if (corruption > 0.0) {
+    if (corruption > 0.0 || update_extra > 0.0) {
+        // The effective rate rises by updateCorruptionRate while an
+        // update transaction is in flight (the flag the simulator
+        // toggles), modelling lines that degrade exactly when the
+        // reconfiguration traffic is on them.
+        auto rate = [corruption, update_extra, update_active]() {
+            return corruption + (update_active && *update_active
+                                     ? update_extra
+                                     : 0.0);
+        };
         link.phoneToHub().setCorruptor(
-            [p2h_corrupt, corruption](std::uint8_t byte) {
-                if (!p2h_corrupt->chance(corruption))
+            [p2h_corrupt, rate](std::uint8_t byte) {
+                if (!p2h_corrupt->chance(rate()))
                     return byte;
                 return static_cast<std::uint8_t>(
                     byte ^ (1u << p2h_corrupt->uniformInt(0, 7)));
             });
         link.hubToPhone().setCorruptor(
-            [h2p_corrupt, corruption](std::uint8_t byte) {
-                if (!h2p_corrupt->chance(corruption))
+            [h2p_corrupt, rate](std::uint8_t byte) {
+                if (!h2p_corrupt->chance(rate()))
                     return byte;
                 return static_cast<std::uint8_t>(
                     byte ^ (1u << h2p_corrupt->uniformInt(0, 7)));
@@ -174,7 +226,12 @@ simulateSupervised(const trace::Trace &trace,
     // skips: framed UART with injected faults, reliable channel on
     // both sides, heartbeats, and the re-pushing supervisor.
     transport::LinkPair link(uartBaudRate);
-    armLink(link, plan);
+    // Shared with the corruption hooks: true while an update
+    // transaction is in flight, raising the line's error rate by
+    // plan.updateCorruptionRate for the duration.
+    auto update_active = std::make_shared<bool>(false);
+    armLink(link, plan,
+            plan.updateCorruptionRate > 0.0 ? update_active : nullptr);
 
     // A ~1.2 KB raw-data wake frame survives a 1e-3/byte line only
     // ~30% of the time. The defaults tuned for congestion (0.8 s
@@ -203,7 +260,7 @@ simulateSupervised(const trace::Trace &trace,
 
     std::vector<double> triggerTimes;
     CollectingListener listener(triggerTimes);
-    manager.push(pipeline, &listener, 0.0);
+    const int condition_id = manager.push(pipeline, &listener, 0.0);
 
     const auto mapping = detail::channelMapping(trace, channels);
     const std::size_t n = trace.sampleCount();
@@ -216,6 +273,18 @@ simulateSupervised(const trace::Trace &trace,
     std::size_t next_reset = 0;
     bool hub_off = false;
     double hub_on_at = 0.0;
+
+    // Live-reconfiguration driver: each scheduled update is attempted
+    // when its time comes and re-attempted (under a fresh epoch) every
+    // time the hub rolls it back, until it commits.
+    std::vector<ReconfigUpdate> updates = plan.reconfigUpdates;
+    std::sort(updates.begin(), updates.end(),
+              [](const ReconfigUpdate &a, const ReconfigUpdate &b) {
+                  return a.timeSeconds < b.timeSeconds;
+              });
+    std::size_t next_update = 0;
+    std::optional<ReconfigUpdate> active_update;
+    std::uint32_t attempt_epoch = 0;
 
     std::vector<double> values(channels.size());
     for (std::size_t i = 0; i < n; ++i) {
@@ -248,6 +317,34 @@ simulateSupervised(const trace::Trace &trace,
             (void)link.phoneToHub().receive(t);
         }
         manager.poll(t);
+
+        if (!active_update && next_update < updates.size() &&
+            t >= updates[next_update].timeSeconds)
+            active_update = updates[next_update++];
+        if (active_update) {
+            if (attempt_epoch == 0) {
+                // (Re)try once the hub is reachable and no earlier
+                // transaction is still winding down.
+                if (!manager.hubDown() && !hub_off &&
+                    !manager.updateInProgress()) {
+                    attempt_epoch = manager.beginUpdate(t);
+                    manager.updateCondition(
+                        condition_id,
+                        scaleThresholds(pipeline,
+                                        active_update->thresholdScale),
+                        t);
+                    manager.commitUpdate(t);
+                }
+            } else if (!manager.updateInProgress()) {
+                if (manager.configEpoch() >= attempt_epoch)
+                    active_update.reset();
+                else
+                    // Rolled back (corruption, stall, brownout):
+                    // retry under a fresh epoch.
+                    attempt_epoch = 0;
+            }
+        }
+        *update_active = manager.updateInProgress();
     }
 
     // Downtime accounting closes at trace end, before the drain below
@@ -312,6 +409,19 @@ simulateSupervised(const trace::Trace &trace,
     result.faults.repushedConditions =
         manager.supervisionStats().repushedConditions;
     result.faults.wakesCoalesced = hubRuntime.wakesCoalesced();
+    // Reconfiguration accounting: transport-level stale refusals from
+    // both endpoints plus the hub's message-level ones; transaction
+    // outcomes from the phone (the side that owns the retry loop).
+    result.faults.staleEpochFrames = phone_stats->staleEpochFrames +
+                                     hub_stats->staleEpochFrames +
+                                     hubRuntime.staleEpochMessages();
+    const auto &recon = manager.reconfigStats();
+    result.faults.updatesCommitted = recon.updatesCommitted;
+    result.faults.updatesRolledBack = recon.updatesRolledBack;
+    result.faults.reconfigDeltaBytes = recon.deltaWireBytes;
+    result.faults.reconfigFullBytes = recon.fullPushWireBytes;
+    result.faults.blindWindowSeconds =
+        hubRuntime.lastBlindWindowSeconds();
 
     const auto merged = timeline.mergedIntervals(2.0 * trans - 1e-9);
     const auto detections =

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "transport/link.h"
@@ -49,6 +50,20 @@ struct StuckSensorInterval
     double endSeconds = 0.0;
 };
 
+/** One scheduled live-reconfiguration update during a run. */
+struct ReconfigUpdate
+{
+    /** When the phone opens the update transaction, seconds. */
+    double timeSeconds = 0.0;
+    /**
+     * Multiplier applied to every threshold parameter of the app's
+     * wake condition. Everything upstream of the thresholds keeps its
+     * canonical shareKeys, so the update travels as a small delta and
+     * the unchanged subgraph carries its state across the swap.
+     */
+    double thresholdScale = 1.0;
+};
+
 /**
  * A seeded schedule of everything that goes wrong during one run.
  * The default-constructed plan injects nothing — and the simulator
@@ -72,6 +87,16 @@ struct FaultPlan
     double hubResetDowntimeSeconds = 5.0;
     /** Sensors frozen at their last pre-fault value for a while. */
     std::vector<StuckSensorInterval> stuckSensors;
+    /** Scheduled live-reconfiguration updates, times ascending. The
+        phone retries a rolled-back update until it commits. */
+    std::vector<ReconfigUpdate> reconfigUpdates;
+    /**
+     * Extra per-byte corruption applied only while an update
+     * transaction is in flight — the "corruption during update" axis.
+     * Stacks on top of byteCorruptionRate; no effect without
+     * scheduled reconfigUpdates.
+     */
+    double updateCorruptionRate = 0.0;
     /** Seed of all fault randomness. */
     std::uint64_t seed = 0x5EED5EED;
 
@@ -85,8 +110,13 @@ struct FaultPlan
  * UartLink::setCorruptor). Corruption flips one uniformly chosen bit
  * per affected byte. Each direction gets an independent stream forked
  * from plan.seed, so arming is order-independent and reproducible.
+ *
+ * @param update_active When non-null, plan.updateCorruptionRate is
+ *     added to the per-byte corruption whenever *update_active is
+ *     true — the simulator toggles it around update transactions.
  */
-void armLink(transport::LinkPair &link, const FaultPlan &plan);
+void armLink(transport::LinkPair &link, const FaultPlan &plan,
+             std::shared_ptr<const bool> update_active = nullptr);
 
 /**
  * Replay @p trace for @p app under config.faults through the full

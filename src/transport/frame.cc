@@ -65,7 +65,7 @@ FrameDecoder::step(std::uint8_t byte)
         type = byte;
         crcAccum = crc16Step(crcAccum, byte);
         if (type < 1 ||
-            type > static_cast<std::uint8_t>(MessageType::Heartbeat)) {
+            type > static_cast<std::uint8_t>(MessageType::UpdateAck)) {
             fail();
             return;
         }

@@ -59,13 +59,47 @@ enum class MessageType : std::uint8_t {
      * down) and a restart that lost all engine state.
      */
     Heartbeat = 9,
+    /**
+     * Phone -> hub: open a live-reconfiguration transaction at a new
+     * config epoch. Subsequent DeltaPush frames stage plans in the
+     * hub's shadow (B) slot while the live (A) plans keep executing.
+     */
+    UpdateBegin = 10,
+    /**
+     * Phone -> hub: one condition's plan as a delta — nodes whose
+     * canonical shareKey is already live on the hub travel as 8-byte
+     * hash references instead of full statements (transport/messages.h).
+     */
+    DeltaPush = 11,
+    /**
+     * Phone -> hub: atomically swap every staged plan live (the A/B
+     * commit) and bump the hub's config epoch.
+     */
+    UpdateCommit = 12,
+    /**
+     * Phone -> hub: abandon the open transaction (e.g. the phone saw
+     * the hub's heartbeats vanish mid-update and will retry later).
+     */
+    UpdateAbort = 13,
+    /**
+     * Hub -> phone: outcome of an update transaction — committed,
+     * rolled back (reason text), or stale (epoch already superseded).
+     */
+    UpdateAck = 14,
 };
 
 /** Start-of-frame marker byte. */
 constexpr std::uint8_t frameSof = 0x7E;
 
-/** Largest payload a frame may carry. */
-constexpr std::size_t maxPayloadBytes = 60000;
+/**
+ * Largest payload a frame may carry. Kept close to the largest frame
+ * the system actually ships (a 1024-sample SensorBatch is ~2.1 KB, a
+ * WakeUp with raw history ~1.6 KB): the decoder rejects any claimed
+ * length above this, so a corrupted header can hold the link hostage
+ * for at most ~0.36 s at 115200 baud before the CRC check fails the
+ * candidate and resynchronization rescans its bytes.
+ */
+constexpr std::size_t maxPayloadBytes = 4096;
 
 /**
  * How long a receiver lets one frame candidate sit unfinished before

@@ -216,6 +216,182 @@ decodeHeartbeat(const Frame &frame)
     return message;
 }
 
+namespace {
+
+Frame
+encodeEpochOnly(MessageType type, std::uint32_t epoch)
+{
+    Writer w;
+    w.u32(epoch);
+    return Frame{type, std::move(w.bytes)};
+}
+
+std::uint32_t
+decodeEpochOnly(const Frame &frame, MessageType type, const char *what)
+{
+    expectType(frame, type, what);
+    Reader r(frame.payload);
+    const std::uint32_t epoch = r.u32();
+    r.expectEnd();
+    return epoch;
+}
+
+} // namespace
+
+Frame
+encodeUpdateBegin(const UpdateBeginMessage &message)
+{
+    return encodeEpochOnly(MessageType::UpdateBegin, message.epoch);
+}
+
+UpdateBeginMessage
+decodeUpdateBegin(const Frame &frame)
+{
+    return UpdateBeginMessage{
+        decodeEpochOnly(frame, MessageType::UpdateBegin, "UpdateBegin")};
+}
+
+Frame
+encodeUpdateCommit(const UpdateCommitMessage &message)
+{
+    return encodeEpochOnly(MessageType::UpdateCommit, message.epoch);
+}
+
+UpdateCommitMessage
+decodeUpdateCommit(const Frame &frame)
+{
+    return UpdateCommitMessage{decodeEpochOnly(
+        frame, MessageType::UpdateCommit, "UpdateCommit")};
+}
+
+Frame
+encodeUpdateAbort(const UpdateAbortMessage &message)
+{
+    return encodeEpochOnly(MessageType::UpdateAbort, message.epoch);
+}
+
+UpdateAbortMessage
+decodeUpdateAbort(const Frame &frame)
+{
+    return UpdateAbortMessage{
+        decodeEpochOnly(frame, MessageType::UpdateAbort, "UpdateAbort")};
+}
+
+Frame
+encodeUpdateAck(const UpdateAckMessage &message)
+{
+    Writer w;
+    w.u32(message.epoch);
+    w.bytes.push_back(static_cast<std::uint8_t>(message.status));
+    w.text(message.reason);
+    return Frame{MessageType::UpdateAck, std::move(w.bytes)};
+}
+
+UpdateAckMessage
+decodeUpdateAck(const Frame &frame)
+{
+    expectType(frame, MessageType::UpdateAck, "UpdateAck");
+    Reader r(frame.payload);
+    UpdateAckMessage message;
+    message.epoch = r.u32();
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(UpdateStatus::Stale))
+        throw TransportError("UpdateAck status out of range");
+    message.status = static_cast<UpdateStatus>(status);
+    message.reason = r.text();
+    r.expectEnd();
+    return message;
+}
+
+Frame
+encodeDeltaPush(const DeltaPushMessage &message)
+{
+    Writer w;
+    w.u32(message.epoch);
+    w.i32(message.conditionId);
+    w.u32(static_cast<std::uint32_t>(message.channelNames.size()));
+    for (const std::string &name : message.channelNames)
+        w.text(name);
+    w.u32(static_cast<std::uint32_t>(message.entries.size()));
+    for (const DeltaNodeEntry &entry : message.entries) {
+        w.bytes.push_back(entry.reused ? 1 : 0);
+        if (entry.reused) {
+            for (int i = 0; i < 8; ++i)
+                w.bytes.push_back(static_cast<std::uint8_t>(
+                    (entry.keyHash >> (8 * i)) & 0xFF));
+            continue;
+        }
+        w.text(entry.algorithm);
+        w.u32(static_cast<std::uint32_t>(entry.params.size()));
+        for (double p : entry.params)
+            w.f64(p);
+        w.u32(static_cast<std::uint32_t>(entry.inputs.size()));
+        for (std::int32_t ref : entry.inputs)
+            w.i32(ref);
+    }
+    w.u32(message.outEntry);
+    return Frame{MessageType::DeltaPush, std::move(w.bytes)};
+}
+
+DeltaPushMessage
+decodeDeltaPush(const Frame &frame)
+{
+    expectType(frame, MessageType::DeltaPush, "DeltaPush");
+    Reader r(frame.payload);
+    DeltaPushMessage message;
+    message.epoch = r.u32();
+    message.conditionId = r.i32();
+    const std::uint32_t channels = r.u32();
+    message.channelNames.reserve(channels);
+    for (std::uint32_t i = 0; i < channels; ++i)
+        message.channelNames.push_back(r.text());
+    const std::uint32_t count = r.u32();
+    message.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        DeltaNodeEntry entry;
+        entry.reused = r.u8() != 0;
+        if (entry.reused) {
+            for (int b = 0; b < 8; ++b)
+                entry.keyHash |= static_cast<std::uint64_t>(r.u8())
+                                 << (8 * b);
+        } else {
+            entry.algorithm = r.text();
+            const std::uint32_t params = r.u32();
+            entry.params.reserve(params);
+            for (std::uint32_t p = 0; p < params; ++p)
+                entry.params.push_back(r.f64());
+            const std::uint32_t inputs = r.u32();
+            entry.inputs.reserve(inputs);
+            for (std::uint32_t in = 0; in < inputs; ++in) {
+                const std::int32_t ref = r.i32();
+                // A shipped node may only consume channels or entries
+                // that precede it — the wire order is topological.
+                if (ref >= static_cast<std::int32_t>(i))
+                    throw TransportError(
+                        "DeltaPush entry references a later entry");
+                if (ref < 0 &&
+                    static_cast<std::uint32_t>(-(ref + 1)) >= channels)
+                    throw TransportError(
+                        "DeltaPush channel reference out of range");
+                entry.inputs.push_back(ref);
+            }
+        }
+        message.entries.push_back(std::move(entry));
+    }
+    message.outEntry = r.u32();
+    if (message.outEntry >= count)
+        throw TransportError("DeltaPush OUT entry out of range");
+    r.expectEnd();
+    return message;
+}
+
+std::size_t
+deltaPushWireBytes(const DeltaPushMessage &message)
+{
+    // SOF+type+len+crc (6) + the encoded payload.
+    return 6 + encodeDeltaPush(message).payload.size();
+}
+
 std::size_t
 configPushWireBytes(const ConfigPushMessage &message)
 {

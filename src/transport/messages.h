@@ -96,6 +96,102 @@ struct HeartbeatMessage
     double uptimeSeconds = 0.0;
 };
 
+/**
+ * Phone -> hub: open a live-reconfiguration transaction.
+ *
+ * Epochs are monotonically increasing per hub boot; the hub refuses
+ * epochs at or below its committed one, so a delayed retransmit from a
+ * superseded update can never resurrect old configuration.
+ */
+struct UpdateBeginMessage
+{
+    /** Config epoch this transaction will commit as. */
+    std::uint32_t epoch = 0;
+};
+
+/**
+ * One node of a delta-encoded plan (DeltaPushMessage).
+ *
+ * Nodes whose canonical shareKey is already live on the hub travel as
+ * an 8-byte FNV-1a hash reference (`reused`); the hub splices the
+ * referenced subgraph — state and all — into the staged plan. Only
+ * nodes the hub has never seen ship in full.
+ */
+struct DeltaNodeEntry
+{
+    /** True: reference to a live hub node by shareKey hash. */
+    bool reused = false;
+    /** FNV-1a 64-bit hash of the canonical shareKey (when reused). */
+    std::uint64_t keyHash = 0;
+    /** Algorithm name (when shipped in full). */
+    std::string algorithm;
+    /** Literal parameters (when shipped in full). */
+    std::vector<double> params;
+    /**
+     * Inputs (when shipped in full): value >= 0 is an index into this
+     * message's entries; value < 0 is channel -(value + 1) in the
+     * message's channel-name table.
+     */
+    std::vector<std::int32_t> inputs;
+
+    bool
+    operator==(const DeltaNodeEntry &other) const
+    {
+        return reused == other.reused && keyHash == other.keyHash &&
+               algorithm == other.algorithm && params == other.params &&
+               inputs == other.inputs;
+    }
+};
+
+/** Phone -> hub: one condition's plan, delta-encoded. */
+struct DeltaPushMessage
+{
+    /** Epoch of the open transaction this delta belongs to. */
+    std::uint32_t epoch = 0;
+    /** Phone-assigned identifier of the condition. */
+    std::int32_t conditionId = 0;
+    /** Channel names referenced by shipped entries. */
+    std::vector<std::string> channelNames;
+    /** Topologically ordered nodes (inputs precede consumers). */
+    std::vector<DeltaNodeEntry> entries;
+    /** Index of the entry feeding OUT. */
+    std::uint32_t outEntry = 0;
+};
+
+/** Phone -> hub: commit every plan staged under this epoch. */
+struct UpdateCommitMessage
+{
+    std::uint32_t epoch = 0;
+};
+
+/** Phone -> hub: abandon the transaction open at this epoch. */
+struct UpdateAbortMessage
+{
+    std::uint32_t epoch = 0;
+};
+
+/** Outcome of an update transaction, from the hub's point of view. */
+enum class UpdateStatus : std::uint8_t {
+    /** The staged plans are live; the hub's epoch is now `epoch`. */
+    Committed = 0,
+    /** Staging failed or stalled; the A plans kept running and the
+        epoch was not bumped. `reason` says why; the phone may retry
+        with a fresh epoch. */
+    RolledBack = 1,
+    /** The epoch was at or below the hub's committed one (a delayed
+        duplicate); nothing changed. */
+    Stale = 2,
+};
+
+/** Hub -> phone: outcome of an update transaction. */
+struct UpdateAckMessage
+{
+    std::uint32_t epoch = 0;
+    UpdateStatus status = UpdateStatus::Committed;
+    /** Human-readable rollback reason (empty when committed). */
+    std::string reason;
+};
+
 /** @{ Frame encoding of each message. */
 Frame encodeConfigPush(const ConfigPushMessage &message);
 Frame encodeConfigAck(const ConfigAckMessage &message);
@@ -104,6 +200,11 @@ Frame encodeConfigRemove(const ConfigRemoveMessage &message);
 Frame encodeWakeUp(const WakeUpMessage &message);
 Frame encodeSensorBatch(const SensorBatchMessage &message);
 Frame encodeHeartbeat(const HeartbeatMessage &message);
+Frame encodeUpdateBegin(const UpdateBeginMessage &message);
+Frame encodeDeltaPush(const DeltaPushMessage &message);
+Frame encodeUpdateCommit(const UpdateCommitMessage &message);
+Frame encodeUpdateAbort(const UpdateAbortMessage &message);
+Frame encodeUpdateAck(const UpdateAckMessage &message);
 /** @} */
 
 /**
@@ -117,6 +218,11 @@ ConfigRemoveMessage decodeConfigRemove(const Frame &frame);
 WakeUpMessage decodeWakeUp(const Frame &frame);
 SensorBatchMessage decodeSensorBatch(const Frame &frame);
 HeartbeatMessage decodeHeartbeat(const Frame &frame);
+UpdateBeginMessage decodeUpdateBegin(const Frame &frame);
+DeltaPushMessage decodeDeltaPush(const Frame &frame);
+UpdateCommitMessage decodeUpdateCommit(const Frame &frame);
+UpdateAbortMessage decodeUpdateAbort(const Frame &frame);
+UpdateAckMessage decodeUpdateAck(const Frame &frame);
 /** @} */
 
 /**
@@ -125,6 +231,13 @@ HeartbeatMessage decodeHeartbeat(const Frame &frame);
  * swlint SW202 note uses this to estimate hub-recovery re-push cost.
  */
 std::size_t configPushWireBytes(const ConfigPushMessage &message);
+
+/**
+ * Wire bytes of @p message when framed as a plain (non-reliable)
+ * DeltaPush. The SW202 reconfiguration note and `swlint --diff-plan`
+ * use this to compare a delta update against a full re-push.
+ */
+std::size_t deltaPushWireBytes(const DeltaPushMessage &message);
 
 /**
  * Wire bytes needed to ship @p sample_count samples in SensorBatch

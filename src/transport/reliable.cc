@@ -8,33 +8,41 @@
 namespace sidewinder::transport {
 
 Frame
-encodeReliableData(std::uint16_t seq, const Frame &inner)
+encodeReliableData(std::uint16_t seq, const Frame &inner,
+                   std::uint32_t config_epoch)
 {
     Frame frame;
     frame.type = MessageType::Reliable;
-    frame.payload.reserve(3 + inner.payload.size());
+    frame.payload.reserve(7 + inner.payload.size());
     frame.payload.push_back(static_cast<std::uint8_t>(seq & 0xFF));
     frame.payload.push_back(static_cast<std::uint8_t>((seq >> 8) & 0xFF));
+    for (int i = 0; i < 4; ++i)
+        frame.payload.push_back(static_cast<std::uint8_t>(
+            (config_epoch >> (8 * i)) & 0xFF));
     frame.payload.push_back(static_cast<std::uint8_t>(inner.type));
     frame.payload.insert(frame.payload.end(), inner.payload.begin(),
                          inner.payload.end());
     return frame;
 }
 
-std::pair<std::uint16_t, Frame>
+ReliableData
 decodeReliableData(const Frame &frame)
 {
     if (frame.type != MessageType::Reliable)
         throw TransportError("frame is not a Reliable message");
-    if (frame.payload.size() < 3)
+    if (frame.payload.size() < 7)
         throw TransportError("Reliable payload truncated");
-    const auto seq = static_cast<std::uint16_t>(
+    ReliableData data;
+    data.seq = static_cast<std::uint16_t>(
         frame.payload[0] |
         (static_cast<std::uint16_t>(frame.payload[1]) << 8));
-    Frame inner;
-    inner.type = static_cast<MessageType>(frame.payload[2]);
-    inner.payload.assign(frame.payload.begin() + 3, frame.payload.end());
-    return {seq, std::move(inner)};
+    for (int i = 0; i < 4; ++i)
+        data.configEpoch |=
+            static_cast<std::uint32_t>(frame.payload[2 + i]) << (8 * i);
+    data.inner.type = static_cast<MessageType>(frame.payload[6]);
+    data.inner.payload.assign(frame.payload.begin() + 7,
+                              frame.payload.end());
+    return data;
 }
 
 Frame
@@ -63,8 +71,8 @@ std::size_t
 reliableWireBytes(const Frame &inner)
 {
     // SOF + type + len(2) + crc(2) outer framing, plus the seq(2) +
-    // inner-type(1) wrapper ahead of the inner payload.
-    return 6 + 3 + inner.payload.size();
+    // epoch(4) + inner-type(1) wrapper ahead of the inner payload.
+    return 6 + 7 + inner.payload.size();
 }
 
 ReliableEndpoint::ReliableEndpoint(UartLink &tx, ReliableConfig config)
@@ -83,7 +91,7 @@ ReliableEndpoint::sendFrame(const Frame &inner, double now)
         ++statistics.queueOverflows;
         return;
     }
-    queue.push_back(Pending{inner, nextSeq++});
+    queue.push_back(Pending{inner, nextSeq++, localEpoch});
     if (!inFlight)
         transmitHead(now, /*is_retransmit=*/false);
 }
@@ -92,7 +100,8 @@ void
 ReliableEndpoint::transmitHead(double now, bool is_retransmit)
 {
     const Pending &head = queue.front();
-    tx.sendFrame(encodeReliableData(head.seq, head.inner), now);
+    tx.sendFrame(encodeReliableData(head.seq, head.inner, head.epoch),
+                 now);
     inFlight = true;
     ++attempts;
     if (is_retransmit)
@@ -114,9 +123,14 @@ ReliableEndpoint::transmitHead(double now, bool is_retransmit)
 }
 
 std::optional<Frame>
-ReliableEndpoint::onFrame(const Frame &frame, double now)
+ReliableEndpoint::onFrame(const Frame &frame, double now,
+                          DeliveryVerdict *verdict)
 {
+    DeliveryVerdict scratch;
+    DeliveryVerdict &out = verdict ? *verdict : scratch;
+
     if (frame.type == MessageType::LinkAck) {
+        out = DeliveryVerdict::ControlAck;
         const std::uint16_t seq = decodeLinkAck(frame);
         if (inFlight && seq == queue.front().seq) {
             ++statistics.acksReceived;
@@ -132,19 +146,33 @@ ReliableEndpoint::onFrame(const Frame &frame, double now)
     }
 
     if (frame.type == MessageType::Reliable) {
-        auto [seq, inner] = decodeReliableData(frame);
-        // Always ack — the sender may have missed our previous ack.
-        tx.sendFrame(encodeLinkAck(seq), now);
+        ReliableData data = decodeReliableData(frame);
+        // Always ack — the sender may have missed our previous ack,
+        // and a stale-epoch sender must stop retransmitting too.
+        tx.sendFrame(encodeLinkAck(data.seq), now);
         ++statistics.acksSent;
-        if (haveRemoteSeq && seq == lastRemoteSeq) {
+        if (data.configEpoch != 0 && data.configEpoch < minimumEpoch) {
+            // A delayed retransmit from before an A/B swap. The
+            // sequence-number dedup below cannot be trusted to catch
+            // it (reset() clears that state on recovery), so the
+            // epoch stamp is the backstop against resurrecting
+            // superseded configuration.
+            out = DeliveryVerdict::StaleEpoch;
+            ++statistics.staleEpochFrames;
+            return std::nullopt;
+        }
+        if (haveRemoteSeq && data.seq == lastRemoteSeq) {
+            out = DeliveryVerdict::Duplicate;
             ++statistics.duplicatesDropped;
             return std::nullopt;
         }
         haveRemoteSeq = true;
-        lastRemoteSeq = seq;
-        return inner;
+        lastRemoteSeq = data.seq;
+        out = DeliveryVerdict::Delivered;
+        return std::move(data.inner);
     }
 
+    out = DeliveryVerdict::PassThrough;
     return frame;
 }
 

@@ -84,16 +84,51 @@ struct ReliableStats
     std::size_t acksReceived = 0;
     /** Acks that matched no in-flight sequence (stale/duplicate). */
     std::size_t staleAcks = 0;
+    /**
+     * Delivered-but-refused frames from a previous config epoch — a
+     * delayed retransmit that arrived after an A/B swap (or a hub
+     * reboot cleared the duplicate-detection state). Acked so the
+     * sender stops retrying, but never passed to the application.
+     */
+    std::size_t staleEpochFrames = 0;
 };
 
-/** Wrap @p inner (type + payload) under sequence number @p seq. */
-Frame encodeReliableData(std::uint16_t seq, const Frame &inner);
+/** What ReliableEndpoint::onFrame() decided about one frame. */
+enum class DeliveryVerdict {
+    /** Fresh reliable data; the unwrapped inner frame was returned. */
+    Delivered,
+    /** A LinkAck — pure transport control, nothing to deliver. */
+    ControlAck,
+    /** Retransmit of the last delivered sequence; suppressed. */
+    Duplicate,
+    /** Data stamped with a config epoch older than the receiver's
+        committed one; acked and refused (stats().staleEpochFrames). */
+    StaleEpoch,
+    /** Not a Reliable/LinkAck frame; passed through untouched. */
+    PassThrough,
+};
+
+/**
+ * Wrap @p inner (type + payload) under sequence number @p seq,
+ * stamped with @p config_epoch (0 = unversioned, never filtered).
+ */
+Frame encodeReliableData(std::uint16_t seq, const Frame &inner,
+                         std::uint32_t config_epoch = 0);
+
+/** Unwrapped contents of one MessageType::Reliable frame. */
+struct ReliableData
+{
+    std::uint16_t seq = 0;
+    /** Sender's config epoch at transmission time (0 = unversioned). */
+    std::uint32_t configEpoch = 0;
+    Frame inner;
+};
 
 /**
  * Unwrap a MessageType::Reliable frame.
  * @throws TransportError when the payload is malformed.
  */
-std::pair<std::uint16_t, Frame> decodeReliableData(const Frame &frame);
+ReliableData decodeReliableData(const Frame &frame);
 
 /** Acknowledgement of sequence @p seq. */
 Frame encodeLinkAck(std::uint16_t seq);
@@ -132,13 +167,17 @@ class ReliableEndpoint
      * Process one frame decoded from the receive direction.
      *
      * @return the unwrapped inner frame when @p frame carried fresh
-     *     reliable data; std::nullopt for acks and duplicates; the
-     *     frame itself, untouched, for every other type (pass-through
-     *     for senders not using the reliable layer).
+     *     reliable data; std::nullopt for acks, duplicates, and
+     *     stale-epoch data; the frame itself, untouched, for every
+     *     other type (pass-through for senders not using the reliable
+     *     layer). @p verdict, when given, reports which of those it
+     *     was — callers that must distinguish a stale-epoch refusal
+     *     from a plain duplicate (metrics, tests) read it.
      * @throws TransportError on malformed Reliable/LinkAck payloads
      *     (possible only via a CRC collision or a buggy sender).
      */
-    std::optional<Frame> onFrame(const Frame &frame, double now);
+    std::optional<Frame> onFrame(const Frame &frame, double now,
+                                 DeliveryVerdict *verdict = nullptr);
 
     /** Drive retransmission/give-up timers up to time @p now. */
     void tick(double now);
@@ -154,6 +193,27 @@ class ReliableEndpoint
     std::size_t queuedFrames() const { return queue.size(); }
 
     const ReliableStats &stats() const { return statistics; }
+
+    /**
+     * Stamp subsequent outgoing data frames with @p epoch (the
+     * sender's committed config epoch). Frames already queued keep the
+     * epoch they were queued under — a retransmit must stay
+     * byte-identical to its first transmission.
+     */
+    void setLocalEpoch(std::uint32_t epoch) { localEpoch = epoch; }
+
+    std::uint32_t getLocalEpoch() const { return localEpoch; }
+
+    /**
+     * Refuse incoming data frames stamped with a nonzero config epoch
+     * below @p epoch (see ReliableStats::staleEpochFrames). Receivers
+     * raise this as they commit A/B swaps; it survives reset(), which
+     * is exactly when the duplicate-detection state that would
+     * otherwise catch a delayed retransmit is lost.
+     */
+    void setMinimumEpoch(std::uint32_t epoch) { minimumEpoch = epoch; }
+
+    std::uint32_t getMinimumEpoch() const { return minimumEpoch; }
 
     /**
      * Forget all transmission state: flush the queue (counted in
@@ -174,6 +234,8 @@ class ReliableEndpoint
     {
         Frame inner;
         std::uint16_t seq = 0;
+        /** Epoch stamped at queue time (retransmits stay identical). */
+        std::uint32_t epoch = 0;
     };
     /** front() is the in-flight frame when inFlight is set. */
     std::deque<Pending> queue;
@@ -186,6 +248,8 @@ class ReliableEndpoint
     bool haveRemoteSeq = false;
     std::uint16_t lastRemoteSeq = 0;
     bool down = false;
+    std::uint32_t localEpoch = 0;
+    std::uint32_t minimumEpoch = 0;
     ReliableStats statistics;
 };
 

@@ -203,6 +203,66 @@ TEST(HubSupervision, ManagerDetectsDeathAndRecovers)
                      manager.hubDownSeconds(15.0));
 }
 
+TEST(HubSupervision, BrownoutBetweenStageAndCommitRollsBackAndRecovers)
+{
+    transport::LinkPair link(115200.0);
+    HubRuntime hub(link, core::accelerometerChannels(), msp430());
+    hub.enableReliableTransport();
+    hub.enableHeartbeats(0.5);
+
+    core::SidewinderSensorManager manager(
+        link, core::accelerometerChannels());
+    manager.enableReliableTransport();
+    manager.enableSupervision({0.5, 3.0}, 0.0);
+
+    Recorder listener;
+    const int id = manager.push(motionPipeline(), &listener, 0.0);
+    driveBoth(hub, manager, 0.05, 3.0);
+    ASSERT_EQ(manager.state(id), core::ConditionState::Active);
+
+    // Stage a retuned replacement: the delta reaches the hub's shadow
+    // slot but the commit has not been sent yet.
+    core::ProcessingPipeline retuned = motionPipeline();
+    retuned.add(core::MinThreshold(20)); // deeper variant, same prefix
+    manager.beginUpdate(3.0);
+    manager.updateCondition(id, retuned, 3.0);
+    driveBoth(hub, manager, 3.05, 4.0);
+    ASSERT_TRUE(hub.updateInProgress());
+    ASSERT_EQ(hub.engine().stagedCount(), 1u);
+
+    // Brownout exactly between stage and commit: the staged B plan
+    // lives in hub RAM only, so power loss erases it. The commit the
+    // phone then sends reaches an amnesiac hub.
+    hub.reboot(4.0);
+    manager.commitUpdate(4.0);
+    driveBoth(hub, manager, 4.05, 10.0);
+
+    // Whichever signal arrives first — the hub's "no open update
+    // transaction" rollback ack or the reboot-epoch heartbeat — the
+    // phone must conclude the update died, keep its shadow copy, and
+    // let the supervisor re-install the A plan.
+    EXPECT_FALSE(manager.updateInProgress());
+    EXPECT_EQ(manager.reconfigStats().updatesCommitted, 0u);
+    EXPECT_EQ(manager.reconfigStats().updatesRolledBack, 1u);
+    EXPECT_FALSE(manager.lastUpdateError().empty());
+    EXPECT_EQ(manager.state(id), core::ConditionState::Active);
+    EXPECT_TRUE(hub.engine().hasCondition(id));
+    EXPECT_EQ(hub.engine().stagedCount(), 0u);
+    EXPECT_FALSE(hub.updateInProgress());
+    EXPECT_EQ(hub.configEpoch(), 0u); // nothing ever committed
+    EXPECT_GE(manager.supervisionStats().rebootsDetected, 1u);
+
+    // The retry under a fresh epoch goes through cleanly.
+    manager.beginUpdate(10.0);
+    manager.updateCondition(id, retuned, 10.0);
+    manager.commitUpdate(10.0);
+    driveBoth(hub, manager, 10.05, 13.0);
+    EXPECT_FALSE(manager.updateInProgress());
+    EXPECT_EQ(manager.reconfigStats().updatesCommitted, 1u);
+    EXPECT_EQ(hub.configEpoch(), manager.configEpoch());
+    EXPECT_GT(hub.configEpoch(), 0u);
+}
+
 TEST(HubSupervision, WakeUpsFlowThroughReliableTransport)
 {
     transport::LinkPair link(1e6);

@@ -139,6 +139,67 @@ TEST(FaultSim, AcceptanceScenarioRecoversWithBoundedRecallLoss)
     EXPECT_GE(r.averagePowerMw, baseline.averagePowerMw * 0.99);
 }
 
+TEST(FaultSim, FaultFreeReconfigCommitsBetweenTwoWaves)
+{
+    // A live retune on the Fig. 5 robot workload with no faults: the
+    // update must commit on the first attempt, ship fewer bytes than
+    // a full re-push, and blind the hub for exactly one sample period
+    // (the swap lands between two evaluation waves — no dropped
+    // samples).
+    const auto trace = robotTrace();
+    const auto app = apps::makeStepsApp();
+
+    SimConfig config;
+    config.strategy = Strategy::Sidewinder;
+    config.faults.reconfigUpdates = {{90.0, 0.8}};
+    const auto r = simulate(trace, *app, config);
+
+    EXPECT_EQ(r.faults.updatesCommitted, 1u);
+    EXPECT_EQ(r.faults.updatesRolledBack, 0u);
+    EXPECT_GT(r.faults.reconfigDeltaBytes, 0u);
+    EXPECT_LT(r.faults.reconfigDeltaBytes, r.faults.reconfigFullBytes);
+    EXPECT_GT(r.hubTriggerCount, 0u);
+
+    // One sample period at the trace's accelerometer rate.
+    const double period = trace.timeOf(1) - trace.timeOf(0);
+    EXPECT_NEAR(r.faults.blindWindowSeconds, period, 1e-9);
+
+    // Reconfiguration is a fault-plan axis, so the run reports it.
+    EXPECT_TRUE(r.faults.any());
+}
+
+TEST(FaultSim, CorruptionDuringUpdateRetriesUntilCommitted)
+{
+    // The acceptance axis of the live-reconfiguration issue: 1e-3
+    // per-byte corruption applied only while an update transaction is
+    // in flight. A mangled delta or commit rolls the transaction back
+    // (CRC failure or stale staging), and the driver retries under a
+    // fresh epoch until the hub lands on the B plan. The hub must
+    // never end up on a mix of the two.
+    const auto trace = robotTrace();
+    const auto app = apps::makeStepsApp();
+
+    SimConfig config;
+    config.strategy = Strategy::Sidewinder;
+    config.faults.reconfigUpdates = {{60.0, 0.8}};
+    config.faults.updateCorruptionRate = 1e-3;
+    const auto r = simulate(trace, *app, config);
+
+    // However many retries it took, the update eventually committed
+    // and the hub kept triggering on a coherent plan.
+    EXPECT_GE(r.faults.updatesCommitted, 1u);
+    EXPECT_GT(r.hubTriggerCount, 0u);
+    EXPECT_GT(r.recall, 0.0);
+
+    // Determinism in the seed, rollbacks and all.
+    const auto again = simulate(trace, *app, config);
+    EXPECT_EQ(r.faults.updatesCommitted, again.faults.updatesCommitted);
+    EXPECT_EQ(r.faults.updatesRolledBack,
+              again.faults.updatesRolledBack);
+    EXPECT_EQ(r.faults.bytesCorrupted, again.faults.bytesCorrupted);
+    EXPECT_EQ(r.hubTriggerCount, again.hubTriggerCount);
+}
+
 TEST(FaultSim, FrameDropsAreRetransmitted)
 {
     const auto trace = robotTrace();

@@ -40,11 +40,16 @@ drainFrames(UartLink &rx, FrameDecoder &decoder, double now)
 TEST(ReliableCodec, DataRoundtrip)
 {
     const Frame inner = configFrame(42);
-    const Frame wrapped = encodeReliableData(777, inner);
+    const Frame wrapped = encodeReliableData(777, inner, 5);
     EXPECT_EQ(wrapped.type, MessageType::Reliable);
-    const auto [seq, unwrapped] = decodeReliableData(wrapped);
-    EXPECT_EQ(seq, 777);
-    EXPECT_EQ(unwrapped, inner);
+    const ReliableData data = decodeReliableData(wrapped);
+    EXPECT_EQ(data.seq, 777);
+    EXPECT_EQ(data.configEpoch, 5u);
+    EXPECT_EQ(data.inner, inner);
+
+    // Epoch defaults to 0 — the unversioned stamp.
+    EXPECT_EQ(decodeReliableData(encodeReliableData(1, inner)).configEpoch,
+              0u);
 }
 
 TEST(ReliableCodec, AckRoundtrip)
@@ -242,6 +247,52 @@ TEST(ReliableEndpoint, ResetClearsDedupAndDownLatch)
     EXPECT_TRUE(
         receiver.onFrame(encodeReliableData(0, configFrame(1)), 0.2)
             .has_value());
+}
+
+TEST(ReliableEndpoint, StaleEpochRetransmitIsRefusedNotDelivered)
+{
+    LinkPair link(115200.0);
+    ReliableEndpoint receiver(link.hubToPhone());
+    receiver.setMinimumEpoch(3);
+
+    // A delayed retransmit stamped with a superseded epoch: acked (so
+    // the sender stops retrying) but refused with a distinct verdict —
+    // not silently dropped, not delivered, not counted as a duplicate.
+    DeliveryVerdict verdict{};
+    EXPECT_FALSE(
+        receiver.onFrame(encodeReliableData(0, configFrame(1), 2), 0.0,
+                         &verdict)
+            .has_value());
+    EXPECT_EQ(verdict, DeliveryVerdict::StaleEpoch);
+    EXPECT_EQ(receiver.stats().staleEpochFrames, 1u);
+    EXPECT_EQ(receiver.stats().duplicatesDropped, 0u);
+    EXPECT_EQ(receiver.stats().acksSent, 1u);
+
+    // Current-epoch data on the same sequence still arrives fresh —
+    // the stale frame must not have poisoned the dedup state.
+    EXPECT_TRUE(
+        receiver.onFrame(encodeReliableData(0, configFrame(1), 3), 0.1,
+                         &verdict)
+            .has_value());
+    EXPECT_EQ(verdict, DeliveryVerdict::Delivered);
+
+    // Unversioned (epoch 0) frames are never epoch-filtered.
+    EXPECT_TRUE(
+        receiver.onFrame(encodeReliableData(1, configFrame(2), 0), 0.2,
+                         &verdict)
+            .has_value());
+    EXPECT_EQ(verdict, DeliveryVerdict::Delivered);
+
+    // The filter survives reset() — that is the whole point: reset
+    // clears the dedup state a delayed retransmit would otherwise
+    // need to get past.
+    receiver.reset();
+    EXPECT_FALSE(
+        receiver.onFrame(encodeReliableData(7, configFrame(1), 1), 0.3,
+                         &verdict)
+            .has_value());
+    EXPECT_EQ(verdict, DeliveryVerdict::StaleEpoch);
+    EXPECT_EQ(receiver.stats().staleEpochFrames, 2u);
 }
 
 TEST(ReliableEndpoint, NonReliableFramesPassThrough)

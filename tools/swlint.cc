@@ -21,13 +21,16 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "apps/apps.h"
 #include "apps/predefined.h"
 #include "core/sensors.h"
 #include "hub/mcu.h"
+#include "hub/reconfig.h"
 #include "il/analyze.h"
+#include "il/delta.h"
 #include "il/analyze_range.h"
 #include "il/lower.h"
 #include "il/optimize.h"
@@ -55,6 +58,8 @@ struct Options
     bool q15 = false;
     /** Render il::renderRanges per program instead of linting. */
     bool dumpRanges = false;
+    /** Render the live-reconfiguration delta between two .il files. */
+    bool diffPlan = false;
     std::string channelSpec = "all";
     std::vector<std::string> files;
 };
@@ -92,6 +97,11 @@ usage(std::ostream &out)
            "                   error (implies --ranges)\n"
            "  --dump-ranges    render each program's per-node value\n"
            "                   intervals and proofs instead of linting\n"
+           "  --diff-plan OLD.il NEW.il\n"
+           "                   render the live-reconfiguration delta a\n"
+           "                   hub running OLD would receive to move to\n"
+           "                   NEW: shipped vs hash-reused nodes and\n"
+           "                   the delta-vs-full wire bytes\n"
            "  --channels SPEC  channels for .il files: accel, audio,\n"
            "                   baro, all (default), or a custom\n"
            "                   NAME=RATE_HZ[,NAME=RATE_HZ...] list\n"
@@ -217,12 +227,24 @@ lint(const LintUnit &unit, const Options &options)
         // re-push so developers can see recovery latency per
         // condition (docs/fault-model.md). The wire form is the
         // lowered plan's canonical IL — what the manager ships.
+        const il::ExecutionPlan plan =
+            il::lower(unit.program, unit.channels);
         const transport::Frame push = transport::encodeConfigPush(
-            {0, il::write(il::lower(unit.program, unit.channels)
-                              .toProgram())});
+            {0, il::write(plan.toProgram())});
         const std::size_t bytes = transport::reliableWireBytes(push);
         const transport::UartLink uart(115200.0);
         const double millis = uart.transferSeconds(bytes) * 1e3;
+
+        // Live-reconfiguration floor: the delta of updating this
+        // condition on a hub where every node is already live (all
+        // reused by hash). A real re-tune ships this plus its changed
+        // nodes — the best case an update can hope for, next to what
+        // a full push costs.
+        const std::unordered_set<std::string> live(
+            plan.shareKeys.begin(), plan.shareKeys.end());
+        const hub::UpdateWireCost update = hub::updateWireCost(
+            plan, il::computeDelta(plan, live));
+
         il::Diagnostic note;
         note.code = il::SW202_REPUSH_COST;
         note.severity = il::Severity::Note;
@@ -231,7 +253,10 @@ lint(const LintUnit &unit, const Options &options)
         std::ostringstream msg;
         msg << "hub-recovery re-push ships " << bytes
             << " wire bytes (~" << std::fixed << std::setprecision(1)
-            << millis << " ms at 115200 baud)";
+            << millis << " ms at 115200 baud); live-reconfig delta "
+            << "floor " << update.deltaBytes << " bytes (~"
+            << uart.transferSeconds(update.deltaBytes) * 1e3
+            << " ms blind to config, samples keep flowing)";
         note.message = msg.str();
         result.diagnostics.push_back(std::move(note));
     }
@@ -261,6 +286,8 @@ main(int argc, char **argv)
             options.ranges = true;
         } else if (arg == "--dump-ranges") {
             options.dumpRanges = true;
+        } else if (arg == "--diff-plan") {
+            options.diffPlan = true;
         } else if (arg == "--channels") {
             if (i + 1 >= argc) {
                 std::cerr << "swlint: --channels needs an argument\n";
@@ -277,6 +304,34 @@ main(int argc, char **argv)
         } else {
             options.files.push_back(arg);
         }
+    }
+
+    if (options.diffPlan) {
+        // Diff mode stands alone: lower both programs and render the
+        // update the second would ship to a hub running the first.
+        if (options.allApps || options.files.size() != 2) {
+            std::cerr
+                << "swlint: --diff-plan needs exactly OLD.il NEW.il\n";
+            return 2;
+        }
+        try {
+            const auto channels = parseChannelSpec(options.channelSpec);
+            const LintUnit old_unit = fileUnit(options.files[0], channels);
+            const LintUnit new_unit = fileUnit(options.files[1], channels);
+            for (const auto *unit : {&old_unit, &new_unit})
+                if (!unit->parseFailure.empty())
+                    throw ParseError(unit->name + ": " +
+                                     unit->parseFailure);
+            std::cout << "== diff-plan " << old_unit.name << " -> "
+                      << new_unit.name << " ==\n"
+                      << hub::renderDiffPlan(
+                             il::lower(old_unit.program, channels),
+                             il::lower(new_unit.program, channels));
+        } catch (const SidewinderError &error) {
+            std::cerr << "swlint: " << error.what() << "\n";
+            return 2;
+        }
+        return 0;
     }
 
     if (!options.allApps && options.files.empty()) {
