@@ -16,7 +16,12 @@ and scripts/bench_budgets.json, and fails when:
    cost more than the budgeted fraction of a full push on a plan deep
    enough to amortize framing, the committed swap's blind window
    exceeded one block of samples, or the fault-free live update
-   failed to commit cleanly.
+   failed to commit cleanly, or
+ - (with --placement BENCH_placement.json) the negotiated-congestion
+   placer spent more than the budgeted fraction of the greedy
+   ladder's fleet power, rescued fewer conditions than the floor,
+   left conditions unplaced, failed to converge, or broke the
+   1-vs-4-thread determinism flag.
 
 Absolute budgets are machine-dependent, so they only fire on large
 regressions (the tolerance) and can be re-baselined by re-running
@@ -34,6 +39,8 @@ Usage: scripts/check_bench_regression.py [BENCH_dsp.json]
                      budgets (skipped, with a note, when omitted)
   --reconfig PATH    BENCH_reconfig.json to check against the
                      "reconfig" budgets (skipped when omitted)
+  --placement PATH   BENCH_placement.json to check against the
+                     "placement" budgets (skipped when omitted)
 """
 
 import argparse
@@ -157,6 +164,55 @@ def check_reconfig(path, spec, failures):
         failures.append("reconfig_blind_window")
 
 
+def check_placement(path, spec, failures):
+    """Gate BENCH_placement.json against the "placement" section."""
+    with open(path) as fh:
+        placement = json.load(fh)
+
+    max_ratio = float(spec.get("energy_ratio_max", 1.0))
+    min_rescued = int(spec.get("min_rescued", 0))
+
+    greedy = float(placement.get("fleet_power_mw_greedy", 0.0))
+    negotiated = float(placement.get("fleet_power_mw_negotiated", 0.0))
+    ratio = negotiated / greedy if greedy > 0.0 else 1.0
+    status = "ok" if ratio <= max_ratio else "REGRESSED"
+    print(f"{status:>9}  placement: negotiated/greedy fleet power "
+          f"{ratio:.4f} (ceiling {max_ratio:.2f})")
+    if ratio > max_ratio:
+        failures.append("placement_energy_ratio")
+
+    rescued = int(placement.get("rescued_conditions", 0))
+    status = "ok" if rescued >= min_rescued else "REGRESSED"
+    print(f"{status:>9}  placement: {rescued} rescued condition(s) "
+          f"(floor {min_rescued})")
+    if rescued < min_rescued:
+        failures.append("placement_rescued")
+
+    unplaced = int(placement.get("unplaced_negotiated", 0))
+    if spec.get("require_total") and unplaced > 0:
+        print(f"REGRESSED  placement: {unplaced} condition(s) left "
+              "unplaced despite the AP fallback")
+        failures.append("placement_unplaced")
+    elif spec.get("require_total"):
+        print("       ok  placement: every condition found a home")
+
+    unconverged = int(placement.get("unconverged", 0))
+    if spec.get("require_converged") and unconverged > 0:
+        print(f"REGRESSED  placement: {unconverged} device(s) hit the "
+              "negotiation iteration cap")
+        failures.append("placement_unconverged")
+    elif spec.get("require_converged"):
+        print("       ok  placement: every negotiation converged")
+
+    if spec.get("require_deterministic") \
+            and not placement.get("deterministic"):
+        print("REGRESSED  placement: 1-thread vs 4-thread placements "
+              "diverged")
+        failures.append("placement_deterministic")
+    elif spec.get("require_deterministic"):
+        print("       ok  placement: 1 vs 4 threads bit-identical")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("results", nargs="?", default="BENCH_dsp.json")
@@ -166,6 +222,7 @@ def main():
     ap.add_argument("--rebaseline", action="store_true")
     ap.add_argument("--fleet", default=None)
     ap.add_argument("--reconfig", default=None)
+    ap.add_argument("--placement", default=None)
     args = ap.parse_args()
 
     results = load_results(args.results)
@@ -215,6 +272,14 @@ def main():
         else:
             print("reconfig budgets skipped "
                   "(no --reconfig BENCH_reconfig.json)")
+
+    if "placement" in budgets:
+        if args.placement:
+            check_placement(args.placement, budgets["placement"],
+                            failures)
+        else:
+            print("placement budgets skipped "
+                  "(no --placement BENCH_placement.json)")
 
     if args.rebaseline:
         with open(args.budgets, "w") as fh:

@@ -14,8 +14,11 @@
 #           race would hide), and the live-reconfiguration tests
 #           (hub_reconfig_test — staging in the shadow slot while
 #           the wave loop executes the live plans crosses the same
-#           engine mutex) under ThreadSanitizer before the normal
-#           run. SW_TSAN=1 enables the same.
+#           engine mutex), and the placer tests (hub_placer_test —
+#           place() is documented const-safe for concurrent callers,
+#           and the test drives it from 8 threads at once) under
+#           ThreadSanitizer before the normal run. SW_TSAN=1 enables
+#           the same.
 #   asan  — additionally build with
 #           -DSIDEWINDER_SANITIZE=address,undefined and run the
 #           fault-tolerance tests (transport_reliable_test,
@@ -37,8 +40,12 @@
 #           tests (hub_reconfig_test) run here too: delta splicing
 #           resolves 8-byte hash references into live node pointers
 #           and rollback tears the staged half down, exactly where a
-#           dangling reference would hide. The value-range soundness
-#           gate (il_range_test) runs under both sanitizers: the Q15
+#           dangling reference would hide. The placer tests
+#           (hub_placer_test) run here too: the fuzzed-workload
+#           rounds stress the rip-up/repair bookkeeping, exactly
+#           where an out-of-bounds ledger index would hide. The
+#           value-range soundness gate (il_range_test) runs under
+#           both sanitizers: the Q15
 #           saturation-event counters are compiled in there (the
 #           sanitize trees define SIDEWINDER_Q15_COUNTERS), so the
 #           proof-vs-execution cross-check actually bites.
@@ -59,7 +66,8 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     cmake -B build-tsan -G Ninja -DSIDEWINDER_SANITIZE=thread
     cmake --build build-tsan --target sim_sweep_test \
         support_thread_pool_test il_plan_test hub_plan_property_test \
-        hub_block_test sim_fleet_test il_range_test hub_reconfig_test
+        hub_block_test sim_fleet_test il_range_test hub_reconfig_test \
+        hub_placer_test
     echo "== ThreadSanitizer: parallel sweep engine =="
     build-tsan/tests/support_thread_pool_test
     build-tsan/tests/sim_sweep_test
@@ -74,6 +82,8 @@ if [ "${SW_TSAN:-0}" = "1" ]; then
     build-tsan/tests/il_range_test
     echo "== ThreadSanitizer: live reconfiguration =="
     build-tsan/tests/hub_reconfig_test
+    echo "== ThreadSanitizer: negotiated-congestion placer =="
+    build-tsan/tests/hub_placer_test
 fi
 
 if [ "${SW_ASAN:-0}" = "1" ]; then
@@ -82,7 +92,8 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     cmake --build build-asan --target transport_reliable_test \
         hub_supervision_test sim_faults_test il_plan_test \
         hub_plan_property_test hub_block_test dsp_q15_test \
-        sim_fleet_test il_range_test hub_reconfig_test
+        sim_fleet_test il_range_test hub_reconfig_test \
+        hub_placer_test
     echo "== ASan/UBSan: fault-tolerance stack =="
     build-asan/tests/transport_reliable_test
     build-asan/tests/hub_supervision_test
@@ -99,6 +110,8 @@ if [ "${SW_ASAN:-0}" = "1" ]; then
     build-asan/tests/il_range_test
     echo "== ASan/UBSan: live reconfiguration =="
     build-asan/tests/hub_reconfig_test
+    echo "== ASan/UBSan: negotiated-congestion placer =="
+    build-asan/tests/hub_placer_test
 fi
 
 cmake -B build -G Ninja
@@ -135,9 +148,13 @@ build/tools/swlint --all-apps --Werror
 # Fail the reproduction if a tracked benchmark regressed >20% against
 # its recorded baseline, a documented speedup ratio fell below its
 # floor, the fleet run broke its cache-hit-rate / memory-per-device
-# budgets or determinism flag (docs/performance.md), or the
+# budgets or determinism flag (docs/performance.md), the
 # reconfiguration run broke its delta-wire-cost / blind-window
-# budgets (docs/fault-model.md, "Live reconfiguration").
+# budgets (docs/fault-model.md, "Live reconfiguration"), or the
+# placement run let the negotiated placer spend more than the greedy
+# ladder, rescue nothing, or diverge across thread counts
+# (docs/placement.md).
 echo "== benchmark regression gate =="
 python3 scripts/check_bench_regression.py bench_check.json \
-    --fleet BENCH_fleet.json --reconfig BENCH_reconfig.json
+    --fleet BENCH_fleet.json --reconfig BENCH_reconfig.json \
+    --placement BENCH_placement.json

@@ -32,6 +32,11 @@
 #    the corrupted-update commit/rollback counts, and the
 #    stalled-transfer rollback latency (docs/fault-model.md, "Live
 #    reconfiguration").
+#  - BENCH_placement.json — bench_placement: fleet-wide hub power of
+#    the negotiated-congestion placer vs the frozen greedy ladder
+#    over a mixed 10k-device population, the count of rescued
+#    conditions, rip-up/convergence counters, and a 1-vs-4-thread
+#    determinism flag (docs/placement.md).
 #
 # Every JSON record carries its worker-thread context — the effective
 # pool width, the SW_THREADS override (null/unset when absent), and
@@ -46,6 +51,7 @@
 #   OUT_FAULTS=...  fault sweep JSON path (default: BENCH_faults.json)
 #   OUT_FLEET=...   fleet scaling JSON path (default: BENCH_fleet.json)
 #   OUT_RECONFIG=... reconfiguration JSON path (default: BENCH_reconfig.json)
+#   OUT_PLACEMENT=... placement JSON path (default: BENCH_placement.json)
 #   SW_FAST=1       scale the sweep traces ~6x down (ratio unchanged)
 #                   and drop the fleet's 100k population
 #   SW_THREADS=N    override the worker-thread count (recorded in
@@ -60,12 +66,13 @@ OUT_SWEEP="${OUT_SWEEP:-BENCH_sweep.json}"
 OUT_FAULTS="${OUT_FAULTS:-BENCH_faults.json}"
 OUT_FLEET="${OUT_FLEET:-BENCH_fleet.json}"
 OUT_RECONFIG="${OUT_RECONFIG:-BENCH_reconfig.json}"
+OUT_PLACEMENT="${OUT_PLACEMENT:-BENCH_placement.json}"
 FILTER="${1:-.}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_dsp_micro \
     bench_sweep_scaling bench_fault_sweep bench_fleet_scaling \
-    bench_reconfig \
+    bench_reconfig bench_placement \
     >/dev/null
 
 # Refuse to record numbers from an unoptimized tree: a Debug build is
@@ -105,3 +112,5 @@ echo "wrote $OUT"
 "$BUILD_DIR"/bench/bench_fleet_scaling "$OUT_FLEET"
 
 "$BUILD_DIR"/bench/bench_reconfig "$OUT_RECONFIG"
+
+"$BUILD_DIR"/bench/bench_placement "$OUT_PLACEMENT"

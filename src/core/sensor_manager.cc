@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "hub/placer.h"
 #include "hub/reconfig.h"
 #include "il/analyze.h"
 #include "il/delta.h"
@@ -87,6 +88,13 @@ SidewinderSensorManager::push(const ProcessingPipeline &pipeline,
             warn("push: [" + d.code + "] " + d.message +
                  (d.hint.empty() ? "" : " (hint: " + d.hint + ")"));
     }
+    // Home the condition across the whole platform space (MCUs, FPGA
+    // fabric, AP fallback) and surface the verdict as an SW203 note.
+    // The AP fallback makes the placer total, so this never rejects.
+    entry.placement =
+        hub::placeCondition(plan, hub::platformExecutors());
+    entry.pushDiagnostics.push_back(
+        hub::placementNote(entry.placement));
     entries[condition_id] = entry;
 
     sendToHub(transport::encodeConfigPush({condition_id, entry.ilText}),
@@ -421,6 +429,12 @@ const std::vector<il::Diagnostic> &
 SidewinderSensorManager::pushDiagnostics(int condition_id) const
 {
     return entryOf(condition_id).pushDiagnostics;
+}
+
+const hub::PlacementDecision &
+SidewinderSensorManager::placementOf(int condition_id) const
+{
+    return entryOf(condition_id).placement;
 }
 
 } // namespace sidewinder::core

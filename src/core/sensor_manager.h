@@ -27,6 +27,7 @@
 
 #include "core/listener.h"
 #include "core/pipeline.h"
+#include "hub/placer.h"
 #include "il/analyze.h"
 #include "il/validate.h"
 #include "transport/frame.h"
@@ -252,6 +253,13 @@ class SidewinderSensorManager
     const std::vector<il::Diagnostic> &
     pushDiagnostics(int condition_id) const;
 
+    /**
+     * Where the platform placer homed @p condition_id when it was
+     * pushed (executor, marginal power, wire target) — the decision
+     * behind the SW203 note in pushDiagnostics().
+     */
+    const hub::PlacementDecision &placementOf(int condition_id) const;
+
   private:
     struct Entry
     {
@@ -264,6 +272,8 @@ class SidewinderSensorManager
             shadow of what is live on the hub, and the basis every
             delta is computed against. */
         std::vector<std::string> shareKeys;
+        /** Negotiated home across hub::platformExecutors(). */
+        hub::PlacementDecision placement;
     };
 
     /** A condition's replacement, held until the hub commits. */

@@ -72,16 +72,8 @@ fpgaCellCost(const std::string &algorithm, std::size_t frame_size)
 }
 
 FpgaPlacement
-planFpgaPlacement(const il::Program &program,
-                  const std::vector<il::ChannelInfo> &channels,
-                  const FpgaModel &fpga)
+planFpgaPlacement(const il::ExecutionPlan &plan, const FpgaModel &fpga)
 {
-    // Lowering hash-conses structurally identical nodes, so each
-    // datapath is placed once — the same sharing the Engine applies
-    // (a reconfigurable fabric has even more reason to instantiate
-    // each block once). lower() re-validates the program.
-    const il::ExecutionPlan plan = il::lower(program, channels);
-
     FpgaPlacement placement;
     double dynamic_mw = 0.0;
 
@@ -110,6 +102,17 @@ planFpgaPlacement(const il::Program &program,
     placement.dynamicPowerMw = dynamic_mw;
     placement.fits = placement.cellsUsed <= fpga.logicCells;
     return placement;
+}
+
+FpgaPlacement
+planFpgaPlacement(const il::Program &program,
+                  const std::vector<il::ChannelInfo> &channels,
+                  const FpgaModel &fpga)
+{
+    // lower() re-validates the program and hash-conses structurally
+    // identical nodes — the sealed plan is the sole representation
+    // the fabric sizer reads.
+    return planFpgaPlacement(il::lower(program, channels), fpga);
 }
 
 } // namespace sidewinder::hub

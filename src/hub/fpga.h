@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "il/ast.h"
+#include "il/plan.h"
 #include "il/validate.h"
 
 namespace sidewinder::hub {
@@ -86,9 +87,18 @@ std::size_t fpgaCellCost(const std::string &algorithm,
                          std::size_t frame_size);
 
 /**
- * Plan @p program onto @p fpga: validate, assign each node a
+ * Plan a sealed execution plan onto @p fpga: assign each node a
  * pre-compiled block, sum footprints, and estimate dynamic power from
- * the per-node firing rates.
+ * the per-node firing rates. The plan is the sole representation —
+ * lowering already hash-consed structurally identical nodes, so each
+ * datapath is placed once.
+ */
+FpgaPlacement planFpgaPlacement(const il::ExecutionPlan &plan,
+                                const FpgaModel &fpga);
+
+/**
+ * Convenience overload: lower @p program against @p channels, then
+ * plan the sealed result.
  *
  * @throws ParseError when the program is invalid.
  */

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "hub/placer.h"
 #include "il/lower.h"
 #include "support/error.h"
 
@@ -47,17 +48,6 @@ fitsBudget(const McuModel &mcu, const il::ProgramCost &cost)
 }
 
 McuModel
-selectMcuForLoad(double cycles_per_second)
-{
-    for (const auto &mcu : availableMcus())
-        if (canRunInRealTime(mcu, cycles_per_second))
-            return mcu;
-    throw CapabilityError(
-        "no available hub microcontroller sustains " +
-        std::to_string(cycles_per_second) + " cycle units/s");
-}
-
-McuModel
 selectMcuForCost(const il::ProgramCost &cost)
 {
     for (const auto &mcu : availableMcus())
@@ -77,7 +67,27 @@ selectMcu(const il::Program &program,
     // Cost the lowered plan — the deduplicated node set the hub
     // actually instantiates. lower() re-validates, surfacing invalid
     // programs with validate()'s exact error.
-    return selectMcuForCost(il::lower(program, channels).cost());
+    return selectMcuForPlan(il::lower(program, channels));
+}
+
+McuModel
+selectMcuForPlan(const il::ExecutionPlan &plan)
+{
+    // Single-executor placement over the MCU ladder: with one
+    // condition and no congestion, the negotiated placer's
+    // minimum-power choice is exactly the cheapest-first ladder walk
+    // this function used to hand-roll.
+    std::vector<ExecutorModel> ladder;
+    for (const auto &mcu : availableMcus())
+        ladder.push_back(mcuExecutor(mcu));
+    const PlacementDecision home = placeCondition(plan, ladder);
+    if (home.placed())
+        return availableMcus()[static_cast<std::size_t>(
+            home.executorIndex)];
+    // Re-derive selectMcuForCost's exact error for callers that pin
+    // its message.
+    selectMcuForCost(plan.cost());
+    throw InternalError("placer rejected a plan selectMcuForCost fits");
 }
 
 std::vector<il::Diagnostic>

@@ -24,6 +24,7 @@
 
 #include "il/analyze.h"
 #include "il/ast.h"
+#include "il/plan.h"
 #include "il/validate.h"
 
 namespace sidewinder::hub {
@@ -89,13 +90,18 @@ McuModel selectMcu(const il::Program &program,
                    const std::vector<il::ChannelInfo> &channels);
 
 /**
- * Lowest-power MCU able to sustain @p cycles_per_second.
+ * As selectMcu, for an already-lowered plan. Implemented as
+ * single-executor placement over the MCU ladder (hub/placer.h) —
+ * selectMcu is a thin wrapper over the fleet placer restricted to
+ * microcontrollers.
  * @throws CapabilityError when no available MCU suffices.
  */
-McuModel selectMcuForLoad(double cycles_per_second);
+McuModel selectMcuForPlan(const il::ExecutionPlan &plan);
 
 /**
- * Lowest-power MCU whose compute and RAM budgets cover @p cost.
+ * Lowest-power MCU whose compute, RAM, *and* wake budgets cover
+ * @p cost (the cycles-only selectMcuForLoad shortcut is gone — no
+ * admission decision bypasses the full budget set).
  * @throws CapabilityError when no available MCU suffices.
  */
 McuModel selectMcuForCost(const il::ProgramCost &cost);

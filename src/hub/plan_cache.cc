@@ -131,6 +131,29 @@ FleetPlanCache::provenWakeRateHz(const il::ExecutionPlan &plan)
     return proven;
 }
 
+PlacementDecision
+FleetPlanCache::firstInstallPlacement(
+    const il::ExecutionPlan &plan,
+    const std::string &executor_signature,
+    const std::function<PlacementDecision()> &compute)
+{
+    const std::string key =
+        canonicalPlanKey(plan) + '\n' + executor_signature;
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        auto it = placementByKey.find(key);
+        if (it != placementByKey.end())
+            return it->second;
+    }
+    // Place outside the lock — the placer is deterministic, so a
+    // racing duplicate computes the identical decision and the memo
+    // stays exact.
+    PlacementDecision decision = compute();
+    std::lock_guard<std::mutex> guard(lock);
+    placementByKey.emplace(key, decision);
+    return decision;
+}
+
 PlanCacheStats
 FleetPlanCache::stats() const
 {

@@ -38,12 +38,14 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "hub/placer.h"
 #include "il/ast.h"
 #include "il/plan.h"
 #include "il/validate.h"
@@ -155,6 +157,22 @@ class FleetPlanCache
      */
     double provenWakeRateHz(const il::ExecutionPlan &plan);
 
+    /**
+     * Memoized placement verdict for one condition alone on an
+     * executor set — the overwhelmingly common fleet admission (a
+     * device's *first* install lands on an empty ledger, and skewed
+     * app mixes mean a handful of distinct conditions serve the whole
+     * population). The verdict is a pure function of (canonical plan,
+     * executor-set signature), so it is computed once via @p compute
+     * and replayed for every other tenant. Thread-safe; a racing
+     * duplicate computes the same value (deterministic placer) and
+     * the memo stays exact.
+     */
+    PlacementDecision firstInstallPlacement(
+        const il::ExecutionPlan &plan,
+        const std::string &executor_signature,
+        const std::function<PlacementDecision()> &compute);
+
     /** Exact counters; safe to call concurrently with intern(). */
     PlanCacheStats stats() const;
 
@@ -173,6 +191,9 @@ class FleetPlanCache
     std::unordered_map<std::string, PlanPtr> byText;
     /** Canonical plan key -> memoized proven wake-rate bound. */
     std::unordered_map<std::string, double> provenWakeByCanonical;
+    /** (Canonical plan key + executor signature) -> placement. */
+    std::unordered_map<std::string, PlacementDecision>
+        placementByKey;
     std::size_t retainedBytes = 0;
 
     std::atomic<std::size_t> missCount{0};

@@ -101,6 +101,7 @@ inline constexpr const char *SW105_NEAR_NYQUIST = "SW105";
 inline constexpr const char *SW106_DEGENERATE_BAND = "SW106";
 inline constexpr const char *SW201_MCU_ASSIGNMENT = "SW201";
 inline constexpr const char *SW202_REPUSH_COST = "SW202";
+inline constexpr const char *SW203_PLACEMENT = "SW203";
 // SW3xx: value-range facts from the interval interpreter
 // (il/analyze_range.h). Severity varies with context: SW301 is an
 // error when Q15 execution is requested, a warning otherwise.

@@ -36,17 +36,26 @@ simulateConcurrent(
     // Lower every condition once, then install the plans on one
     // engine (the install path the hub runtime uses at admission).
     hub::Engine engine(channels, config.shareHubNodes);
-    for (std::size_t a = 0; a < apps.size(); ++a)
-        engine.addCondition(
-            static_cast<int>(a + 1),
+    double wake_bound_hz = 0.0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const il::ExecutionPlan plan =
             il::lower(apps[a]->wakeCondition().compile(), channels,
-                      il::LowerOptions{config.shareHubNodes}));
+                      il::LowerOptions{config.shareHubNodes});
+        wake_bound_hz += plan.wakeRateBoundHz;
+        engine.addCondition(static_cast<int>(a + 1), plan);
+    }
 
     ConcurrentResult result;
     result.hubNodeCount = engine.nodeCount();
     result.hubCyclesPerSecond = engine.estimatedCyclesPerSecond();
-    const hub::McuModel mcu =
-        hub::selectMcuForLoad(result.hubCyclesPerSecond);
+    // Size the hub against the full budget set — compute, RAM, and
+    // the summed wake bound — not just cycles: a node mix that fits
+    // the MSP430's cycle budget can still blow its 16 KB of SRAM.
+    il::ProgramCost hub_load;
+    hub_load.cyclesPerSecond = result.hubCyclesPerSecond;
+    hub_load.ramBytes = engine.estimatedRamBytes();
+    hub_load.wakeRateBoundHz = wake_bound_hz;
+    const hub::McuModel mcu = hub::selectMcuForCost(hub_load);
     result.mcuName = mcu.name;
 
     // Replay the trace; collect triggers per condition.
@@ -173,16 +182,23 @@ simulateDevice(const std::vector<DeviceDomain> &domains,
         const auto channels = apps.front()->channels();
 
         hub::Engine engine(channels, config.shareHubNodes);
-        for (std::size_t a = 0; a < apps.size(); ++a)
-            engine.addCondition(
-                static_cast<int>(a + 1),
-                il::lower(apps[a]->wakeCondition().compile(), channels,
-                          il::LowerOptions{config.shareHubNodes}));
+        double wake_bound_hz = 0.0;
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const il::ExecutionPlan plan = il::lower(
+                apps[a]->wakeCondition().compile(), channels,
+                il::LowerOptions{config.shareHubNodes});
+            wake_bound_hz += plan.wakeRateBoundHz;
+            engine.addCondition(static_cast<int>(a + 1), plan);
+        }
 
         DeviceDomainResult domain_result;
         domain_result.hubNodeCount = engine.nodeCount();
-        const hub::McuModel mcu = hub::selectMcuForLoad(
-            engine.estimatedCyclesPerSecond());
+        // Full budget set per domain hub: cycles, RAM, wake bound.
+        il::ProgramCost hub_load;
+        hub_load.cyclesPerSecond = engine.estimatedCyclesPerSecond();
+        hub_load.ramBytes = engine.estimatedRamBytes();
+        hub_load.wakeRateBoundHz = wake_bound_hz;
+        const hub::McuModel mcu = hub::selectMcuForCost(hub_load);
         domain_result.mcuName = mcu.name;
         domain_result.hubMw = mcu.activePowerMw;
         result.totalHubMw += mcu.activePowerMw;

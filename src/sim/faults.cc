@@ -6,7 +6,9 @@
 
 #include "core/sensor_manager.h"
 #include "hub/mcu.h"
+#include "hub/placer.h"
 #include "hub/runtime.h"
+#include "il/lower.h"
 #include "sim/replay.h"
 #include "sim/simulator.h"
 #include "support/error.h"
@@ -218,9 +220,39 @@ simulateSupervised(const trace::Trace &trace,
     core::ProcessingPipeline pipeline = app.wakeCondition();
     const il::Program program = pipeline.compile();
     const auto channels = app.channels();
-    const hub::McuModel mcu = hub::selectMcu(program, channels);
-    model.hubMw = mcu.activePowerMw;
-    result.mcuName = mcu.name;
+    // Same executor space simulate() uses for this backend, so a
+    // supervised run with no active faults stays bit-identical.
+    std::vector<hub::ExecutorModel> space;
+    if (config.hubBackend == HubBackend::Heterogeneous) {
+        space = hub::platformExecutors();
+    } else {
+        for (const auto &mcu : hub::availableMcus())
+            space.push_back(hub::mcuExecutor(mcu));
+    }
+    const il::ExecutionPlan il_plan = il::lower(program, channels);
+    const hub::PlacementDecision home =
+        hub::placeCondition(il_plan, space);
+    if (!home.placed()) {
+        hub::selectMcuForCost(il_plan.cost());
+        throw CapabilityError(
+            "no hub executor can home the condition");
+    }
+    model.hubMw = home.marginalPowerMw;
+    result.mcuName = home.executorName;
+    result.placement = home;
+    // The supervised transport stack models a microcontroller hub
+    // runtime; a Heterogeneous run whose condition homed on the
+    // fabric or the AP has no such runtime to supervise.
+    const hub::McuModel *mcu_home = nullptr;
+    for (const auto &m : hub::availableMcus())
+        if (home.kind == hub::ExecutorKind::Mcu &&
+            m.name == home.executorName)
+            mcu_home = &m;
+    if (mcu_home == nullptr)
+        throw ConfigError("fault injection requires a microcontroller "
+                          "home (placer chose " +
+                          home.executorName + ")");
+    const hub::McuModel mcu = *mcu_home;
 
     // The full transport + supervision stack the fault-free fast path
     // skips: framed UART with injected faults, reliable channel on

@@ -71,6 +71,18 @@ FleetRuntime::FleetRuntime(FleetConfig config_,
     if (config.devicesPerShard == 0 || config.blockSamples == 0)
         throw ConfigError(
             "devicesPerShard and blockSamples must be positive");
+
+    // Resolve the placement space: an explicit heterogeneous set, or
+    // the classic single-MCU budget (which makes the placer reproduce
+    // accept/reject admission exactly).
+    executors = config.executors.empty()
+                    ? std::vector<hub::ExecutorModel>{hub::mcuExecutor(
+                          config.mcu)}
+                    : config.executors;
+    executorSignature = hub::executorSetSignature(executors);
+    for (const auto &e : executors)
+        if (e.wakeBudgetHz > 0.0)
+            wakeBudgetModeled = true;
     if (mix.empty())
         throw ConfigError("fleet needs a non-empty app mix");
     if (fleetTrace->sampleCount() == 0)
@@ -170,32 +182,63 @@ FleetRuntime::admitInstall(Device &device, int condition_id,
             il::lower(program, channels));
     }
 
-    // Plan-based admission against the MCU budget: current load plus
-    // the *marginal* cost of this plan on this engine (nodes the
-    // tenant already runs are free under sharing).
+    // Placer-mediated homing: charge the *marginal* cost of this plan
+    // on this engine (nodes the tenant already runs are free under
+    // sharing) and ask the device's negotiated-congestion placer for
+    // an assignment of every condition — old and new — that respects
+    // every executor's cycle/RAM/wake/cell capacity. Later installs
+    // may re-home earlier conditions to make room; rejection means no
+    // assignment exists.
     const il::ProgramCost marginal = device.engine->marginalCost(*plan);
-    il::ProgramCost loaded;
-    loaded.cyclesPerSecond =
-        device.engine->estimatedCyclesPerSecond() +
-        marginal.cyclesPerSecond;
-    loaded.ramBytes = device.engine->estimatedRamBytes() +
-                      marginal.ramBytes;
     // Wake-budget admission uses the range analyzer's proven bound
     // when it is tighter than the syntactic one (SW312): a condition
     // whose data provably cannot fire often fits a wake budget its
     // syntactic rate would blow. Memoized per canonical plan in the
     // fleet cache; the ablation path computes the same pure analysis
     // directly, so admission verdicts are identical either way.
-    double wake_hz = marginal.wakeRateBoundHz;
-    if (config.mcu.wakeBudgetHz > 0.0) {
+    il::ProgramCost charged = marginal;
+    if (wakeBudgetModeled) {
         const double proven =
             config.shareAcrossTenants
                 ? cache.provenWakeRateHz(*plan)
                 : il::analyzeRanges(*plan).provenWakeRateHz;
-        wake_hz = std::min(wake_hz, proven);
+        charged.wakeRateBoundHz =
+            std::min(charged.wakeRateBoundHz, proven);
     }
-    loaded.wakeRateBoundHz = device.wakeLoadHz + wake_hz;
-    if (!hub::fitsBudget(config.mcu, loaded)) {
+    const double wake_hz = charged.wakeRateBoundHz;
+    device.placer->addCondition(*plan, charged);
+
+    bool placed = false;
+    if (device.placedOrder.empty() && config.shareAcrossTenants) {
+        // First install on an empty ledger: the verdict is a pure
+        // function of (plan, executor set), so the whole fleet
+        // computes it once in the shared cache.
+        const hub::PlacementDecision decision =
+            cache.firstInstallPlacement(
+                *plan, executorSignature, [&device] {
+                    return std::move(
+                        device.placer->place().decisions.front());
+                });
+        placed = decision.placed();
+        if (placed) {
+            device.placements[condition_id] = decision;
+            device.hubPowerMw = decision.marginalPowerMw;
+        }
+    } else {
+        const hub::PlacementResult result = device.placer->place();
+        placed = result.unplaced == 0;
+        if (placed) {
+            for (std::size_t i = 0; i < device.placedOrder.size();
+                 ++i)
+                device.placements[device.placedOrder[i]] =
+                    result.decisions[i];
+            device.placements[condition_id] =
+                result.decisions.back();
+            device.hubPowerMw = result.totalPowerMw;
+        }
+    }
+    if (!placed) {
+        device.placer->removeLast();
         device.stats.conditionsRejected += 1;
         return false;
     }
@@ -204,8 +247,13 @@ FleetRuntime::admitInstall(Device &device, int condition_id,
     device.installed.emplace(condition_id, std::move(plan));
     device.wakeHzByCondition.emplace(condition_id, wake_hz);
     device.wakeLoadHz += wake_hz;
+    device.placedOrder.push_back(condition_id);
     device.stats.conditionsAdmitted += 1;
     device.stats.ramBytes = device.engine->estimatedRamBytes();
+    device.stats.hubPowerMw = device.hubPowerMw;
+    device.stats.homeExecutor =
+        device.placements.at(device.placedOrder.front())
+            .executorIndex;
     return true;
 }
 
@@ -225,6 +273,8 @@ FleetRuntime::buildShard(std::size_t shard)
         device.engine = std::make_unique<hub::Engine>(
             channels, config.sharePerEngine, config.rawBufferSize,
             config.kernelMode);
+        device.placer = std::make_unique<hub::Placer>(
+            executors, config.placer);
 
         device.cursor = static_cast<std::size_t>(
             mixHash(config.seed ^ (d * 2654435761ULL) ^ kCursorSalt) %
@@ -354,11 +404,14 @@ FleetRuntime::runShard(std::size_t shard)
             }
         }
 
-        // Energy model: the hub MCU is awake for the whole ingest
-        // (mW x s = mJ). Duty-cycling below full-on is the
-        // simulator's business; the fleet models steady streaming.
+        // Energy model: the placed hub silicon is powered for the
+        // whole ingest (mW x s = mJ) — the admission MCU's active
+        // power for single-MCU fleets, active + dynamic over the
+        // occupied executors for heterogeneous ones. Duty-cycling
+        // below full-on is the simulator's business; the fleet
+        // models steady streaming.
         device.stats.hubEnergyMj +=
-            config.mcu.activePowerMw *
+            device.hubPowerMw *
             (static_cast<double>(samples_per_run) * dt);
         device.stats.ramBytes = device.engine->estimatedRamBytes();
     }
@@ -386,6 +439,7 @@ FleetRuntime::collect() const
     out.deviceCount = devices.size();
     out.shardCount = shardCount();
     out.cache = cache.stats();
+    out.executorConditions.assign(executors.size(), 0);
     out.devices.reserve(devices.size());
 
     std::uint64_t digest = kFnvOffset;
@@ -402,6 +456,13 @@ FleetRuntime::collect() const
             out.brownouts += 1;
         out.modeledRamBytes += s.ramBytes;
         out.hubEnergyMj += s.hubEnergyMj;
+        out.fleetPowerMw += s.hubPowerMw;
+        for (const auto &[cid, decision] : device.placements) {
+            (void)cid;
+            if (decision.placed())
+                out.executorConditions[static_cast<std::size_t>(
+                    decision.executorIndex)] += 1;
+        }
 
         digest = fnvU64(digest, static_cast<std::uint64_t>(
                                     static_cast<std::int64_t>(
@@ -415,6 +476,10 @@ FleetRuntime::collect() const
         digest = fnvF64(digest, s.lastWakeTimestamp);
         digest = fnvF64(digest, s.hubEnergyMj);
         digest = fnvU64(digest, s.ramBytes);
+        digest = fnvU64(digest, static_cast<std::uint64_t>(
+                                    static_cast<std::int64_t>(
+                                        s.homeExecutor)));
+        digest = fnvF64(digest, s.hubPowerMw);
     }
     out.digest = digest;
     return out;
@@ -444,6 +509,17 @@ FleetRuntime::installCondition(std::size_t device_index,
                         shardCaches[shardOf(device_index)]);
 }
 
+const hub::PlacementDecision &
+FleetRuntime::placementOf(std::size_t device_index,
+                          int condition_id) const
+{
+    const Device &device = devices.at(device_index);
+    auto it = device.placements.find(condition_id);
+    if (it == device.placements.end())
+        throw ConfigError("condition not installed on this device");
+    return it->second;
+}
+
 void
 FleetRuntime::removeCondition(std::size_t device_index,
                               int condition_id)
@@ -460,6 +536,31 @@ FleetRuntime::removeCondition(std::size_t device_index,
     }
     device.stats.conditionsAdmitted -= 1;
     device.stats.ramBytes = device.engine->estimatedRamBytes();
+
+    // Release the condition's placer slot and re-place the rest —
+    // freeing capacity can only keep (or improve) their homes.
+    auto slot = std::find(device.placedOrder.begin(),
+                          device.placedOrder.end(), condition_id);
+    if (slot != device.placedOrder.end()) {
+        device.placer->removeAt(static_cast<std::size_t>(
+            slot - device.placedOrder.begin()));
+        device.placedOrder.erase(slot);
+    }
+    device.placements.erase(condition_id);
+    if (device.placedOrder.empty()) {
+        device.hubPowerMw = 0.0;
+        device.stats.homeExecutor = -1;
+    } else {
+        const hub::PlacementResult result = device.placer->place();
+        for (std::size_t i = 0; i < device.placedOrder.size(); ++i)
+            device.placements[device.placedOrder[i]] =
+                result.decisions[i];
+        device.hubPowerMw = result.totalPowerMw;
+        device.stats.homeExecutor =
+            device.placements.at(device.placedOrder.front())
+                .executorIndex;
+    }
+    device.stats.hubPowerMw = device.hubPowerMw;
 }
 
 } // namespace sidewinder::sim

@@ -24,7 +24,15 @@
  *    the whole population. Engines share the immutable plan's
  *    constant SoA arrays and instantiate their own kernels and state
  *    lanes locally, keeping install-time cached-input pointers
- *    address-stable per tenant.
+ *    address-stable per tenant;
+ *  - admission is placer-mediated homing (hub/placer.h): each device
+ *    owns a negotiated-congestion placer over the fleet's executor
+ *    set (MCUs, FPGAs, AP-fallback) with exact capacity ledgers, so
+ *    "admit" means "found a home under every budget" and installs
+ *    may re-home earlier conditions to make room. The common
+ *    first-install verdict is memoized per canonical plan in the
+ *    fleet cache. An empty executor set degenerates to the classic
+ *    single-MCU accept/reject, bit-for-bit.
  */
 
 #ifndef SIDEWINDER_SIM_FLEET_H
@@ -39,6 +47,7 @@
 #include "apps/app.h"
 #include "hub/engine.h"
 #include "hub/mcu.h"
+#include "hub/placer.h"
 #include "hub/plan_cache.h"
 #include "support/thread_pool.h"
 #include "trace/types.h"
@@ -85,8 +94,19 @@ struct FleetConfig
     std::size_t rawBufferSize = 64;
     /** Numeric mode of every tenant engine. */
     hub::KernelMode kernelMode = hub::KernelMode::Float64;
-    /** Per-device admission budget (compute + RAM). */
+    /** Per-device admission budget (compute + RAM) when `executors`
+     *  is empty — the single-MCU fleet every earlier PR ran. */
     hub::McuModel mcu;
+    /**
+     * Heterogeneous placement space each device homes conditions
+     * onto via the negotiated-congestion placer (hub/placer.h).
+     * Empty (the default) places onto `mcu` alone, which preserves
+     * the classic accept/reject admission bit-for-bit; pass
+     * hub::platformExecutors() for MCU+FPGA+AP homing.
+     */
+    std::vector<hub::ExecutorModel> executors;
+    /** Negotiation knobs for the per-device placer. */
+    hub::PlacerConfig placer;
     /**
      * Fraction of devices that suffer one brownout (hub state loss,
      * Engine::resetState) halfway through their run — the fleet-level
@@ -116,10 +136,17 @@ struct FleetDeviceStats
     std::uint64_t wakeDigest = 1469598103934665603ULL;
     /** Timestamp of the most recent wake-up; -1 when none. */
     double lastWakeTimestamp = -1.0;
-    /** Modeled hub energy: MCU active power x ingested seconds, mJ. */
+    /** Modeled hub energy: placed hub power x ingested seconds, mJ. */
     double hubEnergyMj = 0.0;
     /** Modeled engine RAM (state + results), bytes. */
     std::size_t ramBytes = 0;
+    /** Executor-set index homing the device's first condition; -1
+     *  before any install. */
+    int homeExecutor = -1;
+    /** Placed hub power (active + dynamic over occupied executors),
+     *  mW. Equals the admission MCU's active power for single-MCU
+     *  fleets. */
+    double hubPowerMw = 0.0;
 };
 
 /** Aggregated fleet outcome. */
@@ -141,6 +168,10 @@ struct FleetResult
     std::size_t modeledRamBytes = 0;
     /** Sum of per-device hub energy, mJ. */
     double hubEnergyMj = 0.0;
+    /** Sum of per-device placed hub power, mW. */
+    double fleetPowerMw = 0.0;
+    /** Conditions homed per executor-set index, fleet-wide. */
+    std::vector<std::size_t> executorConditions;
     /** Plan-cache accounting (zeros when sharing is disabled). */
     hub::PlanCacheStats cache;
     /**
@@ -238,15 +269,40 @@ class FleetRuntime
     /** The fleet-wide plan cache (accounting, tests). */
     const hub::FleetPlanCache &planCache() const { return cache; }
 
+    /** The resolved placement space (config.executors, or the
+     *  single-MCU default). */
+    const std::vector<hub::ExecutorModel> &executorSet() const
+    {
+        return executors;
+    }
+
+    /**
+     * Where @p condition_id of @p device is homed. Throws ConfigError
+     * when the condition is not installed. Decisions can change on
+     * later installs — the placer may re-home existing conditions to
+     * make room (never breaking capacity).
+     */
+    const hub::PlacementDecision &placementOf(std::size_t device,
+                                              int condition_id) const;
+
   private:
     struct Device
     {
         std::unique_ptr<hub::Engine> engine;
+        /** The device's placement engine: executor demand rows for
+         *  every admitted condition, in placedOrder. */
+        std::unique_ptr<hub::Placer> placer;
         /** Plan references keeping cached plans alive per tenant. */
         std::map<int, hub::FleetPlanCache::PlanPtr> installed;
         /** Admitted wake-rate bound per condition (proven when the
          *  range analyzer tightened it, else syntactic). */
         std::map<int, double> wakeHzByCondition;
+        /** Condition ids in placer-slot order. */
+        std::vector<int> placedOrder;
+        /** Current home of every admitted condition. */
+        std::map<int, hub::PlacementDecision> placements;
+        /** Placed hub power, mW (mirrored into stats). */
+        double hubPowerMw = 0.0;
         /** Sum of wakeHzByCondition: the device's admitted wake
          *  load against McuModel::wakeBudgetHz. */
         double wakeLoadHz = 0.0;
@@ -267,6 +323,13 @@ class FleetRuntime
                       hub::FleetPlanCache::Shard &shard_cache);
 
     FleetConfig config;
+    /** Resolved placement space (config.executors or {config.mcu}). */
+    std::vector<hub::ExecutorModel> executors;
+    /** Signature of `executors` (placement memo key). */
+    std::string executorSignature;
+    /** True when any executor models a wake budget (enables the
+     *  range-analysis proven-bound substitution). */
+    bool wakeBudgetModeled = false;
     std::vector<FleetAppMix> mix;
     const trace::Trace *fleetTrace;
     /** Channel set shared by every app in the mix. */

@@ -7,6 +7,7 @@
 #include "hub/engine.h"
 #include "hub/fpga.h"
 #include "hub/mcu.h"
+#include "hub/placer.h"
 #include "il/lower.h"
 #include "sim/replay.h"
 #include "support/error.h"
@@ -207,21 +208,39 @@ simulate(const trace::Trace &trace, const apps::Application &app,
         const il::Program program = pipeline.compile();
         const auto channels = app.channels();
 
-        if (config.strategy == Strategy::Sidewinder &&
-            config.hubBackend == HubBackend::Fpga) {
-            const hub::FpgaModel fpga = hub::ice40Hub();
-            const auto placement =
-                hub::planFpgaPlacement(program, channels, fpga);
-            if (!placement.fits)
+        if (config.strategy == Strategy::Sidewinder) {
+            const il::ExecutionPlan plan = il::lower(program, channels);
+            std::vector<hub::ExecutorModel> space;
+            switch (config.hubBackend) {
+              case HubBackend::Microcontroller:
+                for (const auto &mcu : hub::availableMcus())
+                    space.push_back(hub::mcuExecutor(mcu));
+                break;
+              case HubBackend::Fpga:
+                space.push_back(hub::fpgaExecutor(hub::ice40Hub()));
+                break;
+              case HubBackend::Heterogeneous:
+                space = hub::platformExecutors();
+                break;
+            }
+            const hub::PlacementDecision home =
+                hub::placeCondition(plan, space);
+            if (!home.placed()) {
+                if (config.hubBackend == HubBackend::Fpga)
+                    throw CapabilityError(
+                        "condition does not fit the FPGA fabric");
+                // Re-derive selectMcu's diagnostic (names the binding
+                // budget); unreachable when the space holds the
+                // always-feasible AP fallback.
+                hub::selectMcuForCost(plan.cost());
                 throw CapabilityError(
-                    "condition does not fit the FPGA fabric");
-            model.hubMw = placement.totalPowerMw(fpga);
-            result.mcuName = fpga.name;
+                    "no hub executor can home the condition");
+            }
+            model.hubMw = home.marginalPowerMw;
+            result.mcuName = home.executorName;
+            result.placement = home;
         } else {
-            const hub::McuModel mcu =
-                config.strategy == Strategy::Sidewinder
-                    ? hub::selectMcu(program, channels)
-                    : hub::msp430();
+            const hub::McuModel mcu = hub::msp430();
             model.hubMw = mcu.activePowerMw;
             result.mcuName = mcu.name;
         }

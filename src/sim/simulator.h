@@ -13,6 +13,7 @@
 #include <string>
 
 #include "apps/app.h"
+#include "hub/placer.h"
 #include "metrics/events.h"
 #include "sim/faults.h"
 #include "sim/power_model.h"
@@ -27,6 +28,13 @@ enum class HubBackend {
     Microcontroller,
     /** The modeled iCE40-class FPGA fabric (Section 7 future work). */
     Fpga,
+    /**
+     * The whole placement space — MCUs, the FPGA fabric, and the
+     * AP-fallback — homed by the negotiated-congestion placer
+     * (hub::platformExecutors): the condition lands wherever is
+     * cheapest under every capacity budget.
+     */
+    Heterogeneous,
 };
 
 /** The sensing configurations of Section 4.2 of the paper. */
@@ -110,10 +118,16 @@ struct SimResult
     metrics::MatchResult detection;
     double recall = 1.0;
     double precision = 1.0;
-    /** Hub microcontroller used ("" when the strategy needs none). */
+    /** Hub executor used ("" when the strategy needs none). */
     std::string mcuName;
     /** Hub power included in the model, mW. */
     double hubMw = 0.0;
+    /**
+     * Full placement decision for Sidewinder strategies (executor,
+     * marginal power, wire-push target); default (unplaced) for
+     * strategies without a hub.
+     */
+    hub::PlacementDecision placement;
     /**
      * Mean delay from event start to the device being awake and able
      * to process it (the paper's timeliness concern for Batching),

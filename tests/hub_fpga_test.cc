@@ -11,6 +11,7 @@
 #include "hub/fpga.h"
 #include "hub/mcu.h"
 #include "il/algorithm_info.h"
+#include "il/lower.h"
 #include "il/parser.h"
 #include "support/error.h"
 
@@ -67,6 +68,25 @@ TEST(Fpga, AllSixAppConditionsFitTheFabric)
                               app->channels(), ice40Hub());
         EXPECT_TRUE(placement.fits)
             << app->name() << " uses " << placement.cellsUsed;
+    }
+}
+
+TEST(Fpga, PlanAndProgramOverloadsAgreeOnEveryApp)
+{
+    // The sealed-plan overload is the primary sizing path; the
+    // Program convenience overload must price the identical node set
+    // (lowering first, so shared subtrees are not double-counted).
+    for (const auto &app : apps::allApps()) {
+        const il::Program program = app->wakeCondition().compile();
+        const auto channels = app->channels();
+        const FpgaPlacement from_ast =
+            planFpgaPlacement(program, channels, ice40Hub());
+        const FpgaPlacement from_plan = planFpgaPlacement(
+            il::lower(program, channels), ice40Hub());
+        EXPECT_EQ(from_ast.cellsUsed, from_plan.cellsUsed)
+            << app->name();
+        EXPECT_EQ(from_ast.dynamicPowerMw, from_plan.dynamicPowerMw);
+        EXPECT_EQ(from_ast.fits, from_plan.fits);
     }
 }
 

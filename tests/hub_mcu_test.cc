@@ -31,11 +31,28 @@ TEST(Mcu, AvailableListIsCheapestFirst)
         EXPECT_LE(mcus[i - 1].activePowerMw, mcus[i].activePowerMw);
 }
 
-TEST(Mcu, SelectForLoadPicksCheapestSufficient)
+TEST(Mcu, SelectForCostPicksCheapestSufficient)
 {
-    EXPECT_EQ(selectMcuForLoad(1000.0).name, "MSP430");
-    EXPECT_EQ(selectMcuForLoad(1e6).name, "LM4F120");
-    EXPECT_THROW(selectMcuForLoad(1e12), CapabilityError);
+    il::ProgramCost cost;
+    cost.cyclesPerSecond = 1000.0;
+    EXPECT_EQ(selectMcuForCost(cost).name, "MSP430");
+    cost.cyclesPerSecond = 1e6;
+    EXPECT_EQ(selectMcuForCost(cost).name, "LM4F120");
+    cost.cyclesPerSecond = 1e12;
+    EXPECT_THROW(selectMcuForCost(cost), CapabilityError);
+}
+
+TEST(Mcu, SelectForCostHonoursRamNotJustCycles)
+{
+    // The old selectMcuForLoad shortcut sized on cycles alone; a
+    // condition can fit the MSP430's cycle budget and still blow its
+    // 16 KB of SRAM. The full-cost path must escalate on RAM too.
+    il::ProgramCost cost;
+    cost.cyclesPerSecond = 1000.0;
+    cost.ramBytes = 20 * 1024;
+    EXPECT_EQ(selectMcuForCost(cost).name, "LM4F120");
+    cost.ramBytes = 64 * 1024;
+    EXPECT_THROW(selectMcuForCost(cost), CapabilityError);
 }
 
 TEST(Mcu, AccelerometerAppsFitTheMsp430)

@@ -97,7 +97,11 @@ expectIdentical(const sim::FleetResult &a, const sim::FleetResult &b)
         EXPECT_EQ(da.lastWakeTimestamp, db.lastWakeTimestamp);
         EXPECT_EQ(da.hubEnergyMj, db.hubEnergyMj);
         EXPECT_EQ(da.ramBytes, db.ramBytes);
+        EXPECT_EQ(da.homeExecutor, db.homeExecutor) << "device " << d;
+        EXPECT_EQ(da.hubPowerMw, db.hubPowerMw) << "device " << d;
     }
+    EXPECT_EQ(a.fleetPowerMw, b.fleetPowerMw);
+    EXPECT_EQ(a.executorConditions, b.executorConditions);
     EXPECT_EQ(a.samplesIngested, b.samplesIngested);
     EXPECT_EQ(a.wakeEvents, b.wakeEvents);
     EXPECT_EQ(a.digest, b.digest);
@@ -348,6 +352,97 @@ TEST(FleetRuntime, WakeBudgetSumsAcrossConditionsPerDevice)
     roomy.build(pool);
     for (const auto &d : roomy.collect().devices)
         EXPECT_EQ(d.conditionsAdmitted, 2u);
+}
+
+TEST(FleetRuntime, HeterogeneousExecutorsBitIdenticalAcrossThreads)
+{
+    Fixture fx;
+    auto cfg = fx.config(96);
+    cfg.executors = hub::platformExecutors();
+
+    ThreadPool serial(1);
+    ThreadPool two(2);
+    ThreadPool five(5);
+    const auto r1 = runFleet(fx, cfg, serial, 2);
+    const auto r2 = runFleet(fx, cfg, two, 2);
+    const auto r5 = runFleet(fx, cfg, five, 2);
+
+    EXPECT_GT(r1.wakeEvents, 0u);
+    expectIdentical(r1, r2);
+    expectIdentical(r1, r5);
+    EXPECT_EQ(r1.digest, r2.digest);
+    EXPECT_EQ(r1.digest, r5.digest);
+}
+
+TEST(FleetRuntime, HeterogeneousHomingLedgersAndPlacements)
+{
+    Fixture fx;
+    auto cfg = fx.config(64);
+    cfg.executors = hub::platformExecutors();
+    ThreadPool pool(4);
+
+    sim::FleetRuntime fleet(cfg, fx.mix(), fx.run);
+    fleet.build(pool);
+    const auto result = fleet.collect();
+
+    ASSERT_EQ(fleet.executorSet().size(),
+              hub::platformExecutors().size());
+    ASSERT_EQ(result.executorConditions.size(),
+              fleet.executorSet().size());
+
+    // Every admitted condition is homed somewhere, and the per-
+    // executor tallies account for all of them.
+    std::size_t admitted = 0;
+    std::size_t homed = 0;
+    for (const auto &d : result.devices)
+        admitted += d.conditionsAdmitted;
+    for (std::size_t e = 0; e < result.executorConditions.size(); ++e)
+        homed += result.executorConditions[e];
+    EXPECT_EQ(admitted, homed);
+    EXPECT_GT(admitted, 0u);
+    EXPECT_GT(result.fleetPowerMw, 0.0);
+
+    // Per-device: the placement accessor agrees with the recorded
+    // home, and the first condition (id 1) is installed everywhere.
+    for (std::size_t d = 0; d < result.devices.size(); ++d) {
+        const auto &stats = result.devices[d];
+        ASSERT_GT(stats.conditionsAdmitted, 0u) << "device " << d;
+        const hub::PlacementDecision &home = fleet.placementOf(d, 1);
+        ASSERT_TRUE(home.placed()) << "device " << d;
+        EXPECT_EQ(home.executorIndex, stats.homeExecutor);
+        EXPECT_EQ(
+            home.executorName,
+            fleet.executorSet()[static_cast<std::size_t>(
+                                    home.executorIndex)]
+                .name);
+        EXPECT_GT(stats.hubPowerMw, 0.0);
+    }
+    EXPECT_THROW(fleet.placementOf(0, 999), sidewinder::ConfigError);
+}
+
+TEST(FleetRuntime, HeterogeneousFleetNoPricierThanSingleMcu)
+{
+    // The platform space strictly contains the single-MCU space, so
+    // the negotiated fleet power can only improve.
+    Fixture fx;
+    ThreadPool pool(4);
+
+    auto classic_cfg = fx.config(64);
+    sim::FleetRuntime classic(classic_cfg, fx.mix(), fx.run);
+    classic.build(pool);
+    const auto classic_result = classic.collect();
+
+    auto hetero_cfg = fx.config(64);
+    hetero_cfg.executors = hub::platformExecutors();
+    sim::FleetRuntime hetero(hetero_cfg, fx.mix(), fx.run);
+    hetero.build(pool);
+    const auto hetero_result = hetero.collect();
+
+    EXPECT_LE(hetero_result.fleetPowerMw,
+              classic_result.fleetPowerMw);
+    // Wake behavior is a property of the condition, not the home.
+    EXPECT_EQ(hetero_result.samplesIngested,
+              classic_result.samplesIngested);
 }
 
 TEST(FleetRuntime, RejectsMismatchedMixes)

@@ -28,6 +28,7 @@
 #include "apps/predefined.h"
 #include "core/sensors.h"
 #include "hub/mcu.h"
+#include "hub/placer.h"
 #include "hub/reconfig.h"
 #include "il/analyze.h"
 #include "il/delta.h"
@@ -60,6 +61,9 @@ struct Options
     bool dumpRanges = false;
     /** Render the live-reconfiguration delta between two .il files. */
     bool diffPlan = false;
+    /** Render each program's negotiated placement across the platform
+        executor space instead of linting. */
+    bool place = false;
     std::string channelSpec = "all";
     std::vector<std::string> files;
 };
@@ -73,6 +77,33 @@ struct LintUnit
     /** Syntax error text when the program could not be parsed. */
     std::string parseFailure;
 };
+
+/** Minimal JSON string escaping for names and error texts. */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
 
 void
 usage(std::ostream &out)
@@ -97,6 +128,10 @@ usage(std::ostream &out)
            "                   error (implies --ranges)\n"
            "  --dump-ranges    render each program's per-node value\n"
            "                   intervals and proofs instead of linting\n"
+           "  --place          render each program's negotiated home\n"
+           "                   across the platform executor space\n"
+           "                   (MSP430 / LM4F120 / iCE40-hub / AP)\n"
+           "                   instead of linting; honours --json\n"
            "  --diff-plan OLD.il NEW.il\n"
            "                   render the live-reconfiguration delta a\n"
            "                   hub running OLD would receive to move to\n"
@@ -286,6 +321,8 @@ main(int argc, char **argv)
             options.ranges = true;
         } else if (arg == "--dump-ranges") {
             options.dumpRanges = true;
+        } else if (arg == "--place") {
+            options.place = true;
         } else if (arg == "--diff-plan") {
             options.diffPlan = true;
         } else if (arg == "--channels") {
@@ -380,6 +417,56 @@ main(int argc, char **argv)
                 any_errors = true;
             }
         }
+        return any_errors ? 1 : 0;
+    }
+
+    if (options.place) {
+        // Render the negotiated-congestion placement of each unit
+        // across the platform executor space (hub/placer.h). The text
+        // form is golden-tested (tests/data/placements/), so its
+        // format is stable: see hub::renderPlacementReport.
+        bool any_errors = false;
+        std::string placeJson = "[";
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            const LintUnit &unit = units[i];
+            if (!options.json)
+                std::cout << "== " << unit.name << " ==\n";
+            try {
+                if (!unit.parseFailure.empty())
+                    throw ParseError(unit.parseFailure);
+                const il::ExecutionPlan plan =
+                    il::lower(unit.program, unit.channels);
+                if (options.json) {
+                    const hub::PlacementDecision home =
+                        hub::placeCondition(plan,
+                                            hub::platformExecutors());
+                    std::ostringstream os;
+                    os << "{\"program\":\"" << escapeJson(unit.name)
+                       << "\",\"executor\":\""
+                       << escapeJson(home.executorName)
+                       << "\",\"wireTarget\":\""
+                       << escapeJson(home.wireTarget)
+                       << "\",\"marginalPowerMw\":"
+                       << home.marginalPowerMw << "}";
+                    placeJson += (i ? ",\n" : "\n") + os.str();
+                } else {
+                    std::cout << hub::renderPlacementReport(
+                        plan, hub::platformExecutors());
+                }
+            } catch (const SidewinderError &error) {
+                any_errors = true;
+                if (options.json)
+                    placeJson += (i ? ",\n" : "\n") +
+                                 std::string("{\"program\":\"") +
+                                 escapeJson(unit.name) +
+                                 "\",\"error\":\"" +
+                                 escapeJson(error.what()) + "\"}";
+                else
+                    std::cout << "error: " << error.what() << "\n";
+            }
+        }
+        if (options.json)
+            std::cout << placeJson << "\n]\n";
         return any_errors ? 1 : 0;
     }
 
